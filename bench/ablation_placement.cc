@@ -1,0 +1,140 @@
+// Claim C-6 / ablation: "I believe the heuristic for placing windows is good
+// enough because I don't notice it." We quantify: run randomized sessions of
+// window creations and removals under (a) the paper's three-rule heuristic
+// and (b) a naive always-bottom-quarter placement, and compare how much of
+// the screen stays useful.
+//
+// Metrics after every operation, averaged:
+//   tag-visible   fraction of windows whose tag is on screen (the paper's
+//                 own goal: "help attempts to make at least the tag visible")
+//   text-rows     body rows of real text on screen
+//   hidden        windows covered completely
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/wm/wm.h"
+
+using namespace help;
+
+namespace {
+
+struct Metrics {
+  double tag_visible = 0;
+  double text_rows = 0;
+  double hidden = 0;
+  long samples = 0;
+};
+
+void Sample(const Column& col, size_t nwindows, Metrics* m) {
+  if (nwindows == 0) {
+    return;
+  }
+  int visible = 0;
+  int hidden = 0;
+  int rows = 0;
+  for (const Window* w : col.windows()) {
+    if (w->hidden()) {
+      hidden++;
+      continue;
+    }
+    visible++;
+    rows += w->UsedBottom() - w->rect().y0 - 1;
+  }
+  m->tag_visible += static_cast<double>(visible) / static_cast<double>(nwindows);
+  m->text_rows += rows;
+  m->hidden += hidden;
+  m->samples++;
+}
+
+// The naive ablation: every new window takes the bottom quarter, full stop.
+void NaivePlace(Column* col, Window* w) {
+  Rect content = col->ContentRect();
+  int h = std::max(4, content.height() / 4);
+  int y0 = std::max(content.y0, content.y1 - h);
+  for (Window* v : col->windows()) {
+    if (v == w || v->hidden()) {
+      continue;
+    }
+    if (v->rect().y0 >= y0) {
+      v->Hide();
+    } else if (v->rect().y1 > y0) {
+      v->SetRect({content.x0, v->rect().y0, content.x1, y0});
+    }
+  }
+  // Column::AddAt performs drop-style placement; emulate raw assignment.
+  col->AddAt(w, y0);
+}
+
+Metrics RunSession(bool paper_heuristic, uint32_t seed, int ops) {
+  Column col;
+  col.SetRect({0, 1, 60, 50});
+  std::vector<std::unique_ptr<Window>> owned;
+  Metrics m;
+  auto next = [&seed] {
+    seed = seed * 1664525 + 1013904223;
+    return seed >> 8;
+  };
+  int id = 1;
+  for (int i = 0; i < ops; i++) {
+    bool create = owned.empty() || next() % 4 != 0;  // 3:1 create:remove
+    if (create) {
+      int body_lines = 2 + static_cast<int>(next() % 30);
+      std::string content;
+      for (int k = 0; k < body_lines; k++) {
+        content += "line of text number " + std::to_string(k) + "\n";
+      }
+      auto w = std::make_unique<Window>(id++, std::make_shared<Text>("tag Close!"),
+                                        std::make_shared<Text>(content));
+      if (paper_heuristic) {
+        col.Place(w.get());
+      } else {
+        NaivePlace(&col, w.get());
+      }
+      owned.push_back(std::move(w));
+    } else {
+      size_t victim = next() % owned.size();
+      col.Remove(owned[victim].get());
+      owned.erase(owned.begin() + static_cast<long>(victim));
+    }
+    Sample(col, owned.size(), &m);
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("================================================================\n");
+  std::printf("Ablation: the paper's placement heuristic vs naive bottom-quarter\n");
+  std::printf("================================================================\n");
+  constexpr int kOps = 200;
+  constexpr int kSeeds = 20;
+  Metrics paper;
+  Metrics naive;
+  for (int s = 1; s <= kSeeds; s++) {
+    Metrics a = RunSession(true, static_cast<uint32_t>(s) * 977u, kOps);
+    Metrics b = RunSession(false, static_cast<uint32_t>(s) * 977u, kOps);
+    paper.tag_visible += a.tag_visible;
+    paper.text_rows += a.text_rows;
+    paper.hidden += a.hidden;
+    paper.samples += a.samples;
+    naive.tag_visible += b.tag_visible;
+    naive.text_rows += b.text_rows;
+    naive.hidden += b.hidden;
+    naive.samples += b.samples;
+  }
+  auto avg = [](double v, long n) { return n > 0 ? v / static_cast<double>(n) : 0.0; };
+  std::printf("%-26s %14s %14s\n", "metric (avg per op)", "paper rules", "naive");
+  std::printf("%-26s %14.3f %14.3f\n", "tag-visible fraction",
+              avg(paper.tag_visible, paper.samples), avg(naive.tag_visible, naive.samples));
+  std::printf("%-26s %14.1f %14.1f\n", "text rows on screen",
+              avg(paper.text_rows, paper.samples), avg(naive.text_rows, naive.samples));
+  std::printf("%-26s %14.2f %14.2f\n", "windows fully hidden",
+              avg(paper.hidden, paper.samples), avg(naive.hidden, naive.samples));
+  bool match = avg(paper.tag_visible, paper.samples) > avg(naive.tag_visible, naive.samples) &&
+               avg(paper.text_rows, paper.samples) > avg(naive.text_rows, naive.samples);
+  std::printf("\n%s: the three-rule heuristic keeps more tags and more text visible\n",
+              match ? "MATCH" : "MISMATCH");
+  return match ? 0 : 1;
+}

@@ -1,0 +1,154 @@
+// Claim C-2: minimalism vs a conventional interface. The help column is
+// *measured* by driving the real system; the conventional column is the
+// gesture-cost model of a click-to-type window system with pop-up menus and
+// a typing shell (src/baseline). The shape that must hold: help wins every
+// task, mostly by eliminating keystrokes ("no retyping").
+#include "bench/figutil.h"
+#include "src/baseline/baseline.h"
+
+using namespace help;
+
+namespace {
+
+struct Row {
+  const char* task;
+  int help_presses;
+  int help_keys;
+  int conv_presses;
+  int conv_keys;
+};
+
+void PrintRow(const Row& r) {
+  std::printf("%-34s %8d %8d   %8d %8d\n", r.task, r.help_presses, r.help_keys,
+              r.conv_presses, r.conv_keys);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Claims: baseline comparison",
+              "same tasks under help (measured) vs a conventional UI (modeled)");
+  std::printf("%-34s %8s %8s   %8s %8s\n", "task", "help/prs", "help/key", "conv/prs",
+              "conv/key");
+
+  std::vector<Row> rows;
+
+  // Task 1: open a file whose name is on screen (dat.h from help.c).
+  {
+    PaperDemo demo;
+    Help& h = demo.help();
+    h.ExecuteText("Open /usr/rob/src/help/help.c", nullptr);
+    h.ResetCounters();
+    Window* helpc = h.WindowForFile("/usr/rob/src/help/help.c");
+    Point p = demo.Locate(helpc, "dat.h");
+    h.MouseClick(p);
+    h.MouseExecWord(demo.Locate(demo.FindWindowTagged("/help/edit/stf"), "Open"));
+    ConventionalUI conv;
+    conv.OpenVisibleFile("/usr/rob/src/help/dat.h");
+    rows.push_back({"open file named on screen", h.counters().button_presses,
+                    h.counters().keystrokes, conv.cost().button_presses,
+                    conv.cost().keystrokes});
+  }
+
+  // Task 2: cut a selection.
+  {
+    PaperDemo demo;
+    Help& h = demo.help();
+    h.ExecuteText("Open /usr/rob/lib/profile", nullptr);
+    Window* w = h.WindowForFile("/usr/rob/lib/profile");
+    h.ResetCounters();
+    Rect r = w->rect();
+    h.MouseSelect({r.x0 + 1, r.y0 + 1}, {r.x0 + 11, r.y0 + 1});
+    h.ChordCut();  // B1 still down + B2
+    ConventionalUI conv;
+    conv.SelectText("a line");
+    conv.CutSelection();
+    rows.push_back({"select + cut", h.counters().button_presses,
+                    h.counters().keystrokes, conv.cost().button_presses,
+                    conv.cost().keystrokes});
+  }
+
+  // Task 3: stack trace of the broken process.
+  {
+    PaperDemo demo;
+    demo.Fig04_Boot();
+    demo.Fig05_Headers();
+    demo.Fig06_Messages();
+    Help& h = demo.help();
+    h.ResetCounters();
+    demo.Fig07_Stack();
+    ConventionalUI conv;
+    conv.DebuggerStack(176153, "/usr/rob/src/help/help");
+    rows.push_back({"stack trace of broken process", h.counters().button_presses,
+                    h.counters().keystrokes, conv.cost().button_presses,
+                    conv.cost().keystrokes});
+  }
+
+  // Task 4: find uses of a variable.
+  {
+    PaperDemo demo;
+    demo.Fig04_Boot();
+    Help& h = demo.help();
+    h.ExecuteText("Open /usr/rob/src/help/exec.c:252", nullptr);
+    h.ResetCounters();
+    Window* execc = h.WindowForFile("/usr/rob/src/help/exec.c");
+    Point p = demo.Locate(execc, "(uchar*)n");
+    h.MouseClick({p.x + 8, p.y});
+    Point u = demo.Locate(demo.FindWindowTagged("/help/cbr/stf"), "uses *.c");
+    h.MouseExec(u, {u.x + 8, u.y});
+    ConventionalUI conv;
+    conv.GrepUses("n", "/usr/rob/src/help/*.c");
+    rows.push_back({"find uses of a variable", h.counters().button_presses,
+                    h.counters().keystrokes, conv.cost().button_presses,
+                    conv.cost().keystrokes});
+  }
+
+  // Task 5: save and rebuild.
+  {
+    PaperDemo demo;
+    demo.RunAll();
+    // take the measured fig12 step (Cut, Put!, mk)
+    const auto& st = demo.stats()[8];
+    ConventionalUI conv;
+    conv.CutSelection();
+    conv.SaveFile();
+    conv.Rebuild("mk");
+    rows.push_back({"fix + save + rebuild", st.presses, st.keystrokes,
+                    conv.cost().button_presses, conv.cost().keystrokes});
+  }
+
+  // Task 6: read a particular mail message.
+  {
+    PaperDemo demo;
+    demo.Fig04_Boot();
+    demo.Fig05_Headers();
+    Help& h = demo.help();
+    h.ResetCounters();
+    demo.Fig06_Messages();
+    ConventionalUI conv;
+    conv.ReadMail(2);
+    rows.push_back({"read one mail message", h.counters().button_presses,
+                    h.counters().keystrokes, conv.cost().button_presses,
+                    conv.cost().keystrokes});
+  }
+
+  int hp = 0;
+  int hk = 0;
+  int cp = 0;
+  int ck = 0;
+  for (const Row& r : rows) {
+    PrintRow(r);
+    hp += r.help_presses;
+    hk += r.help_keys;
+    cp += r.conv_presses;
+    ck += r.conv_keys;
+  }
+  std::printf("%-34s %8d %8d   %8d %8d\n", "TOTAL", hp, hk, cp, ck);
+  std::printf("\nshape check: help eliminates %d keystrokes entirely (%d -> %d) at a\n"
+              "cost of %d extra button presses (%d -> %d); total gestures %d vs %d.\n",
+              ck - hk, ck, hk, hp - cp, cp, hp, hp + hk, cp + ck);
+  std::printf("%s\n", (hk == 0 && hp + hk < cp + ck)
+                          ? "MATCH: help needs no typing and fewer gestures overall"
+                          : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Claim C-5: "It is also smaller: 4300 lines of C." — an accounting of this
+// reproduction's size, broken down by subsystem, with the help-proper core
+// (the analogue of the paper's 4300 lines: editor + window system + UI +
+// file server, excluding the substrates Plan 9 provided for free) called out.
+#include <filesystem>
+#include <fstream>
+
+#include "bench/figutil.h"
+
+#ifndef HELP_SOURCE_DIR
+#define HELP_SOURCE_DIR "."
+#endif
+
+namespace {
+
+long CountLines(const std::filesystem::path& dir) {
+  namespace fs = std::filesystem;
+  long lines = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::recursive_directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    auto ext = entry.path().extension();
+    if (ext != ".cc" && ext != ".h") {
+      continue;
+    }
+    std::ifstream in(entry.path());
+    std::string line;
+    while (std::getline(in, line)) {
+      lines++;
+    }
+  }
+  return lines;
+}
+
+}  // namespace
+
+int main() {
+  help::PrintHeader("Claims: size accounting", "paper: help was 4300 lines of C");
+  std::filesystem::path src = std::filesystem::path(HELP_SOURCE_DIR) / "src";
+  if (!std::filesystem::exists(src)) {
+    std::printf("source tree not found at %s; run from the repository\n",
+                HELP_SOURCE_DIR);
+    return 1;
+  }
+  long core = 0;
+  long total = 0;
+  static const char* kCore[] = {"core", "wm", "draw"};  // help proper
+  std::printf("%-12s %8s  %s\n", "subsystem", "lines", "role");
+  struct RowInfo {
+    const char* name;
+    const char* role;
+  };
+  for (const RowInfo& row : std::initializer_list<RowInfo>{
+           {"core", "help itself: UI semantics + /mnt/help file server"},
+           {"wm", "help itself: columns, windows, placement"},
+           {"draw", "help itself: frames and the cell screen"},
+           {"text", "substrate: buffers, undo, addresses (libframe-era C had this)"},
+           {"regexp", "substrate: Plan 9 libregexp equivalent"},
+           {"fs", "substrate: the Plan 9 kernel namespace + 9P"},
+           {"shell", "substrate: rc + userland + mk"},
+           {"cc", "substrate: rcc, the code-generator-less compiler"},
+           {"proc", "substrate: processes + adb"},
+           {"tools", "the /help tool suites + paper corpus + demo driver"},
+           {"base", "runes, strings, status"},
+           {"baseline", "the conventional-UI comparison model"}}) {
+    long n = CountLines(src / row.name);
+    total += n;
+    for (const char* c : kCore) {
+      if (std::string(c) == row.name) {
+        core += n;
+      }
+    }
+    std::printf("%-12s %8ld  %s\n", row.name, n, row.role);
+  }
+  std::printf("%-12s %8ld\n", "TOTAL src/", total);
+  std::printf("\nhelp proper (core+wm+draw): %ld lines of C++ vs the paper's 4300 of C\n",
+              core);
+  std::printf("the rest reimplements what Plan 9 gave the original for free.\n");
+  return 0;
+}

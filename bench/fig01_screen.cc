@@ -1,0 +1,51 @@
+// Figure 1: "A small help screen showing two columns of windows. The current
+// selection is the black line in the bottom left window. The directory
+// /usr/rob/src/help has been Opened and, from there, the source files
+// /usr/rob/src/help/errs.c and file.c."
+#include "bench/figutil.h"
+
+using namespace help;
+
+int main() {
+  PrintHeader("Figure 1", "a small help screen mid-session");
+  PaperDemo demo(104, 44);
+  Help& h = demo.help();
+
+  // The mail window in the top left (the UKUUG note).
+  Window* mail = h.CreateWindow("/com/cs.bbk.ac.uk/mick Close!", 0);
+  mail->body().text->SetAll(
+      "Subject: UNIX in song & verse\n"
+      "Rob,\n"
+      "The UKUUG are collecting old-time\n"
+      "verses about UNIX before they\n"
+      "disappear from the minds of those\n");
+  mail->Relayout();
+
+  // Open the directory, then errs.c and file.c from it by pointing.
+  h.ExecuteText("Open /usr/rob/src/help", nullptr);
+  Window* dir = h.WindowForFile("/usr/rob/src/help/");
+  Point p = demo.Locate(dir, "errs.c");
+  h.MouseClick(p);
+  h.ExecuteText("Open", dir);
+  p = demo.Locate(dir, "file.c");
+  h.MouseClick(p);
+  h.ExecuteText("Open", dir);
+
+  // The current selection: a line in the bottom-left window (file.c).
+  Window* filec = h.WindowForFile("/usr/rob/src/help/file.c");
+  if (filec != nullptr) {
+    size_t start = filec->body().text->Utf8().find(" * string routines");
+    if (start != std::string::npos) {
+      filec->body().sel = {start, start + 18};
+      h.SetCurrent(&filec->body());
+    }
+  }
+
+  PrintScreen(h.Render(/*annotated=*/true));
+  std::printf("windows on screen: %zu; button presses used: %d; keystrokes: %d\n",
+              h.AllWindows().size(), h.counters().button_presses,
+              h.counters().keystrokes);
+  std::printf("paper: two columns, tag+body windows, tab towers at the left edge,\n"
+              "current selection in reverse video («…»), others outlined (‹…›).\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 2: "Executing Cut by sweeping the word while holding down the
+// middle mouse button. The text being selected for execution is underlined."
+#include "bench/figutil.h"
+
+using namespace help;
+
+int main() {
+  PrintHeader("Figure 2", "executing Cut by sweeping with button 2");
+  PaperDemo demo(104, 44);
+  Help& h = demo.help();
+
+  h.ExecuteText("Open /usr/rob/lib/profile", nullptr);
+  Window* profile = h.WindowForFile("/usr/rob/lib/profile");
+
+  // Button 1: select a piece of text in the profile (a real sweep).
+  Point sel = demo.Locate(profile, "fn x");
+  h.MouseSelect(sel, {sel.x + 24, sel.y});
+  std::printf("before: the selection (reverse video) in the profile window\n");
+
+  // Button 2: sweep the word Cut in the edit tool. The annotated render with
+  // show_last_exec underlines the swept command text, as the figure shows.
+  Window* edit = demo.FindWindowTagged("/help/edit/stf");
+  Point cut = demo.Locate(edit, "Cut");
+  h.MouseExec(cut, {cut.x + 3, cut.y});
+  PrintScreen(h.Render(/*annotated=*/true, /*show_last_exec=*/true));
+
+  std::printf("cut buffer now holds: %s\n", h.snarf().c_str());
+  std::printf("profile window is dirty: tag = %s\n",
+              profile->tag().text->Utf8().c_str());
+  std::printf("gestures: %d presses, %d keystrokes "
+              "(select + execute Cut: no menus, no widgets)\n",
+              h.counters().button_presses, h.counters().keystrokes);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 3: "Opening files. After typing the full path name of help.c, the
+// selection is automatically the null string at the end of the file name, so
+// just click Open to open that file: the defaults grab the whole name. Next,
+// after pointing into dat.h, Open will get /usr/rob/src/help/dat.h."
+#include "bench/figutil.h"
+
+using namespace help;
+
+int main() {
+  PrintHeader("Figure 3", "opening files: typed path vs pointing");
+  PaperDemo demo(104, 44);
+  Help& h = demo.help();
+
+  // Type the full path into a scratch window, then click Open: the null
+  // selection at the end of the name expands to the whole file name.
+  Window* scratch = h.CreateWindow("scratch Close!");
+  h.SetCurrent(&scratch->body());
+  h.Type("/usr/rob/src/help/help.c");
+  Window* edit = demo.FindWindowTagged("/help/edit/stf");
+  h.MouseExecWord(demo.Locate(edit, "Open"));
+  int typed_presses = h.counters().button_presses;
+  int typed_keys = h.counters().keystrokes;
+  std::printf("typed route: %d keystrokes + %d button press(es)\n", typed_keys,
+              typed_presses);
+
+  // Now the other way: point into "dat.h" inside the help.c window and Open.
+  // The directory comes from the tag (the rule of automation).
+  Window* helpc = h.WindowForFile("/usr/rob/src/help/help.c");
+  Point p = demo.Locate(helpc, "dat.h");
+  h.MouseClick({p.x + 2, p.y});  // anywhere in the name will do
+  h.MouseExecWord(demo.Locate(edit, "Open"));
+  int point_presses = h.counters().button_presses - typed_presses;
+  int point_keys = h.counters().keystrokes - typed_keys;
+  std::printf("pointing route: %d keystrokes + %d button presses (\"two button "
+              "clicks\")\n",
+              point_keys, point_presses);
+
+  PrintScreen(h.Render(true));
+  std::printf("dat.h window open: %s\n",
+              h.WindowForFile("/usr/rob/src/help/dat.h") != nullptr ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 4: the screen after booting: tools loaded in the right column
+#include "bench/figutil.h"
+
+using namespace help;
+
+int main() {
+  PrintHeader("Figure 4", "the screen after booting: tools loaded in the right column");
+  PaperDemo demo;
+  std::string screen = RunThrough(demo, 4);
+  PrintScreen(screen);
+  PrintStats(demo);
+  std::printf("total: %d button presses, %d keystrokes\n",
+              demo.help().counters().button_presses,
+              demo.help().counters().keystrokes);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 5: after executing mail/headers
+#include "bench/figutil.h"
+
+using namespace help;
+
+int main() {
+  PrintHeader("Figure 5", "after executing mail/headers");
+  PaperDemo demo;
+  std::string screen = RunThrough(demo, 5);
+  PrintScreen(screen);
+  PrintStats(demo);
+  std::printf("total: %d button presses, %d keystrokes\n",
+              demo.help().counters().button_presses,
+              demo.help().counters().keystrokes);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 6: after applying messages to the header line of Sean's mail
+#include "bench/figutil.h"
+
+using namespace help;
+
+int main() {
+  PrintHeader("Figure 6", "after applying messages to the header line of Sean's mail");
+  PaperDemo demo;
+  std::string screen = RunThrough(demo, 6);
+  PrintScreen(screen);
+  PrintStats(demo);
+  std::printf("total: %d button presses, %d keystrokes\n",
+              demo.help().counters().button_presses,
+              demo.help().counters().keystrokes);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 7: after applying db/stack to the broken process
+#include "bench/figutil.h"
+
+using namespace help;
+
+int main() {
+  PrintHeader("Figure 7", "after applying db/stack to the broken process");
+  PaperDemo demo;
+  std::string screen = RunThrough(demo, 7);
+  PrintScreen(screen);
+  PrintStats(demo);
+  std::printf("total: %d button presses, %d keystrokes\n",
+              demo.help().counters().button_presses,
+              demo.help().counters().keystrokes);
+  return 0;
+}

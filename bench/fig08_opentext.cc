@@ -1,0 +1,16 @@
+// Figure 8: after Opening text.c at line 32
+#include "bench/figutil.h"
+
+using namespace help;
+
+int main() {
+  PrintHeader("Figure 8", "after Opening text.c at line 32");
+  PaperDemo demo;
+  std::string screen = RunThrough(demo, 8);
+  PrintScreen(screen);
+  PrintStats(demo);
+  std::printf("total: %d button presses, %d keystrokes\n",
+              demo.help().counters().button_presses,
+              demo.help().counters().keystrokes);
+  return 0;
+}

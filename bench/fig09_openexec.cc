@@ -1,0 +1,16 @@
+// Figure 9: Close! on text.c, then Opening exec.c at line 252
+#include "bench/figutil.h"
+
+using namespace help;
+
+int main() {
+  PrintHeader("Figure 9", "Close! on text.c, then Opening exec.c at line 252");
+  PaperDemo demo;
+  std::string screen = RunThrough(demo, 9);
+  PrintScreen(screen);
+  PrintStats(demo);
+  std::printf("total: %d button presses, %d keystrokes\n",
+              demo.help().counters().button_presses,
+              demo.help().counters().keystrokes);
+  return 0;
+}

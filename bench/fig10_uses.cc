@@ -1,0 +1,16 @@
+// Figure 10: after finding all uses of n
+#include "bench/figutil.h"
+
+using namespace help;
+
+int main() {
+  PrintHeader("Figure 10", "after finding all uses of n");
+  PaperDemo demo;
+  std::string screen = RunThrough(demo, 10);
+  PrintScreen(screen);
+  PrintStats(demo);
+  std::printf("total: %d button presses, %d keystrokes\n",
+              demo.help().counters().button_presses,
+              demo.help().counters().keystrokes);
+  return 0;
+}

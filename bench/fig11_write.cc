@@ -1,0 +1,16 @@
+// Figure 11: the writing of n: help.c:35, then exec.c:213
+#include "bench/figutil.h"
+
+using namespace help;
+
+int main() {
+  PrintHeader("Figure 11", "the writing of n: help.c:35, then exec.c:213");
+  PaperDemo demo;
+  std::string screen = RunThrough(demo, 11);
+  PrintScreen(screen);
+  PrintStats(demo);
+  std::printf("total: %d button presses, %d keystrokes\n",
+              demo.help().counters().button_presses,
+              demo.help().counters().keystrokes);
+  return 0;
+}

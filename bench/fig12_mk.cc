@@ -1,0 +1,16 @@
+// Figure 12: after the program is compiled (Cut, Put!, mk)
+#include "bench/figutil.h"
+
+using namespace help;
+
+int main() {
+  PrintHeader("Figure 12", "after the program is compiled (Cut, Put!, mk)");
+  PaperDemo demo;
+  std::string screen = RunThrough(demo, 12);
+  PrintScreen(screen);
+  PrintStats(demo);
+  std::printf("total: %d button presses, %d keystrokes\n",
+              demo.help().counters().button_presses,
+              demo.help().counters().keystrokes);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared scaffolding for the figure benches: each binary regenerates one of
+// the paper's figures by driving the real system and printing the rendered
+// screen plus the gestures it cost.
+#ifndef BENCH_FIGUTIL_H_
+#define BENCH_FIGUTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/tools/demo.h"
+
+namespace help {
+
+inline void PrintHeader(const char* id, const char* caption) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", id, caption);
+  std::printf("================================================================\n");
+}
+
+inline void PrintScreen(const std::string& screen) {
+  std::printf("%s", screen.c_str());
+  std::printf("----------------------------------------------------------------\n");
+}
+
+inline void PrintStats(const PaperDemo& demo) {
+  for (const auto& st : demo.stats()) {
+    std::printf("  %-44s  %d button presses, %d keystrokes\n", st.name.c_str(),
+                st.presses, st.keystrokes);
+  }
+}
+
+// Runs the walkthrough up to (and including) step `n` (5..12); returns the
+// screen after step n.
+inline std::string RunThrough(PaperDemo& demo, int n) {
+  std::string screen = demo.Fig04_Boot();
+  if (n >= 5) screen = demo.Fig05_Headers();
+  if (n >= 6) screen = demo.Fig06_Messages();
+  if (n >= 7) screen = demo.Fig07_Stack();
+  if (n >= 8) screen = demo.Fig08_OpenTextC();
+  if (n >= 9) screen = demo.Fig09_CloseAndOpenExecC();
+  if (n >= 10) screen = demo.Fig10_Uses();
+  if (n >= 11) screen = demo.Fig11_OpenHelpCAndExec213();
+  if (n >= 12) screen = demo.Fig12_CutPutMk();
+  return screen;
+}
+
+}  // namespace help
+
+#endif  // BENCH_FIGUTIL_H_

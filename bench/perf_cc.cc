@@ -1,0 +1,83 @@
+// P-5: C front-end performance — lexing, preprocessing, whole-corpus
+// browsing (the `uses` query path).
+#include <benchmark/benchmark.h>
+
+#include "src/cc/browser.h"
+#include "src/cc/clex.h"
+#include "src/cc/cpp.h"
+#include "src/tools/tools.h"
+
+namespace help {
+namespace {
+
+struct Corpus {
+  Corpus() {
+    InstallTools(&h);
+    BuildPaperWorld(&h);
+  }
+  Help h;
+};
+
+Corpus* corpus() {
+  static Corpus* c = new Corpus();
+  return c;
+}
+
+void BM_CLexExecC(benchmark::State& state) {
+  std::string src = corpus()->h.vfs().ReadFile("/usr/rob/src/help/exec.c").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CLex(src, "exec.c"));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(src.size()));
+}
+BENCHMARK(BM_CLexExecC);
+
+void BM_CppExpandTranslationUnit(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Preprocess(corpus()->h.vfs(), "/usr/rob/src/help/exec.c"));
+  }
+}
+BENCHMARK(BM_CppExpandTranslationUnit);
+
+void BM_BrowserParseTranslationUnit(benchmark::State& state) {
+  auto pp = Preprocess(corpus()->h.vfs(), "/usr/rob/src/help/exec.c");
+  for (auto _ : state) {
+    CBrowser b;
+    benchmark::DoNotOptimize(b.AddTranslationUnit(pp.value(), "exec.c"));
+  }
+}
+BENCHMARK(BM_BrowserParseTranslationUnit);
+
+void BM_BrowserWholeProgramUses(benchmark::State& state) {
+  // The fig10 query: parse all 13 sources, resolve n, list its uses.
+  static const char* kFiles[] = {"clik.c", "ctrl.c", "errs.c", "exec.c", "file.c",
+                                 "help.c", "page.c", "pick.c", "proc.c", "scrl.c",
+                                 "text.c", "util.c", "xtrn.c"};
+  for (auto _ : state) {
+    CBrowser b;
+    for (const char* f : kFiles) {
+      b.AddFile(corpus()->h.vfs(), std::string("/usr/rob/src/help/") + f);
+    }
+    const CSymbol* n = b.ResolveAt("n", "/usr/rob/src/help/exec.c", 252);
+    benchmark::DoNotOptimize(b.UsesOf(n->id));
+  }
+  state.SetItemsProcessed(state.iterations() * 13);
+}
+BENCHMARK(BM_BrowserWholeProgramUses);
+
+void BM_BrowserResolveAt(benchmark::State& state) {
+  CBrowser b;
+  static const char* kFiles[] = {"errs.c", "exec.c", "help.c", "text.c"};
+  for (const char* f : kFiles) {
+    b.AddFile(corpus()->h.vfs(), std::string("/usr/rob/src/help/") + f);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.ResolveAt("n", "/usr/rob/src/help/exec.c", 252));
+  }
+}
+BENCHMARK(BM_BrowserResolveAt);
+
+}  // namespace
+}  // namespace help
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// P-2: regexp engine performance — compile, search, the Pike VM's linearity.
+#include <benchmark/benchmark.h>
+
+#include "src/regexp/regexp.h"
+
+namespace help {
+namespace {
+
+RuneString MakeText(int n) {
+  RuneString t;
+  const char* words[] = {"the", "quick", "textinsert", "strlen", "window", "n"};
+  for (int i = 0; i < n; i++) {
+    for (char c : std::string(words[i % 6])) {
+      t.push_back(static_cast<Rune>(c));
+    }
+    t.push_back(i % 11 == 0 ? '\n' : ' ');
+  }
+  return t;
+}
+
+void BM_RegexpCompile(benchmark::State& state) {
+  for (auto _ : state) {
+    auto re = Regexp::Compile("(a|b)*c[d-f]+g?");
+    benchmark::DoNotOptimize(re.ok());
+  }
+}
+BENCHMARK(BM_RegexpCompile);
+
+void BM_RegexpLiteralSearch(benchmark::State& state) {
+  auto re = Regexp::Compile("strlen");
+  RuneString text = MakeText(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(re.value().Search(text));
+  }
+  state.SetItemsProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_RegexpLiteralSearch)->Range(256, 16384);
+
+void BM_RegexpClassSearch(benchmark::State& state) {
+  auto re = Regexp::Compile("[0-9][0-9]*");
+  RuneString text = MakeText(static_cast<int>(state.range(0)));
+  text += RunesFromUtf8("176153");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(re.value().Search(text));
+  }
+  state.SetItemsProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_RegexpClassSearch)->Range(256, 16384);
+
+void BM_RegexpPathological(benchmark::State& state) {
+  // a?a?a?...aaa... — exponential for backtrackers, linear for the Pike VM.
+  int n = static_cast<int>(state.range(0));
+  std::string pattern;
+  for (int i = 0; i < n; i++) {
+    pattern += "a?";
+  }
+  pattern += std::string(static_cast<size_t>(n), 'a');
+  auto re = Regexp::Compile(pattern);
+  RuneString text(static_cast<size_t>(n), 'a');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(re.value().Search(text));
+  }
+}
+BENCHMARK(BM_RegexpPathological)->DenseRange(8, 24, 8);
+
+void BM_RegexpAnchoredLineScan(benchmark::State& state) {
+  // The Pattern command's shape: ^-anchored search across a window body.
+  auto re = Regexp::Compile("^textinsert");
+  RuneString text = MakeText(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(re.value().Search(text));
+  }
+  state.SetItemsProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_RegexpAnchoredLineScan)->Range(1024, 16384);
+
+}  // namespace
+}  // namespace help
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// P-4: shell performance — parse, evaluate, pipeline, glob.
+#include <benchmark/benchmark.h>
+
+#include "src/shell/coreutils.h"
+#include "src/shell/shell.h"
+
+namespace help {
+namespace {
+
+struct World {
+  World() : shell(&vfs, &registry, &procs) {
+    RegisterCoreutils(&vfs, &registry);
+    for (int i = 0; i < 40; i++) {
+      vfs.WriteFile("/src/f" + std::to_string(i) + ".c", "int x;\n");
+    }
+    vfs.WriteFile("/lines", [] {
+      std::string s;
+      for (int i = 0; i < 500; i++) {
+        s += "line " + std::to_string(i) + "\n";
+      }
+      return s;
+    }());
+  }
+  Vfs vfs;
+  CommandRegistry registry;
+  ProcTable procs;
+  Shell shell;
+};
+
+void BM_ShellParseDeclScript(benchmark::State& state) {
+  const char* decl =
+      "eval `{help/parse -c}\n"
+      "x=`{cat /mnt/help/new/ctl}\n"
+      "{\n"
+      "echo tag $dir/^' decl Close!'\n"
+      "} > /mnt/help/$x/ctl\n"
+      "cpp $cppflags $file |\n"
+      "help/rcc -w -g -i$id -n$line -f$file |\n"
+      "sed 1q > /mnt/help/$x/bodyapp\n";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseShell(decl));
+  }
+}
+BENCHMARK(BM_ShellParseDeclScript);
+
+void BM_ShellEchoEval(benchmark::State& state) {
+  World w;
+  Env env;
+  for (auto _ : state) {
+    std::string out;
+    std::string err;
+    Io io;
+    io.out = &out;
+    io.err = &err;
+    benchmark::DoNotOptimize(w.shell.Run("echo a b c", &env, "/", {}, io));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShellEchoEval);
+
+void BM_ShellPipeline(benchmark::State& state) {
+  World w;
+  Env env;
+  for (auto _ : state) {
+    std::string out;
+    std::string err;
+    Io io;
+    io.out = &out;
+    io.err = &err;
+    benchmark::DoNotOptimize(
+        w.shell.Run("cat /lines | grep 7 | sort | sed 3q", &env, "/", {}, io));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShellPipeline);
+
+void BM_ShellGlob(benchmark::State& state) {
+  World w;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GlobExpand(w.vfs, "/src", "*.c"));
+  }
+  state.SetItemsProcessed(state.iterations() * 40);
+}
+BENCHMARK(BM_ShellGlob);
+
+void BM_ShellCommandSubstitution(benchmark::State& state) {
+  World w;
+  Env env;
+  for (auto _ : state) {
+    std::string out;
+    std::string err;
+    Io io;
+    io.out = &out;
+    io.err = &err;
+    benchmark::DoNotOptimize(
+        w.shell.Run("x=`{echo one two three}; echo $x$x", &env, "/", {}, io));
+  }
+}
+BENCHMARK(BM_ShellCommandSubstitution);
+
+}  // namespace
+}  // namespace help
+
+BENCHMARK_MAIN();

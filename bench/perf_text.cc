@@ -1,0 +1,85 @@
+// P-1: text-substrate performance — gap buffer edits, line bookkeeping, undo.
+#include <benchmark/benchmark.h>
+
+#include "src/text/gapbuffer.h"
+#include "src/text/text.h"
+
+namespace help {
+namespace {
+
+void BM_GapBufferAppend(benchmark::State& state) {
+  for (auto _ : state) {
+    GapBuffer g;
+    for (int i = 0; i < state.range(0); i++) {
+      g.Insert(g.size(), U"x");
+    }
+    benchmark::DoNotOptimize(g.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GapBufferAppend)->Range(256, 16384);
+
+void BM_GapBufferInsertAtPoint(benchmark::State& state) {
+  // The editor's hot path: repeated inserts at the same spot (typing).
+  GapBuffer g(RuneString(static_cast<size_t>(state.range(0)), 'a'));
+  size_t point = static_cast<size_t>(state.range(0)) / 2;
+  for (auto _ : state) {
+    g.Insert(point, U"t");
+    point++;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GapBufferInsertAtPoint)->Range(1024, 65536);
+
+void BM_GapBufferScatterInsert(benchmark::State& state) {
+  // Worst case: alternating far-apart inserts force gap moves.
+  GapBuffer g(RuneString(static_cast<size_t>(state.range(0)), 'a'));
+  bool front = true;
+  for (auto _ : state) {
+    g.Insert(front ? 0 : g.size(), U"t");
+    front = !front;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GapBufferScatterInsert)->Range(1024, 65536);
+
+std::string MakeLines(int n) {
+  std::string s;
+  for (int i = 0; i < n; i++) {
+    s += "a line of source text, about like this one here\n";
+  }
+  return s;
+}
+
+void BM_TextLineStart(benchmark::State& state) {
+  Text t(MakeLines(static_cast<int>(state.range(0))));
+  size_t line = static_cast<size_t>(state.range(0)) / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.LineStart(line));
+  }
+}
+BENCHMARK(BM_TextLineStart)->Range(64, 4096);
+
+void BM_TextUndoRedoCycle(benchmark::State& state) {
+  Text t(MakeLines(100));
+  for (auto _ : state) {
+    t.BeginChange();
+    t.Insert(0, U"edit ");
+    t.Undo(nullptr);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TextUndoRedoCycle);
+
+void BM_TextExpandFilename(benchmark::State& state) {
+  Text t("see /usr/rob/src/help/exec.c:213 for the bug\n");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.ExpandFilename(10));
+  }
+}
+BENCHMARK(BM_TextExpandFilename);
+
+}  // namespace
+}  // namespace help
+
+BENCHMARK_MAIN();

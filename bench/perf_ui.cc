@@ -1,0 +1,118 @@
+// P-6: user-interface path performance — frame layout, hit testing, the full
+// click-to-execute pipeline, rendering. The paper's bar: the interface must
+// "feel good … dynamic and responsive"; every figure here is a per-gesture
+// cost that must sit far under perceptual thresholds.
+#include <benchmark/benchmark.h>
+
+#include "src/tools/demo.h"
+
+namespace help {
+namespace {
+
+void BM_FrameFill(benchmark::State& state) {
+  std::string content;
+  for (int i = 0; i < state.range(0); i++) {
+    content += "a line of body text that is reasonably long, like source code\n";
+  }
+  Text t(content);
+  Frame f;
+  f.SetRect({0, 0, 60, 40});
+  for (auto _ : state) {
+    f.Fill(t, 0);
+    benchmark::DoNotOptimize(f.end());
+  }
+}
+BENCHMARK(BM_FrameFill)->Range(64, 4096);
+
+void BM_PointToOffset(benchmark::State& state) {
+  Text t(std::string(4000, 'x'));
+  Frame f;
+  f.SetRect({0, 0, 60, 40});
+  f.Fill(t, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.PointToOffset({30, 20}));
+  }
+}
+BENCHMARK(BM_PointToOffset);
+
+void BM_FullScreenRender(benchmark::State& state) {
+  PaperDemo demo;
+  demo.Fig04_Boot();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(demo.help().Render());
+  }
+}
+BENCHMARK(BM_FullScreenRender);
+
+void BM_MouseSelectGesture(benchmark::State& state) {
+  PaperDemo demo;
+  demo.Fig04_Boot();
+  Help& h = demo.help();
+  Window* stf = demo.FindWindowTagged("/help/edit/stf");
+  Rect r = stf->rect();
+  for (auto _ : state) {
+    h.MouseSelect({r.x0, r.y0 + 1}, {r.x0 + 4, r.y0 + 1});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MouseSelectGesture);
+
+void BM_OpenCloseWindow(benchmark::State& state) {
+  PaperDemo demo;
+  demo.Fig04_Boot();
+  Help& h = demo.help();
+  for (auto _ : state) {
+    auto w = h.OpenFile("/usr/rob/src/help/errs.c", "/", nullptr);
+    h.CloseWindow(w.value());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OpenCloseWindow);
+
+void BM_ExecuteBuiltinCut(benchmark::State& state) {
+  PaperDemo demo;
+  demo.Fig04_Boot();
+  Help& h = demo.help();
+  auto w = h.OpenFile("/usr/rob/src/help/errs.c", "/", nullptr);
+  for (auto _ : state) {
+    w.value()->body().sel = {0, 4};
+    h.SetCurrent(&w.value()->body());
+    h.ExecuteText("Cut", w.value());
+    h.ExecuteText("Paste", w.value());
+  }
+}
+BENCHMARK(BM_ExecuteBuiltinCut);
+
+void BM_ExecuteExternalEcho(benchmark::State& state) {
+  // Full middle-click-to-Errors-window pipeline for an external command.
+  PaperDemo demo;
+  demo.Fig04_Boot();
+  Help& h = demo.help();
+  for (auto _ : state) {
+    h.ExecuteText("echo responsiveness", nullptr);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExecuteExternalEcho);
+
+void BM_PlacementHeuristic(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Page page(100, 50, 2);
+    std::vector<std::shared_ptr<Text>> bodies;
+    state.ResumeTiming();
+    for (int i = 0; i < 10; i++) {
+      auto body = std::make_shared<Text>("some\nbody\ntext\n");
+      bodies.push_back(body);
+      page.Create(i + 1, std::make_shared<Text>("tag"), body, 0);
+    }
+    benchmark::DoNotOptimize(page.col(0).windows().size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_PlacementHeuristic);
+
+}  // namespace
+}  // namespace help
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// The paper's debugging walkthrough as a runnable application: read Sean's
+// crash report, trace the broken process, browse the source with the
+// C browser, fix the bug, and recompile — all with the mouse.
+//
+//   ./build/examples/debug_session          # final screen + step costs
+//   ./build/examples/debug_session -v       # screen after every figure
+#include <cstdio>
+#include <cstring>
+
+#include "src/tools/demo.h"
+
+using namespace help;
+
+int main(int argc, char** argv) {
+  bool verbose = argc > 1 && std::strcmp(argv[1], "-v") == 0;
+  PaperDemo demo;
+
+  struct Step {
+    const char* title;
+    std::string (PaperDemo::*fn)();
+  };
+  const Step steps[] = {
+      {"Figure 4: the screen after booting", &PaperDemo::Fig04_Boot},
+      {"Figure 5: read the mail headers", &PaperDemo::Fig05_Headers},
+      {"Figure 6: open Sean's message", &PaperDemo::Fig06_Messages},
+      {"Figure 7: stack trace of the broken process", &PaperDemo::Fig07_Stack},
+      {"Figure 8: open text.c:32 from the trace", &PaperDemo::Fig08_OpenTextC},
+      {"Figure 9: close text.c, open exec.c:252", &PaperDemo::Fig09_CloseAndOpenExecC},
+      {"Figure 10: all uses of the variable n", &PaperDemo::Fig10_Uses},
+      {"Figure 11: the write of n at exec.c:213", &PaperDemo::Fig11_OpenHelpCAndExec213},
+      {"Figure 12: Cut, Put!, mk", &PaperDemo::Fig12_CutPutMk},
+  };
+
+  std::string screen;
+  for (const Step& s : steps) {
+    screen = (demo.*(s.fn))();
+    if (verbose) {
+      std::printf("\n===== %s =====\n%s", s.title, screen.c_str());
+    }
+  }
+  if (!verbose) {
+    std::printf("%s", screen.c_str());
+  }
+
+  std::printf("\nstep costs:\n");
+  for (const auto& st : demo.stats()) {
+    std::printf("  %-46s %2d presses %2d keys\n", st.name.c_str(), st.presses,
+                st.keystrokes);
+  }
+  const auto& c = demo.help().counters();
+  std::printf("\nthe bug is fixed and the program rebuilt: %d button presses, "
+              "%d keystrokes.\n",
+              c.button_presses, c.keystrokes);
+  std::printf("\"Through this entire demo I haven't yet touched the keyboard.\"\n");
+  return c.keystrokes == 0 ? 0 : 1;
+}

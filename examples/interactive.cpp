@@ -1,0 +1,135 @@
+// An interactive help session you can drive from a terminal: the screen
+// renders after every command, and a tiny gesture language stands in for the
+// three-button mouse. This is the closest a pipe-based terminal gets to the
+// real thing — every command maps 1:1 onto a mouse gesture.
+//
+//   ./build/examples/interactive << 'EOF'
+//   exec headers
+//   point 2 sean
+//   exec messages
+//   quit
+//   EOF
+//
+// Commands:
+//   point <text>        button-1 click on the first occurrence of <text>
+//   sweep <n> <text>    button-1 sweep over n cells starting at <text>
+//   exec <text>         button-2 click on the word <text> (wherever it is)
+//   exec2 <n> <text>    button-2 sweep over n cells starting at <text>
+//   type <text...>      type the rest of the line (use \n for newline)
+//   tab <col> <idx>     button-1 on a window tab
+//   run <command...>    execute command text directly (as if swept)
+//   render | render+    print the screen (annotated with «»/‹› for render+)
+//   counters            print the gesture counters
+//   quit
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "src/base/strings.h"
+#include "src/tools/demo.h"
+
+using namespace help;
+
+namespace {
+
+std::string Unescape(std::string_view s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); i++) {
+    if (s[i] == '\\' && i + 1 < s.size() && s[i + 1] == 'n') {
+      out += '\n';
+      i++;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PaperDemo demo;
+  Help& h = demo.help();
+  std::printf("%s", h.Render().c_str());
+  std::printf("-- interactive help: point/sweep/exec/type/run/render/quit --\n");
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) {
+      continue;
+    }
+    std::string rest;
+    std::getline(in, rest);
+    std::string_view arg = TrimSpace(rest);
+
+    if (cmd == "quit" || h.exited()) {
+      break;
+    }
+    if (cmd == "render" || cmd == "render+") {
+      std::printf("%s", h.Render(cmd == "render+").c_str());
+      continue;
+    }
+    if (cmd == "counters") {
+      const auto& c = h.counters();
+      std::printf("presses=%d keystrokes=%d commands=%d windows=%d\n",
+                  c.button_presses, c.keystrokes, c.commands_executed,
+                  c.windows_created);
+      continue;
+    }
+    if (cmd == "point") {
+      Point p = h.FindOnScreen(arg);
+      if (p.x < 0) {
+        std::printf("?not on screen: %s\n", std::string(arg).c_str());
+        continue;
+      }
+      h.MouseClick(p);
+    } else if (cmd == "sweep" || cmd == "exec2") {
+      std::istringstream args{std::string(arg)};
+      int n = 0;
+      std::string text;
+      args >> n;
+      std::getline(args, text);
+      Point p = h.FindOnScreen(TrimSpace(text));
+      if (p.x < 0) {
+        std::printf("?not on screen\n");
+        continue;
+      }
+      if (cmd == "sweep") {
+        h.MouseSelect(p, {p.x + n, p.y});
+      } else {
+        h.MouseExec(p, {p.x + n, p.y});
+      }
+    } else if (cmd == "exec") {
+      Point p = h.FindOnScreen(arg);
+      if (p.x < 0) {
+        std::printf("?not on screen: %s\n", std::string(arg).c_str());
+        continue;
+      }
+      h.MouseExecWord(p);
+    } else if (cmd == "type") {
+      h.Type(Unescape(arg));
+    } else if (cmd == "tab") {
+      std::istringstream args{std::string(arg)};
+      int col = 0;
+      int idx = 0;
+      args >> col >> idx;
+      h.ClickWindowTab(col, idx);
+    } else if (cmd == "run") {
+      Window* ctx = h.current_sub() != nullptr ? h.current_sub()->window : nullptr;
+      Status s = h.ExecuteText(arg, ctx);
+      if (!s.ok()) {
+        std::printf("?%s\n", s.message().c_str());
+      }
+    } else {
+      std::printf("?unknown command %s\n", cmd.c_str());
+      continue;
+    }
+    std::printf("%s", h.Render().c_str());
+  }
+  const auto& c = h.counters();
+  std::printf("session: %d presses, %d keystrokes\n", c.button_presses, c.keystrokes);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// The mail tool as an interactive-style application: list headers, read a
+// message, reply (send), delete — each action one or two mouse gestures,
+// every "menu" just a window on a plain file.
+#include <cstdio>
+
+#include "src/tools/demo.h"
+
+using namespace help;
+
+int main() {
+  PaperDemo demo;
+  Help& h = demo.help();
+  demo.Fig04_Boot();
+
+  // headers: middle-click the word in /help/mail/stf.
+  Window* stf = demo.FindWindowTagged("/help/mail/stf");
+  h.MouseExecWord(demo.Locate(stf, "headers"));
+  Window* headers = demo.FindWindowTagged("/mail/box/rob/mbox");
+  std::printf("--- headers ---\n%s\n", headers->body().text->Utf8().c_str());
+
+  // Read message 6 (howard's): point anywhere in its header line, then
+  // middle-click messages.
+  h.MouseClick(demo.Locate(headers, "6 howard"));
+  h.MouseExecWord(demo.Locate(stf, "messages"));
+  Window* msg = demo.FindWindowTagged("From howard");
+  std::printf("--- message ---\n%s\n", msg->body().text->Utf8().c_str());
+
+  // Reply: select the text to send (sweep with button 1), Snarf it into the
+  // cut buffer, then execute send.
+  Window* scratch = h.CreateWindow("reply Close!");
+  h.SetCurrent(&scratch->body());
+  h.Type("sure - 12:30 at the usual place?\n");
+  scratch->body().sel = {0, scratch->body().text->size()};
+  h.SetCurrent(&scratch->body());
+  h.ExecuteText("Snarf", scratch);
+  h.MouseExecWord(demo.Locate(stf, "send"));
+  std::printf("--- mbox tail after send ---\n");
+  std::string mbox = h.vfs().ReadFile("/mail/box/rob/mbox").value();
+  std::printf("%s\n", mbox.substr(mbox.rfind("From rob")).c_str());
+
+  // Delete howard's message and re-read the headers.
+  h.MouseClick(demo.Locate(headers, "6 howard"));
+  h.MouseExecWord(demo.Locate(stf, "delete"));
+  h.MouseExecWord(demo.Locate(stf, "reread"));
+  Window* updated = demo.FindWindowTagged("/mail/box/rob/mbox");
+  std::printf("--- headers after delete ---\n%s\n",
+              updated->body().text->Utf8().c_str());
+
+  std::printf("gestures for the whole mail session: %d presses, %d keystrokes\n",
+              h.counters().button_presses, h.counters().keystrokes);
+  std::printf("(the keystrokes are the reply text itself — composing is the one\n"
+              "thing that legitimately needs the keyboard)\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: build a world, open and edit files, execute commands, and
+// render the screen — the public API in a dozen calls.
+//
+//   cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/core/help.h"
+
+using namespace help;
+
+int main() {
+  // One Help instance owns everything: the in-memory Plan 9-style file
+  // system, the shell and userland, the window system, and /mnt/help.
+  Help h;
+
+  // Populate some files. The Vfs is the single source of truth.
+  h.vfs().MkdirAll("/home/you/notes");
+  h.vfs().WriteFile("/home/you/notes/todo",
+                    "things to do\n"
+                    "- read the 1991 help paper\n"
+                    "- try a three-button mouse\n");
+  h.vfs().WriteFile("/home/you/notes/done", "nothing yet\n");
+
+  // Open a directory: the tag gets the name with a final slash, the body
+  // lists the contents.
+  h.ExecuteText("Open /home/you/notes", nullptr);
+  std::printf("--- after opening the directory ---\n%s\n", h.Render().c_str());
+
+  // Point (button 1) at "todo" in the listing, then execute Open (button 2):
+  // the directory context from the window's tag resolves the relative name.
+  Window* dir = h.WindowForFile("/home/you/notes/");
+  Point p = h.FindInWindow(dir, "todo");
+  h.MouseClick(p);
+  h.ExecuteText("Open", dir);
+  Window* todo = h.WindowForFile("/home/you/notes/todo");
+  std::printf("opened %s\n", todo->TagFilename().c_str());
+
+  // Edit: select a range, type over it. Typing never executes — newline is
+  // just a character.
+  todo->body().sel = {0, 12};  // "things to do"
+  h.SetCurrent(&todo->body());
+  h.Type("TODAY");
+  std::printf("tag now shows the dirty marker: %s\n",
+              todo->tag().text->Utf8().c_str());
+
+  // Put! writes the body back to the file named in the tag.
+  h.ExecuteText("Put!", todo);
+  std::printf("on disk: %s",
+              h.vfs().ReadFile("/home/you/notes/todo").value().c_str());
+
+  // Execute an external command; its output lands in the Errors window. The
+  // command runs in the window's directory, so relative names just work.
+  h.ExecuteText("grep -n mouse todo", todo);
+  std::printf("\nErrors window:\n%s\n",
+              h.errors_window()->body().text->Utf8().c_str());
+
+  // Programs get the same power through files: every window is a numbered
+  // directory under /mnt/help.
+  std::printf("index of windows:\n%s\n",
+              h.vfs().ReadFile("/mnt/help/index").value().c_str());
+
+  // Cut / Paste through the cut buffer, exposed at /mnt/help/snarf too.
+  todo->body().sel = {0, 5};
+  h.SetCurrent(&todo->body());
+  h.ExecuteText("Cut", todo);
+  std::printf("snarf buffer: %s\n",
+              h.vfs().ReadFile("/mnt/help/snarf").value().c_str());
+  h.ExecuteText("Undo", todo);  // extension: undo puts it back
+  std::printf("after Undo, body starts: %.5s...\n",
+              todo->body().text->Utf8().c_str());
+
+  std::printf("\nfinal screen:\n%s", h.Render(/*annotated=*/true).c_str());
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Deterministic clock: the whole system (file mtimes, mail timestamps, mk's
+// out-of-date checks) runs on a logical tick counter so that tests and the
+// figure benches are exactly reproducible. One tick ~ one second.
+#ifndef SRC_BASE_CLOCK_H_
+#define SRC_BASE_CLOCK_H_
+
+#include <cstdint>
+
+namespace help {
+
+class Clock {
+ public:
+  // Returns the current logical time without advancing it.
+  uint64_t Now() const { return now_; }
+  // Advances the clock and returns the new time. Every mutating file
+  // operation calls Tick() so that "modified after" relations are total.
+  uint64_t Tick() { return ++now_; }
+  void Set(uint64_t t) { now_ = t; }
+
+ private:
+  uint64_t now_ = 671803200;  // Tue Apr 16 1991, the day of Sean's mail
+};
+
+}  // namespace help
+
+#endif  // SRC_BASE_CLOCK_H_

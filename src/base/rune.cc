@@ -1,0 +1,138 @@
+#include "src/base/rune.h"
+
+namespace help {
+
+Rune DecodeRune(std::string_view utf8, int* size) {
+  *size = 1;
+  if (utf8.empty()) {
+    return kRuneError;
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(utf8.data());
+  unsigned char c0 = p[0];
+  if (c0 < 0x80) {
+    return c0;
+  }
+  int need;
+  Rune r;
+  if ((c0 & 0xE0) == 0xC0) {
+    need = 1;
+    r = c0 & 0x1F;
+  } else if ((c0 & 0xF0) == 0xE0) {
+    need = 2;
+    r = c0 & 0x0F;
+  } else if ((c0 & 0xF8) == 0xF0) {
+    need = 3;
+    r = c0 & 0x07;
+  } else {
+    return kRuneError;  // stray continuation or invalid lead byte
+  }
+  if (utf8.size() < static_cast<size_t>(need) + 1) {
+    return kRuneError;
+  }
+  for (int i = 1; i <= need; i++) {
+    if ((p[i] & 0xC0) != 0x80) {
+      return kRuneError;
+    }
+    r = (r << 6) | (p[i] & 0x3F);
+  }
+  // Reject overlong encodings and out-of-range values.
+  static constexpr Rune kMinForLen[4] = {0, 0x80, 0x800, 0x10000};
+  if (r < kMinForLen[need] || r > kRuneMax || (r >= 0xD800 && r <= 0xDFFF)) {
+    return kRuneError;
+  }
+  *size = need + 1;
+  return r;
+}
+
+void EncodeRune(Rune r, std::string* out) {
+  if (r > kRuneMax || (r >= 0xD800 && r <= 0xDFFF)) {
+    r = kRuneError;
+  }
+  if (r < 0x80) {
+    out->push_back(static_cast<char>(r));
+  } else if (r < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (r >> 6)));
+    out->push_back(static_cast<char>(0x80 | (r & 0x3F)));
+  } else if (r < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (r >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((r >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (r & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (r >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((r >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((r >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (r & 0x3F)));
+  }
+}
+
+RuneString RunesFromUtf8(std::string_view utf8) {
+  RuneString out;
+  out.reserve(utf8.size());
+  while (!utf8.empty()) {
+    int size;
+    out.push_back(DecodeRune(utf8, &size));
+    utf8.remove_prefix(size);
+  }
+  return out;
+}
+
+std::string Utf8FromRunes(RuneStringView runes) {
+  std::string out;
+  out.reserve(runes.size());
+  for (Rune r : runes) {
+    EncodeRune(r, &out);
+  }
+  return out;
+}
+
+size_t RuneLen(std::string_view utf8) {
+  size_t n = 0;
+  while (!utf8.empty()) {
+    int size;
+    DecodeRune(utf8, &size);
+    utf8.remove_prefix(size);
+    n++;
+  }
+  return n;
+}
+
+bool IsWordRune(Rune r) {
+  if ((r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+    return true;
+  }
+  switch (r) {
+    case '_':
+    case '.':
+    case '-':
+    case '+':
+    case '/':
+    case '*':
+    case '!':  // tag commands such as Close! must select whole
+      return true;
+    default:
+      return r >= 0x80;  // any non-ASCII rune counts as word-forming
+  }
+}
+
+bool IsFilenameRune(Rune r) {
+  if (IsWordRune(r)) {
+    return true;
+  }
+  switch (r) {
+    case ':':  // file:line addressing
+    case '#':
+    case '$':
+    case '%':
+    case ',':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsSpaceRune(Rune r) { return r == ' ' || r == '\t' || r == '\n' || r == '\r'; }
+
+bool IsDigitRune(Rune r) { return r >= '0' && r <= '9'; }
+
+}  // namespace help

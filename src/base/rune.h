@@ -1,0 +1,50 @@
+// Rune handling: help operates on text as sequences of runes (Unicode code
+// points), mirroring Plan 9's rune model. Text offsets throughout the system
+// are rune offsets, never byte offsets; UTF-8 appears only at the edges
+// (file contents, protocol payloads).
+#ifndef SRC_BASE_RUNE_H_
+#define SRC_BASE_RUNE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace help {
+
+using Rune = char32_t;
+// A string of runes. Offsets into RuneString are the canonical text addresses.
+using RuneString = std::u32string;
+using RuneStringView = std::u32string_view;
+
+inline constexpr Rune kRuneError = 0xFFFD;  // replacement character
+inline constexpr Rune kRuneMax = 0x10FFFF;
+
+// Decodes one rune from the front of `utf8`. Returns the rune and stores the
+// number of bytes consumed in `*size` (always >= 1, even on error, so a
+// malformed stream still makes progress).
+Rune DecodeRune(std::string_view utf8, int* size);
+
+// Appends the UTF-8 encoding of `r` to `out`. Invalid runes encode as U+FFFD.
+void EncodeRune(Rune r, std::string* out);
+
+// Whole-string conversions.
+RuneString RunesFromUtf8(std::string_view utf8);
+std::string Utf8FromRunes(RuneStringView runes);
+
+// Number of runes in a UTF-8 string.
+size_t RuneLen(std::string_view utf8);
+
+// Character classes used by help's selection heuristics.
+// IsWordRune: runes that form "words" for the middle-button click expansion
+// (alphanumerics plus the punctuation that appears inside identifiers).
+bool IsWordRune(Rune r);
+// IsFilenameRune: runes allowed inside the automatic file-name expansion,
+// including '/', '.', ':', '-' so that `help.c:27` and paths expand whole.
+bool IsFilenameRune(Rune r);
+bool IsSpaceRune(Rune r);
+bool IsDigitRune(Rune r);
+
+}  // namespace help
+
+#endif  // SRC_BASE_RUNE_H_

@@ -1,0 +1,94 @@
+// Error handling without exceptions: fallible operations return Status (or
+// Result<T> when they produce a value). Error strings follow Plan 9
+// conventions ("file does not exist", "permission denied") because they are
+// surfaced to users through the Errors window and through 9P Rerror messages.
+#ifndef SRC_BASE_STATUS_H_
+#define SRC_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace help {
+
+class Status {
+ public:
+  Status() = default;  // ok
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return !message_.has_value(); }
+  // Error text; empty for ok statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return message_ ? *message_ : kEmpty;
+  }
+
+  bool operator==(const Status& other) const { return message_ == other.message_; }
+
+ private:
+  std::optional<std::string> message_;
+};
+
+// Canonical Plan 9 style error statuses used across the file system and core.
+inline Status ErrNotExist(std::string_view name) {
+  return Status::Error(std::string(name) + ": file does not exist");
+}
+inline Status ErrNotDir(std::string_view name) {
+  return Status::Error(std::string(name) + ": not a directory");
+}
+inline Status ErrIsDir(std::string_view name) {
+  return Status::Error(std::string(name) + ": is a directory");
+}
+inline Status ErrExists(std::string_view name) {
+  return Status::Error(std::string(name) + ": file already exists");
+}
+inline Status ErrPerm(std::string_view name) {
+  return Status::Error(std::string(name) + ": permission denied");
+}
+inline Status ErrBadUse(std::string_view what) {
+  return Status::Error(std::string(what));
+}
+
+// Result<T>: either a value or an error Status. Accessors assert on misuse.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {      // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(v_).ok() && "Result constructed from ok Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T take() {
+    assert(ok());
+    return std::move(std::get<T>(v_));
+  }
+  Status status() const { return ok() ? Status::Ok() : std::get<Status>(v_); }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : std::get<Status>(v_).message();
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace help
+
+#endif  // SRC_BASE_STATUS_H_

@@ -1,0 +1,106 @@
+#include "src/base/strings.h"
+
+#include <cstdarg>
+#include <limits>
+#include <cstdio>
+
+namespace help {
+
+std::vector<std::string> Tokenize(std::string_view s, std::string_view seps) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && seps.find(s[i]) != std::string_view::npos) {
+      i++;
+    }
+    size_t start = i;
+    while (i < s.size() && seps.find(s[i]) == std::string_view::npos) {
+      i++;
+    }
+    if (i > start) {
+      out.emplace_back(s.substr(start, i - start));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); i++) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); i++) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view TrimSpace(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\n' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\n' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool HasPrefix(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool HasSuffix(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+long ParseInt(std::string_view s) {
+  if (s.empty()) {
+    return -1;
+  }
+  constexpr long kMax = std::numeric_limits<long>::max();
+  long v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return -1;
+    }
+    int digit = c - '0';
+    if (v > (kMax - digit) / 10) {
+      return -1;  // overflow
+    }
+    v = v * 10 + digit;
+  }
+  return v;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  int n = vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n) + 1);
+    vsnprintf(out.data(), out.size(), fmt, ap2);
+    out.resize(static_cast<size_t>(n));
+  }
+  va_end(ap2);
+  return out;
+}
+
+}  // namespace help

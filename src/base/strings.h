@@ -1,0 +1,34 @@
+// Small string utilities shared across modules. Kept deliberately minimal;
+// anything text-semantic (word boundaries, addresses) lives with the text
+// substrate instead.
+#ifndef SRC_BASE_STRINGS_H_
+#define SRC_BASE_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace help {
+
+// Splits on any run of characters from `seps` (like Plan 9 tokenize).
+std::vector<std::string> Tokenize(std::string_view s, std::string_view seps = " \t\n\r");
+
+// Splits on every occurrence of `sep` (empty fields preserved).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+std::string_view TrimSpace(std::string_view s);
+
+bool HasPrefix(std::string_view s, std::string_view prefix);
+bool HasSuffix(std::string_view s, std::string_view suffix);
+
+// Parses a non-negative decimal integer; returns -1 if `s` is not all digits.
+long ParseInt(std::string_view s);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace help
+
+#endif  // SRC_BASE_STRINGS_H_

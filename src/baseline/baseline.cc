@@ -1,0 +1,71 @@
+#include "src/baseline/baseline.h"
+
+#include "src/base/strings.h"
+
+namespace help {
+
+void ConventionalUI::Log(std::string entry) { log_.push_back(std::move(entry)); }
+
+void ConventionalUI::FocusWindow(std::string_view which) {
+  cost_.button_presses += 1;
+  Log(StrFormat("click-to-type: focus %s (1 press)", std::string(which).c_str()));
+}
+
+void ConventionalUI::PopupMenu(std::string_view item) {
+  cost_.button_presses += 1;
+  Log(StrFormat("pop-up menu: %s (1 press + traversal)", std::string(item).c_str()));
+}
+
+void ConventionalUI::SelectText(std::string_view what) {
+  cost_.button_presses += 1;
+  Log(StrFormat("select: %s (1 press)", std::string(what).c_str()));
+}
+
+void ConventionalUI::TypeText(std::string_view text, bool enter) {
+  int n = static_cast<int>(text.size()) + (enter ? 1 : 0);
+  cost_.keystrokes += n;
+  Log(StrFormat("type: \"%s\"%s (%d keys)", std::string(text).c_str(),
+                enter ? " + Enter" : "", n));
+}
+
+void ConventionalUI::OpenVisibleFile(std::string_view path) {
+  FocusWindow("editor");
+  PopupMenu("File > Open...");
+  TypeText(path);  // no way to point at the name: it must be retyped
+}
+
+void ConventionalUI::CutSelection() {
+  PopupMenu("Edit > Cut");
+}
+
+void ConventionalUI::PasteClipboard() {
+  PopupMenu("Edit > Paste");
+}
+
+void ConventionalUI::DebuggerStack(int pid, std::string_view binary) {
+  FocusWindow("shell");
+  TypeText(StrFormat("adb %s /proc/%d", std::string(binary).c_str(), pid));
+  TypeText("$c");  // adb's stack-trace incantation
+}
+
+void ConventionalUI::GrepUses(std::string_view ident, std::string_view glob) {
+  FocusWindow("shell");
+  TypeText(StrFormat("grep -n '%s' %s", std::string(ident).c_str(),
+                     std::string(glob).c_str()));
+}
+
+void ConventionalUI::SaveFile() {
+  PopupMenu("File > Save");
+}
+
+void ConventionalUI::Rebuild(std::string_view command) {
+  FocusWindow("shell");
+  TypeText(command);
+}
+
+void ConventionalUI::ReadMail(int msgno) {
+  FocusWindow("mailer");
+  TypeText(StrFormat("%d", msgno));
+}
+
+}  // namespace help

@@ -1,0 +1,78 @@
+// The comparison baseline: a gesture-cost model of the interfaces the paper
+// argues against — a click-to-type window system with pop-up menus plus a
+// typing shell ("a session with X windows sometimes feels like a telephone
+// conversation by satellite").
+//
+// Help's side of every comparison is *measured* by driving the real
+// implementation and reading its gesture counters; this model supplies the
+// conventional side. Its primitives follow the paper's own accounting:
+// click-to-type costs a wasted click, a pop-up menu costs a press plus the
+// traversal gesture, and anything not on a menu must be typed.
+#ifndef SRC_BASELINE_BASELINE_H_
+#define SRC_BASELINE_BASELINE_H_
+
+#include <string>
+#include <vector>
+
+namespace help {
+
+struct GestureCost {
+  int button_presses = 0;
+  int keystrokes = 0;
+
+  GestureCost& operator+=(const GestureCost& o) {
+    button_presses += o.button_presses;
+    keystrokes += o.keystrokes;
+    return *this;
+  }
+};
+
+class ConventionalUI {
+ public:
+  // --- primitives --------------------------------------------------------
+  // Click-to-type: merely giving a window the focus costs a click that does
+  // nothing else (the paper's canonical wasted gesture).
+  void FocusWindow(std::string_view which);
+  // Press to pop the menu up, drag to the item, release: one press.
+  void PopupMenu(std::string_view item);
+  // Select text with the mouse: one press.
+  void SelectText(std::string_view what);
+  // Typing, one keystroke per character; `enter` adds the newline.
+  void TypeText(std::string_view text, bool enter = true);
+
+  // --- canned tasks mirroring the paper's demo ----------------------------
+  // Open a file whose name is visible on screen (the editor cannot use it;
+  // the name must be retyped into an open dialog or a shell command).
+  void OpenVisibleFile(std::string_view path);
+  // Cut the current selection via the edit menu.
+  void CutSelection();
+  // Paste via the edit menu.
+  void PasteClipboard();
+  // Get a stack trace of a broken process from a shell with adb.
+  void DebuggerStack(int pid, std::string_view binary);
+  // Find uses of an identifier: type a grep over the sources.
+  void GrepUses(std::string_view ident, std::string_view glob);
+  // Save the current file via the menu.
+  void SaveFile();
+  // Rebuild: focus the shell and type make.
+  void Rebuild(std::string_view command);
+  // Read a mail message with a curses mailer: focus + type the number.
+  void ReadMail(int msgno);
+
+  const GestureCost& cost() const { return cost_; }
+  const std::vector<std::string>& log() const { return log_; }
+  void Reset() {
+    cost_ = GestureCost();
+    log_.clear();
+  }
+
+ private:
+  void Log(std::string entry);
+
+  GestureCost cost_;
+  std::vector<std::string> log_;
+};
+
+}  // namespace help
+
+#endif  // SRC_BASELINE_BASELINE_H_

@@ -1,0 +1,740 @@
+#include "src/cc/browser.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+#include "src/cc/clex.h"
+#include "src/cc/cpp.h"
+
+namespace help {
+
+namespace {
+
+bool IsSpecifierKeyword(std::string_view s) {
+  static const std::set<std::string, std::less<>> kSpec = {
+      "void",   "char",     "short",  "int",    "long",  "float",
+      "double", "signed",   "unsigned", "struct", "union", "enum",
+      "const",  "volatile", "static", "extern", "register", "auto"};
+  return kSpec.count(s) != 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Parser.
+
+class CParser {
+ public:
+  CParser(CBrowser* browser, std::vector<CToken> toks)
+      : b_(browser), toks_(std::move(toks)) {}
+
+  Status Parse() {
+    while (!AtEof()) {
+      size_t before = pos_;
+      ParseTopLevel();
+      if (pos_ == before) {
+        Next();  // never stall
+      }
+    }
+    return Status::Ok();
+  }
+
+ private:
+  // --- token helpers ---
+  const CToken& Cur() const { return toks_[pos_]; }
+  const CToken& Ahead(size_t k) const {
+    size_t i = std::min(pos_ + k, toks_.size() - 1);
+    return toks_[i];
+  }
+  bool AtEof() const { return Cur().kind == CTok::kEof; }
+  void Next() {
+    if (!AtEof()) {
+      pos_++;
+    }
+  }
+  bool IsPunct(std::string_view p) const {
+    return Cur().kind == CTok::kPunct && Cur().text == p;
+  }
+  bool IsKw(std::string_view k) const {
+    return Cur().kind == CTok::kKeyword && Cur().text == k;
+  }
+  void SkipTo(std::string_view p) {  // error recovery
+    int depth = 0;
+    while (!AtEof()) {
+      if (depth == 0 && IsPunct(p)) {
+        Next();
+        return;
+      }
+      if (IsPunct("{") || IsPunct("(") || IsPunct("[")) {
+        depth++;
+      } else if (IsPunct("}") || IsPunct(")") || IsPunct("]")) {
+        depth--;
+      }
+      Next();
+    }
+  }
+
+  bool AtTypeStart() const {
+    if (Cur().kind == CTok::kKeyword) {
+      return IsSpecifierKeyword(Cur().text) || Cur().text == "typedef";
+    }
+    if (Cur().kind == CTok::kIdent && b_->typedefs_.count(Cur().text) != 0) {
+      // A typedef name starts a declaration only if what follows looks like
+      // a declarator ("Page *q;", "Rune r;"), not an expression ("Page + 1").
+      const CToken& nx = Ahead(1);
+      if (nx.kind == CTok::kIdent) {
+        return true;
+      }
+      if (nx.kind == CTok::kPunct && (nx.text == "*" || nx.text == "(")) {
+        // "T *x" is a declaration at statement start; "T * x" as expression
+        // is vanishingly rare in real code — accept as declaration.
+        return true;
+      }
+      return false;
+    }
+    return false;
+  }
+
+  // --- scopes ---
+  void PushScope() { scopes_.emplace_back(); }
+  void PopScope() {
+    if (!scopes_.empty()) {
+      scopes_.pop_back();
+    }
+  }
+  void Bind(const std::string& name, int sym) {
+    if (!scopes_.empty()) {
+      scopes_.back()[name] = sym;
+    }
+  }
+  int Lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto hit = it->find(name);
+      if (hit != it->end()) {
+        return hit->second;
+      }
+    }
+    auto hit = b_->file_scope_.find(name);
+    return hit == b_->file_scope_.end() ? -1 : hit->second;
+  }
+
+  int DeclareSymbol(const CToken& tok, CSymKind kind) {
+    CSymbol s;
+    s.name = tok.text;
+    s.kind = kind;
+    s.file = tok.file;
+    s.line = tok.line;
+    s.col = tok.col;
+    s.func = current_func_;
+    int id = b_->Intern(s);
+    b_->RecordUse(id, tok.file, tok.line, tok.col, /*is_decl=*/true);
+    if (kind == CSymKind::kParam || kind == CSymKind::kLocal) {
+      Bind(tok.text, id);
+    } else if (kind != CSymKind::kField) {
+      b_->file_scope_[tok.text] = id;
+    }
+    return id;
+  }
+
+  void RecordIdentUse(const CToken& tok) {
+    int id = Lookup(tok.text);
+    if (id < 0) {
+      // Implicit extern (strlen, print, ...): declare lazily at first use so
+      // later references unify.
+      CSymbol s;
+      s.name = tok.text;
+      s.kind = CSymKind::kImplicit;
+      s.file = tok.file;
+      s.line = tok.line;
+      s.col = tok.col;
+      id = b_->Intern(s);
+      b_->file_scope_[tok.text] = id;
+    }
+    b_->RecordUse(id, tok.file, tok.line, tok.col, /*is_decl=*/false);
+  }
+
+  // --- grammar ---
+
+  void ParseTopLevel() {
+    if (IsPunct(";")) {
+      Next();
+      return;
+    }
+    if (IsKw("typedef")) {
+      Next();
+      ParseDeclSpecifiers();
+      while (!AtEof() && !IsPunct(";")) {
+        Declarator d = ParseDeclarator(/*in_params=*/false);
+        if (!d.name.empty()) {
+          b_->typedefs_.insert(d.name);
+          DeclareSymbol(d.name_tok, CSymKind::kTypedef);
+        }
+        if (IsPunct(",")) {
+          Next();
+          continue;
+        }
+        break;
+      }
+      SkipTo(";");
+      return;
+    }
+    if (!AtTypeStart()) {
+      // Not a declaration we understand (stray macro call, etc.): skip the
+      // statement conservatively.
+      SkipTo(";");
+      return;
+    }
+    ParseDeclSpecifiers();
+    if (IsPunct(";")) {  // pure struct/enum definition
+      Next();
+      return;
+    }
+    while (!AtEof()) {
+      Declarator d = ParseDeclarator(/*in_params=*/false);
+      if (d.is_func && IsPunct("{")) {
+        CSymbol s;
+        s.name = d.name;
+        s.kind = CSymKind::kFunc;
+        s.file = d.name_tok.file;
+        s.line = d.name_tok.line;
+        s.col = d.name_tok.col;
+        s.is_definition = true;
+        int id = b_->Intern(s);
+        b_->RecordUse(id, s.file, s.line, s.col, /*is_decl=*/true);
+        b_->file_scope_[d.name] = id;
+        ParseFunctionBody(id, d.params);
+        return;
+      }
+      if (!d.name.empty()) {
+        DeclareSymbol(d.name_tok, d.is_func ? CSymKind::kFunc : CSymKind::kGlobalVar);
+      }
+      if (IsPunct("=")) {
+        Next();
+        ScanInitializer();
+      }
+      if (IsPunct(",")) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    SkipTo(";");
+  }
+
+  // Consumes declaration specifiers, handling struct/union/enum bodies.
+  void ParseDeclSpecifiers() {
+    while (!AtEof()) {
+      if (Cur().kind == CTok::kKeyword && IsSpecifierKeyword(Cur().text)) {
+        bool aggregate = Cur().text == "struct" || Cur().text == "union";
+        bool is_enum = Cur().text == "enum";
+        Next();
+        if (aggregate || is_enum) {
+          if (Cur().kind == CTok::kIdent) {
+            // Tag: declaration if a body follows, use otherwise.
+            const CToken tag = Cur();
+            Next();
+            if (IsPunct("{")) {
+              DeclareTag(tag);
+            } else {
+              int id = Lookup("struct " + tag.text);
+              if (id >= 0) {
+                b_->RecordUse(id, tag.file, tag.line, tag.col, false);
+              }
+            }
+          }
+          if (IsPunct("{")) {
+            if (is_enum) {
+              ParseEnumBody();
+            } else {
+              ParseStructBody();
+            }
+          }
+        }
+        continue;
+      }
+      if (Cur().kind == CTok::kIdent && b_->typedefs_.count(Cur().text) != 0 &&
+          !type_seen_guard_) {
+        // Typedef name as base type; record the use of the typedef.
+        int id = Lookup(Cur().text);
+        if (id >= 0) {
+          b_->RecordUse(id, Cur().file, Cur().line, Cur().col, false);
+        }
+        Next();
+        type_seen_guard_ = true;
+        continue;
+      }
+      break;
+    }
+    type_seen_guard_ = false;
+  }
+
+  void DeclareTag(const CToken& tag) {
+    CSymbol s;
+    s.name = "struct " + tag.text;
+    s.kind = CSymKind::kStructTag;
+    s.file = tag.file;
+    s.line = tag.line;
+    s.col = tag.col;
+    int id = b_->Intern(s);
+    b_->RecordUse(id, tag.file, tag.line, tag.col, true);
+    b_->file_scope_[s.name] = id;
+  }
+
+  void ParseStructBody() {
+    // At '{'. Fields are declarations; nested aggregates recurse.
+    Next();
+    while (!AtEof() && !IsPunct("}")) {
+      if (IsPunct(";")) {
+        Next();
+        continue;
+      }
+      size_t before = pos_;
+      ParseDeclSpecifiers();
+      while (!AtEof() && !IsPunct(";") && !IsPunct("}")) {
+        Declarator d = ParseDeclarator(/*in_params=*/false);
+        if (!d.name.empty()) {
+          DeclareSymbol(d.name_tok, CSymKind::kField);
+        }
+        if (IsPunct(":")) {  // bitfield width
+          Next();
+          if (!AtEof()) {
+            Next();
+          }
+        }
+        if (IsPunct(",")) {
+          Next();
+          continue;
+        }
+        break;
+      }
+      if (IsPunct(";")) {
+        Next();
+      } else if (pos_ == before) {
+        Next();  // junk token: never stall
+      }
+    }
+    if (IsPunct("}")) {
+      Next();
+    }
+  }
+
+  void ParseEnumBody() {
+    Next();  // '{'
+    while (!AtEof() && !IsPunct("}")) {
+      if (Cur().kind == CTok::kIdent) {
+        DeclareSymbol(Cur(), CSymKind::kEnumConst);
+        Next();
+        if (IsPunct("=")) {
+          Next();
+          while (!AtEof() && !IsPunct(",") && !IsPunct("}")) {
+            if (Cur().kind == CTok::kIdent) {
+              RecordIdentUse(Cur());
+            }
+            Next();
+          }
+        }
+      }
+      if (IsPunct(",")) {
+        Next();
+      } else if (!IsPunct("}")) {
+        Next();
+      }
+    }
+    if (IsPunct("}")) {
+      Next();
+    }
+  }
+
+  struct Declarator {
+    std::string name;
+    CToken name_tok;
+    bool is_func = false;
+    std::vector<CToken> params;  // parameter name tokens, in order
+  };
+
+  // Parses one declarator: pointers, parenthesized declarators, the declared
+  // identifier, then ()/[] suffixes. With in_params, an abstract declarator
+  // (no name) is allowed.
+  Declarator ParseDeclarator(bool in_params) {
+    Declarator d;
+    while (IsPunct("*") || IsKw("const") || IsKw("volatile")) {
+      Next();
+    }
+    if (IsPunct("(")) {
+      Next();
+      d = ParseDeclarator(in_params);
+      if (IsPunct(")")) {
+        Next();
+      }
+    } else if (Cur().kind == CTok::kIdent) {
+      // In a parameter list, a typedef name here is a type, not the declared
+      // identifier ("int f(Page)" is abstract).
+      if (!(in_params && b_->typedefs_.count(Cur().text) != 0 &&
+            (Ahead(1).kind != CTok::kIdent))) {
+        d.name = Cur().text;
+        d.name_tok = Cur();
+        Next();
+      }
+    }
+    // Suffixes.
+    while (!AtEof()) {
+      if (IsPunct("(")) {
+        d.is_func = true;
+        Next();
+        ParseParams(&d);
+        continue;
+      }
+      if (IsPunct("[")) {
+        Next();
+        int depth = 1;
+        while (!AtEof() && depth > 0) {
+          if (IsPunct("[")) {
+            depth++;
+          } else if (IsPunct("]")) {
+            depth--;
+          } else if (Cur().kind == CTok::kIdent && depth > 0) {
+            RecordIdentUse(Cur());
+          }
+          Next();
+        }
+        continue;
+      }
+      break;
+    }
+    return d;
+  }
+
+  // At the token after '('. Collects parameter name tokens until ')'.
+  void ParseParams(Declarator* d) {
+    std::vector<CToken> chunk_idents;
+    int depth = 1;
+    bool chunk_has_type = false;
+    auto flush = [&]() {
+      // The declared parameter name is the last identifier in the chunk,
+      // provided the chunk has a type before it (so "int" alone or "void"
+      // declares nothing) or the identifier is not a known type name
+      // (K&R-ish "f(x)" identifier lists).
+      if (chunk_idents.empty()) {
+        chunk_has_type = false;
+        return;
+      }
+      const CToken& last = chunk_idents.back();
+      bool last_is_type = b_->typedefs_.count(last.text) != 0;
+      if ((chunk_has_type || chunk_idents.size() > 1) && !last_is_type) {
+        d->params.push_back(last);
+      } else if (!chunk_has_type && !last_is_type && chunk_idents.size() == 1) {
+        d->params.push_back(last);  // identifier-list style
+      }
+      chunk_idents.clear();
+      chunk_has_type = false;
+    };
+    while (!AtEof() && depth > 0) {
+      if (IsPunct("(")) {
+        depth++;
+      } else if (IsPunct(")")) {
+        depth--;
+        if (depth == 0) {
+          flush();
+          Next();
+          return;
+        }
+      } else if (IsPunct(",") && depth == 1) {
+        flush();
+      } else if (Cur().kind == CTok::kIdent) {
+        if (b_->typedefs_.count(Cur().text) != 0) {
+          chunk_has_type = true;
+        }
+        chunk_idents.push_back(Cur());
+      } else if (Cur().kind == CTok::kKeyword && IsSpecifierKeyword(Cur().text)) {
+        chunk_has_type = true;
+      }
+      Next();
+    }
+  }
+
+  void ParseFunctionBody(int func_sym, const std::vector<CToken>& params) {
+    int saved_func = current_func_;
+    current_func_ = func_sym;
+    PushScope();
+    for (const CToken& p : params) {
+      DeclareSymbol(p, CSymKind::kParam);
+    }
+    // At '{'.
+    Next();
+    PushScope();
+    int depth = 1;
+    bool stmt_start = true;
+    while (!AtEof() && depth > 0) {
+      if (IsPunct("{")) {
+        depth++;
+        PushScope();
+        stmt_start = true;
+        Next();
+        continue;
+      }
+      if (IsPunct("}")) {
+        depth--;
+        PopScope();
+        stmt_start = true;
+        Next();
+        continue;
+      }
+      if (IsPunct(";")) {
+        stmt_start = true;
+        Next();
+        continue;
+      }
+      if (IsKw("case")) {
+        Next();
+        while (!AtEof() && !IsPunct(":")) {
+          if (Cur().kind == CTok::kIdent) {
+            RecordIdentUse(Cur());
+          }
+          Next();
+        }
+        if (IsPunct(":")) {
+          Next();
+        }
+        stmt_start = true;
+        continue;
+      }
+      if (IsKw("default")) {
+        Next();
+        if (IsPunct(":")) {
+          Next();
+        }
+        stmt_start = true;
+        continue;
+      }
+      if (IsKw("goto")) {
+        Next();
+        if (Cur().kind == CTok::kIdent) {
+          Next();  // label, not a variable use
+        }
+        continue;
+      }
+      if (Cur().kind == CTok::kKeyword) {
+        if (stmt_start && AtTypeStart()) {
+          ParseLocalDeclaration();
+          stmt_start = true;
+          continue;
+        }
+        Next();
+        continue;
+      }
+      if (Cur().kind == CTok::kIdent) {
+        // Label definition: "name:" at statement start (but not "name ::").
+        if (stmt_start && Ahead(1).kind == CTok::kPunct && Ahead(1).text == ":") {
+          Next();
+          Next();
+          stmt_start = true;
+          continue;
+        }
+        if (stmt_start && AtTypeStart()) {
+          ParseLocalDeclaration();
+          stmt_start = true;
+          continue;
+        }
+        // Struct member after . or -> is a field reference, not a name use.
+        bool member = pos_ > 0 && toks_[pos_ - 1].kind == CTok::kPunct &&
+                      (toks_[pos_ - 1].text == "." || toks_[pos_ - 1].text == "->");
+        if (!member) {
+          RecordIdentUse(Cur());
+        }
+        stmt_start = false;
+        Next();
+        continue;
+      }
+      stmt_start = false;
+      Next();
+    }
+    PopScope();  // body
+    PopScope();  // params
+    current_func_ = saved_func;
+  }
+
+  void ParseLocalDeclaration() {
+    ParseDeclSpecifiers();
+    while (!AtEof() && !IsPunct(";")) {
+      Declarator d = ParseDeclarator(/*in_params=*/false);
+      if (!d.name.empty()) {
+        DeclareSymbol(d.name_tok, CSymKind::kLocal);
+      }
+      if (IsPunct("=")) {
+        Next();
+        ScanInitializer();
+      }
+      if (IsPunct(",")) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    if (IsPunct(";")) {
+      Next();
+    }
+  }
+
+  // Records identifier uses in an initializer, up to an unnested ',' or ';'.
+  void ScanInitializer() {
+    int depth = 0;
+    while (!AtEof()) {
+      if (depth == 0 && (IsPunct(",") || IsPunct(";"))) {
+        return;
+      }
+      if (IsPunct("(") || IsPunct("[") || IsPunct("{")) {
+        depth++;
+      } else if (IsPunct(")") || IsPunct("]") || IsPunct("}")) {
+        depth--;
+      } else if (Cur().kind == CTok::kIdent) {
+        bool member = pos_ > 0 && toks_[pos_ - 1].kind == CTok::kPunct &&
+                      (toks_[pos_ - 1].text == "." || toks_[pos_ - 1].text == "->");
+        if (!member) {
+          RecordIdentUse(Cur());
+        }
+      }
+      Next();
+    }
+  }
+
+  CBrowser* b_;
+  std::vector<CToken> toks_;
+  size_t pos_ = 0;
+  std::vector<std::map<std::string, int>> scopes_;
+  int current_func_ = -1;
+  bool type_seen_guard_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Browser.
+
+int CBrowser::Intern(const CSymbol& s) {
+  // File-scope symbols deduplicate on identity so headers shared by several
+  // translation units produce a single symbol.
+  bool file_scope = s.kind != CSymKind::kParam && s.kind != CSymKind::kLocal;
+  if (file_scope) {
+    for (const CSymbol& existing : symbols_) {
+      if (existing.name == s.name && existing.kind == s.kind && existing.file == s.file &&
+          existing.line == s.line) {
+        return existing.id;
+      }
+    }
+    // A global/function seen again (extern declaration vs definition, or an
+    // implicit upgraded by a real declaration): unify by name.
+    auto hit = file_scope_.find(s.name);
+    if (hit != file_scope_.end()) {
+      CSymbol& existing = symbols_[static_cast<size_t>(hit->second)];
+      if (existing.kind == CSymKind::kImplicit && s.kind != CSymKind::kImplicit) {
+        // Promote: the real declaration wins.
+        int keep = existing.id;
+        existing.kind = s.kind;
+        existing.file = s.file;
+        existing.line = s.line;
+        existing.col = s.col;
+        existing.is_definition = s.is_definition;
+        return keep;
+      }
+      if (s.kind == existing.kind ||
+          (s.kind == CSymKind::kFunc && existing.kind == CSymKind::kFunc)) {
+        if (s.is_definition && !existing.is_definition) {
+          existing.file = s.file;
+          existing.line = s.line;
+          existing.col = s.col;
+          existing.is_definition = true;
+        }
+        return existing.id;
+      }
+    }
+  }
+  CSymbol copy = s;
+  copy.id = static_cast<int>(symbols_.size());
+  symbols_.push_back(copy);
+  return copy.id;
+}
+
+void CBrowser::RecordUse(int sym, const std::string& file, int line, int col,
+                         bool is_decl) {
+  std::string key = StrFormat("%d@%s:%d:%d", sym, file.c_str(), line, col);
+  if (!use_keys_.insert(key).second) {
+    return;
+  }
+  uses_.push_back({sym, file, line, col, is_decl});
+}
+
+Status CBrowser::AddTranslationUnit(std::string_view text, std::string_view filename) {
+  auto toks = CLex(text, filename);
+  if (!toks.ok()) {
+    return toks.status();
+  }
+  CParser parser(this, toks.take());
+  return parser.Parse();
+}
+
+Status CBrowser::AddFile(const Vfs& vfs, std::string_view path) {
+  auto pp = Preprocess(vfs, path);
+  if (!pp.ok()) {
+    return pp.status();
+  }
+  return AddTranslationUnit(pp.value(), path);
+}
+
+const CSymbol* CBrowser::ResolveAt(std::string_view name, std::string_view file,
+                                   int line) const {
+  const CUse* best = nullptr;
+  int best_dist = -1;
+  for (const CUse& u : uses_) {
+    const CSymbol& s = symbols_[static_cast<size_t>(u.sym)];
+    if (s.name != name || u.file != file) {
+      continue;
+    }
+    int dist = std::abs(u.line - line);
+    if (best == nullptr || dist < best_dist) {
+      best = &u;
+      best_dist = dist;
+    }
+  }
+  if (best == nullptr) {
+    // Fall back to a file-scope symbol with that name.
+    return FindGlobal(name);
+  }
+  return &symbols_[static_cast<size_t>(best->sym)];
+}
+
+std::vector<CUse> CBrowser::UsesOf(int id) const {
+  std::vector<CUse> out;
+  for (const CUse& u : uses_) {
+    if (u.sym == id) {
+      out.push_back(u);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const CUse& a, const CUse& b) {
+    if (a.file != b.file) {
+      return a.file < b.file;
+    }
+    if (a.line != b.line) {
+      return a.line < b.line;
+    }
+    return a.col < b.col;
+  });
+  return out;
+}
+
+const CSymbol* CBrowser::FindFunc(std::string_view name) const {
+  const CSymbol* decl = nullptr;
+  for (const CSymbol& s : symbols_) {
+    if (s.kind == CSymKind::kFunc && s.name == name) {
+      if (s.is_definition) {
+        return &s;
+      }
+      decl = &s;
+    }
+  }
+  return decl;
+}
+
+const CSymbol* CBrowser::FindGlobal(std::string_view name) const {
+  auto it = file_scope_.find(std::string(name));
+  return it == file_scope_.end() ? nullptr : &symbols_[static_cast<size_t>(it->second)];
+}
+
+}  // namespace help

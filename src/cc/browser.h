@@ -1,0 +1,102 @@
+// The C browser: "a special version of the compiler [that] has no code
+// generator: it parses the program and manages the symbol table". It powers
+// /help/cbr's `decl` and `uses` (and `src`), giving language-aware answers
+// where grep would report "every occurrence of the letter n in the program".
+//
+// The parser is a scope-tracking declaration reader for 1991 ANSI C: it
+// learns typedefs, records declarations of globals, functions, parameters
+// and block-locals, and resolves every identifier occurrence in executable
+// code to the symbol it denotes under C scoping rules. It is deliberately
+// not a full expression parser — browsing needs name resolution, not types.
+#ifndef SRC_CC_BROWSER_H_
+#define SRC_CC_BROWSER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/fs/vfs.h"
+
+namespace help {
+
+enum class CSymKind {
+  kTypedef,
+  kStructTag,
+  kEnumConst,
+  kFunc,
+  kGlobalVar,
+  kParam,
+  kLocal,
+  kField,
+  kImplicit,  // referenced but never declared in parsed text (libc, etc.)
+};
+
+struct CSymbol {
+  int id = -1;
+  std::string name;
+  CSymKind kind = CSymKind::kImplicit;
+  std::string file;  // declaration coordinate
+  int line = 0;
+  int col = 0;
+  int func = -1;  // enclosing function symbol for params/locals, else -1
+  bool is_definition = false;  // for kFunc: definition vs prototype
+};
+
+struct CUse {
+  int sym = -1;
+  std::string file;
+  int line = 0;
+  int col = 0;
+  bool is_decl = false;
+};
+
+class CBrowser {
+ public:
+  // Parses preprocessed text (with #line markers) as one translation unit.
+  Status AddTranslationUnit(std::string_view text, std::string_view filename);
+
+  // Convenience: preprocess `path` from `vfs`, then add it.
+  Status AddFile(const Vfs& vfs, std::string_view path);
+
+  const std::vector<CSymbol>& symbols() const { return symbols_; }
+  const std::vector<CUse>& all_uses() const { return uses_; }
+
+  // Resolves the identifier occurrence nearest to `file`:`line` with the
+  // given name (an occurrence on that exact line is preferred; the column is
+  // unknown to callers since help passes only line context). Null if the
+  // name never occurs there.
+  const CSymbol* ResolveAt(std::string_view name, std::string_view file, int line) const;
+
+  // All occurrences (declaration + uses) of symbol `id`, in file/line order.
+  std::vector<CUse> UsesOf(int id) const;
+
+  // Function definition lookup (the cbr `src` command).
+  const CSymbol* FindFunc(std::string_view name) const;
+  // File-scope lookup by name (globals, typedefs, functions).
+  const CSymbol* FindGlobal(std::string_view name) const;
+
+  const CSymbol* Sym(int id) const {
+    return id >= 0 && id < static_cast<int>(symbols_.size()) ? &symbols_[id] : nullptr;
+  }
+
+ private:
+  friend class CParser;
+
+  // Returns an existing symbol with identical identity or registers a new
+  // one. File-scope symbols deduplicate on (name, kind, file, line) so that
+  // headers parsed in several translation units yield one symbol.
+  int Intern(const CSymbol& s);
+  void RecordUse(int sym, const std::string& file, int line, int col, bool is_decl);
+
+  std::vector<CSymbol> symbols_;
+  std::vector<CUse> uses_;
+  std::map<std::string, int> file_scope_;  // name -> symbol id (globals/typedefs/funcs)
+  std::set<std::string> typedefs_;         // known type names, shared across TUs
+  std::set<std::string> use_keys_;         // dedup of (sym,file,line,col)
+};
+
+}  // namespace help
+
+#endif  // SRC_CC_BROWSER_H_

@@ -1,0 +1,217 @@
+#include "src/cc/clex.h"
+
+#include <cctype>
+#include <set>
+
+#include "src/base/strings.h"
+
+namespace help {
+
+bool IsCKeyword(std::string_view s) {
+  static const std::set<std::string, std::less<>> kKeywords = {
+      "auto",     "break",  "case",    "char",   "const",    "continue", "default",
+      "do",       "double", "else",    "enum",   "extern",   "float",    "for",
+      "goto",     "if",     "int",     "long",   "register", "return",   "short",
+      "signed",   "sizeof", "static",  "struct", "switch",   "typedef",  "union",
+      "unsigned", "void",   "volatile", "while"};
+  return kKeywords.count(s) != 0;
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsIdentChar(char c) {
+  return isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Multi-character punctuators, longest first within each lead character.
+const char* kPunct3[] = {"<<=", ">>=", "...", nullptr};
+const char* kPunct2[] = {"->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+                         "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "^=",
+                         "|=", nullptr};
+
+}  // namespace
+
+Result<std::vector<CToken>> CLex(std::string_view src, std::string_view filename) {
+  std::vector<CToken> out;
+  std::string file(filename);
+  int line = 1;
+  int col = 1;
+  size_t i = 0;
+  size_t n = src.size();
+
+  auto advance = [&](size_t k) {
+    for (size_t j = 0; j < k; j++) {
+      if (src[i + j] == '\n') {
+        line++;
+        col = 1;
+      } else {
+        col++;
+      }
+    }
+    i += k;
+  };
+
+  while (i < n) {
+    char c = src[i];
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      size_t start_line = static_cast<size_t>(line);
+      advance(2);
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        advance(1);
+      }
+      if (i + 1 >= n) {
+        return Status::Error(StrFormat("%s:%zu: unterminated comment", file.c_str(),
+                                       start_line));
+      }
+      advance(2);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {  // tolerate // too
+      while (i < n && src[i] != '\n') {
+        advance(1);
+      }
+      continue;
+    }
+    // Preprocessor lines: honor #line, skip the rest.
+    if (c == '#' && col == 1) {
+      size_t eol = src.find('\n', i);
+      std::string_view dline = src.substr(i, eol == std::string_view::npos ? n - i : eol - i);
+      std::vector<std::string> parts = Tokenize(dline);
+      // Accept both "#line N file" and "# N file".
+      size_t argbase = 0;
+      if (parts.size() >= 2 && (parts[0] == "#line" || parts[0] == "#")) {
+        argbase = 1;
+      } else if (parts.size() >= 2 && parts[0] == "#" + std::string("line")) {
+        argbase = 1;
+      }
+      if (argbase == 1) {
+        long newline_no = ParseInt(parts[1]);
+        if (newline_no >= 0) {
+          if (parts.size() >= 3) {
+            std::string f = parts[2];
+            if (f.size() >= 2 && f.front() == '"' && f.back() == '"') {
+              f = f.substr(1, f.size() - 2);
+            }
+            file = f;
+          }
+          // Skip to end of line, then apply the new coordinate.
+          while (i < n && src[i] != '\n') {
+            i++;
+          }
+          if (i < n) {
+            i++;
+          }
+          line = static_cast<int>(newline_no);
+          col = 1;
+          continue;
+        }
+      }
+      // Other directive: skip the (possibly continued) line.
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          advance(2);
+          continue;
+        }
+        if (src[i] == '\n') {
+          advance(1);
+          break;
+        }
+        advance(1);
+      }
+      continue;
+    }
+    CToken tok;
+    tok.file = file;
+    tok.line = line;
+    tok.col = col;
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(src[i])) {
+        advance(1);
+      }
+      tok.text = std::string(src.substr(start, i - start));
+      tok.kind = IsCKeyword(tok.text) ? CTok::kKeyword : CTok::kIdent;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Number (ints, floats, hex; exact grammar is irrelevant to browsing).
+    if (isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n && isdigit(static_cast<unsigned char>(src[i + 1])) != 0)) {
+      size_t start = i;
+      while (i < n && (isalnum(static_cast<unsigned char>(src[i])) != 0 || src[i] == '.' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E')))) {
+        advance(1);
+      }
+      tok.text = std::string(src.substr(start, i - start));
+      tok.kind = CTok::kNumber;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // String / char constants.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      size_t start = i;
+      advance(1);
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) {
+          advance(2);
+        } else if (src[i] == '\n') {
+          return Status::Error(StrFormat("%s:%d: newline in %s constant", file.c_str(),
+                                         tok.line, quote == '"' ? "string" : "char"));
+        } else {
+          advance(1);
+        }
+      }
+      if (i >= n) {
+        return Status::Error(StrFormat("%s:%d: unterminated %s constant", file.c_str(),
+                                       tok.line, quote == '"' ? "string" : "char"));
+      }
+      advance(1);
+      tok.text = std::string(src.substr(start, i - start));
+      tok.kind = quote == '"' ? CTok::kString : CTok::kCharConst;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Punctuation.
+    for (const char** p = kPunct3; *p != nullptr; p++) {
+      if (src.substr(i, 3) == *p) {
+        tok.text = *p;
+        break;
+      }
+    }
+    if (tok.text.empty()) {
+      for (const char** p = kPunct2; *p != nullptr; p++) {
+        if (src.substr(i, 2) == *p) {
+          tok.text = *p;
+          break;
+        }
+      }
+    }
+    if (tok.text.empty()) {
+      tok.text = std::string(1, c);
+    }
+    tok.kind = CTok::kPunct;
+    advance(tok.text.size());
+    out.push_back(std::move(tok));
+  }
+  CToken eof;
+  eof.kind = CTok::kEof;
+  eof.file = file;
+  eof.line = line;
+  eof.col = col;
+  out.push_back(std::move(eof));
+  return out;
+}
+
+}  // namespace help

@@ -1,0 +1,46 @@
+// C lexer for the browser tool. This is the front third of "rcc", the paper's
+// compiler with the code generator stripped out: it tokenizes 1991-vintage
+// ANSI C, tracks source coordinates through `#line N "file"` markers (which
+// our cpp emits when inlining includes), and skips comments and other
+// preprocessor lines.
+#ifndef SRC_CC_CLEX_H_
+#define SRC_CC_CLEX_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace help {
+
+enum class CTok {
+  kEof,
+  kIdent,
+  kKeyword,
+  kNumber,
+  kString,
+  kCharConst,
+  kPunct,  // operators and punctuation, text holds the spelling
+};
+
+struct CToken {
+  CTok kind = CTok::kEof;
+  std::string text;
+  std::string file;  // coordinate after #line adjustment
+  int line = 0;
+  int col = 0;
+};
+
+// True for C89 keywords (plus a few Plan 9 idioms: uchar/ulong/... are NOT
+// keywords — they are typedefs the parser learns from headers).
+bool IsCKeyword(std::string_view s);
+
+// Tokenizes `src`, whose first line is attributed to `filename`:1. Honors
+// `#line N "file"` directives; other preprocessor lines are skipped (the
+// parser never sees them). Unterminated strings/comments are an error.
+Result<std::vector<CToken>> CLex(std::string_view src, std::string_view filename);
+
+}  // namespace help
+
+#endif  // SRC_CC_CLEX_H_

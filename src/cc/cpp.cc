@@ -1,0 +1,107 @@
+#include "src/cc/cpp.h"
+
+#include <set>
+
+#include "src/base/strings.h"
+
+namespace help {
+
+namespace {
+
+constexpr char kSysInclude[] = "/sys/include";
+
+struct CppState {
+  const Vfs* vfs;
+  std::set<std::string> visited;  // include-once per translation unit
+};
+
+Status Expand(CppState* st, const std::string& path, std::string* out, int depth) {
+  if (depth > 32) {
+    return Status::Error("cpp: include nesting too deep at " + path);
+  }
+  auto data = st->vfs->ReadFile(path);
+  if (!data.ok()) {
+    return data.status();
+  }
+  st->visited.insert(path);
+  *out += StrFormat("#line 1 \"%s\"\n", path.c_str());
+  int lineno = 0;
+  for (const std::string& line : Split(data.value(), '\n')) {
+    lineno++;
+    std::string_view trimmed = TrimSpace(line);
+    if (!HasPrefix(trimmed, "#include")) {
+      *out += line;
+      *out += '\n';
+      continue;
+    }
+    std::string_view rest = TrimSpace(trimmed.substr(8));
+    bool local;
+    char close;
+    if (!rest.empty() && rest[0] == '"') {
+      local = true;
+      close = '"';
+    } else if (!rest.empty() && rest[0] == '<') {
+      local = false;
+      close = '>';
+    } else {
+      *out += line;
+      *out += '\n';
+      continue;
+    }
+    size_t end = rest.find(close, 1);
+    if (end == std::string_view::npos) {
+      return Status::Error(StrFormat("%s:%d: bad #include", path.c_str(), lineno));
+    }
+    std::string name(rest.substr(1, end - 1));
+    std::string resolved;
+    if (local) {
+      std::string rel = JoinPath(DirPath(path), name);
+      if (st->vfs->Walk(rel).ok()) {
+        resolved = rel;
+      } else {
+        std::string sys = JoinPath(kSysInclude, name);
+        if (st->vfs->Walk(sys).ok()) {
+          resolved = sys;
+        } else {
+          return Status::Error(
+              StrFormat("%s:%d: include file %s not found", path.c_str(), lineno,
+                        name.c_str()));
+        }
+      }
+    } else {
+      std::string sys = JoinPath(kSysInclude, name);
+      if (st->vfs->Walk(sys).ok()) {
+        resolved = sys;
+      } else {
+        // Unmodelled system header: skip, leaving a breadcrumb comment.
+        *out += StrFormat("/* cpp: skipped <%s> */\n", name.c_str());
+        continue;
+      }
+    }
+    if (st->visited.count(resolved) != 0) {
+      *out += '\n';  // keep line numbers stable for the rest of this file
+      continue;
+    }
+    Status s = Expand(st, resolved, out, depth + 1);
+    if (!s.ok()) {
+      return s;
+    }
+    *out += StrFormat("#line %d \"%s\"\n", lineno + 1, path.c_str());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::string> Preprocess(const Vfs& vfs, std::string_view path) {
+  CppState st;
+  st.vfs = &vfs;
+  std::string out;
+  Status s = Expand(&st, CleanPath(path), &out, 0);
+  if (!s.ok()) {
+    return s;
+  }
+  return out;
+}
+
+}  // namespace help

@@ -1,0 +1,23 @@
+// Preprocessor-lite: inlines #include "file" (relative to the including
+// file, then /sys/include) and #include <file> (/sys/include only), with
+// include-once semantics per translation unit, emitting `#line N "file"`
+// markers so the lexer keeps exact source coordinates. All other lines pass
+// through untouched; the lexer skips remaining directives.
+#ifndef SRC_CC_CPP_H_
+#define SRC_CC_CPP_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/fs/vfs.h"
+
+namespace help {
+
+// Preprocesses `path` from `vfs`. Unresolvable <system> includes are skipped
+// silently (the browser treats their symbols as implicit externs);
+// unresolvable "local" includes are an error.
+Result<std::string> Preprocess(const Vfs& vfs, std::string_view path);
+
+}  // namespace help
+
+#endif  // SRC_CC_CPP_H_

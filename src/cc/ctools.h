@@ -1,0 +1,18 @@
+// Compiler-family native commands:
+//   cpp       — the preprocessor (include inliner with #line markers)
+//   help/rcc  — the code-generator-less compiler behind the C browser
+//   vc, vl    — the pretend MIPS compiler/loader that mk drives (they
+//               syntax-check with the real lexer and stamp .v objects /
+//               executables into the VFS, so out-of-date logic is real)
+#ifndef SRC_CC_CTOOLS_H_
+#define SRC_CC_CTOOLS_H_
+
+#include "src/shell/shell.h"
+
+namespace help {
+
+void RegisterCompilerTools(Vfs* vfs, CommandRegistry* registry);
+
+}  // namespace help
+
+#endif  // SRC_CC_CTOOLS_H_

@@ -1,0 +1,99 @@
+#include "src/core/events.h"
+
+namespace help {
+
+void MouseMachine::Feed(const MouseEvent& e) {
+  switch (e.kind) {
+    case MouseEvent::Kind::kPress:
+      Press(e.button, e.p);
+      break;
+    case MouseEvent::Kind::kMove:
+      last_ = e.p;
+      break;
+    case MouseEvent::Kind::kRelease:
+      Release(e.button, e.p);
+      break;
+  }
+}
+
+void MouseMachine::Press(Button b, Point p) {
+  last_ = p;
+  switch (b) {
+    case Button::kLeft:
+      left_down_ = true;
+      if (!gesture_active_) {
+        gesture_active_ = true;
+        primary_ = b;
+        press_at_ = p;
+        chorded_ = false;
+        chord_cut_seen_ = false;
+      }
+      break;
+    case Button::kMiddle:
+      middle_down_ = true;
+      if (left_down_ && primary_ == Button::kLeft) {
+        // Chord: commit the selection swept so far, then Cut. The selection
+        // must exist before the chord fires (the paper's "after a
+        // selection").
+        h_->MouseSelect(press_at_, p);
+        h_->ChordCut();
+        chorded_ = true;
+        chord_cut_seen_ = true;
+      } else if (!gesture_active_) {
+        gesture_active_ = true;
+        primary_ = b;
+        press_at_ = p;
+      }
+      break;
+    case Button::kRight:
+      right_down_ = true;
+      if (left_down_ && primary_ == Button::kLeft) {
+        if (!chorded_) {
+          h_->MouseSelect(press_at_, p);
+        }
+        // B2 then B3 during the same hold = snarf (cut already put the text
+        // in the buffer; pasting it back makes the pair a copy).
+        h_->ChordPaste();
+        chorded_ = true;
+      } else if (!gesture_active_) {
+        gesture_active_ = true;
+        primary_ = b;
+        press_at_ = p;
+      }
+      break;
+  }
+}
+
+void MouseMachine::Release(Button b, Point p) {
+  last_ = p;
+  switch (b) {
+    case Button::kLeft:
+      left_down_ = false;
+      break;
+    case Button::kMiddle:
+      middle_down_ = false;
+      break;
+    case Button::kRight:
+      right_down_ = false;
+      break;
+  }
+  if (!gesture_active_ || b != primary_) {
+    return;  // chord buttons release without ending the gesture
+  }
+  gesture_active_ = false;
+  switch (b) {
+    case Button::kLeft:
+      if (!chorded_) {
+        h_->MouseSelect(press_at_, p);
+      }
+      break;
+    case Button::kMiddle:
+      h_->MouseExec(press_at_, p);
+      break;
+    case Button::kRight:
+      h_->MouseDrag(press_at_, p);
+      break;
+  }
+}
+
+}  // namespace help

@@ -1,0 +1,70 @@
+// The raw input layer: a mouse/keyboard event state machine that turns
+// press/move/release streams into help's gestures, including the chords the
+// paper describes:
+//
+//   "While the left button is still held down after a selection, clicking
+//    the middle button executes Cut; clicking the right button executes
+//    Paste... One may even click the middle and then right buttons, while
+//    holding the left down, to execute a cut-and-paste, that is, to remember
+//    the text in the cut buffer for later pasting."
+//
+// The high-level Help gesture methods (MouseSelect, MouseExec, ChordCut, …)
+// remain the scripted interface; MouseMachine is what a real device loop
+// would feed. Events are delivered one at a time; the machine tracks which
+// buttons are down and where the sweep started, and fires the appropriate
+// gesture on the appropriate transition:
+//
+//   B1 press … release                  -> MouseSelect(start, end)
+//   B1 press … B2 click … B1 release    -> select, then ChordCut
+//   B1 press … B3 click … B1 release    -> select, then ChordPaste
+//   B1 press … B2 click, B3 click …     -> select, Cut, then Paste (snarf)
+//   B2 press … release                  -> MouseExec(start, end)
+//   B3 press … release (same point, tag)    -> window drag handled by Help
+//   B3 press … release (moved)              -> MouseDrag(start, end)
+#ifndef SRC_CORE_EVENTS_H_
+#define SRC_CORE_EVENTS_H_
+
+#include "src/core/help.h"
+
+namespace help {
+
+enum class Button { kLeft = 1, kMiddle = 2, kRight = 3 };
+
+struct MouseEvent {
+  enum class Kind { kPress, kMove, kRelease };
+  Kind kind;
+  Button button = Button::kLeft;  // ignored for kMove
+  Point p;
+};
+
+class MouseMachine {
+ public:
+  explicit MouseMachine(Help* h) : h_(h) {}
+
+  // Feeds one event; fires gestures on the transitions described above.
+  void Feed(const MouseEvent& e);
+
+  // Keyboard goes straight through (typing has no modal state).
+  void Key(Rune r) { h_->Type(Utf8FromRunes(RuneString(1, r))); }
+
+  bool left_down() const { return left_down_; }
+
+ private:
+  void Press(Button b, Point p);
+  void Release(Button b, Point p);
+
+  Help* h_;
+  bool left_down_ = false;
+  bool middle_down_ = false;
+  bool right_down_ = false;
+  bool chorded_ = false;      // a chord fired during this B1 hold
+  bool chord_cut_seen_ = false;
+  Point press_at_{0, 0};      // where the primary button went down
+  Point last_{0, 0};          // latest pointer position
+  Button primary_ = Button::kLeft;  // the button that started the gesture
+  bool gesture_active_ = false;
+};
+
+}  // namespace help
+
+#endif  // SRC_CORE_EVENTS_H_

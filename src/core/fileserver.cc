@@ -1,0 +1,401 @@
+#include "src/core/fileserver.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+#include "src/core/help.h"
+#include "src/text/address.h"
+
+namespace help {
+
+namespace {
+
+// Serves a snapshot string computed at open time.
+class SnapshotHandler : public FileHandler {
+ public:
+  using Producer = std::function<std::string()>;
+  explicit SnapshotHandler(Producer p) : producer_(std::move(p)) {}
+
+  Status Open(OpenFile& f, uint8_t mode) override {
+    f.state = producer_();
+    return Status::Ok();
+  }
+  Result<std::string> Read(OpenFile& f, uint64_t offset, uint32_t count) override {
+    if (offset >= f.state.size()) {
+      return std::string();
+    }
+    return f.state.substr(offset, count);
+  }
+  Result<uint32_t> Write(OpenFile& f, uint64_t offset, std::string_view data) override {
+    return ErrPerm("read-only file");
+  }
+
+ private:
+  Producer producer_;
+};
+
+class NewCtlHandler : public FileHandler {
+ public:
+  explicit NewCtlHandler(Help* h) : h_(h) {}
+
+  Status Open(OpenFile& f, uint8_t mode) override {
+    Window* w = h_->CreateWindow("");
+    f.state_int = w->id();
+    f.state = StrFormat("%d\n", w->id());
+    return Status::Ok();
+  }
+  Result<std::string> Read(OpenFile& f, uint64_t offset, uint32_t count) override {
+    if (offset >= f.state.size()) {
+      return std::string();
+    }
+    return f.state.substr(offset, count);
+  }
+  Result<uint32_t> Write(OpenFile& f, uint64_t offset, std::string_view data) override {
+    Window* w = nullptr;
+    for (Window* cand : h_->AllWindows()) {
+      if (cand->id() == f.state_int) {
+        w = cand;
+        break;
+      }
+    }
+    if (w == nullptr) {
+      return Status::Error("window is gone");
+    }
+    Status s = h_->HandleCtl(w, data);
+    if (!s.ok()) {
+      return s;
+    }
+    return static_cast<uint32_t>(data.size());
+  }
+
+ private:
+  Help* h_;
+};
+
+class SnarfHandler : public FileHandler {
+ public:
+  explicit SnarfHandler(Help* h) : h_(h) {}
+
+  Result<std::string> Read(OpenFile& f, uint64_t offset, uint32_t count) override {
+    const std::string& s = h_->snarf();
+    if (offset >= s.size()) {
+      return std::string();
+    }
+    return s.substr(offset, count);
+  }
+  Result<uint32_t> Write(OpenFile& f, uint64_t offset, std::string_view data) override {
+    if (offset == 0) {
+      h_->set_snarf(std::string(data));
+    } else {
+      std::string s = h_->snarf();
+      s.resize(std::max<size_t>(s.size(), offset), ' ');
+      s.replace(offset, data.size(), data);
+      h_->set_snarf(std::move(s));
+    }
+    return static_cast<uint32_t>(data.size());
+  }
+  uint64_t Length(const Node& n) const override { return h_->snarf().size(); }
+
+ private:
+  Help* h_;
+};
+
+// Handlers for one window's files. They hold the window id, not the pointer,
+// and look it up per operation so a closed window yields a clean error.
+class WindowFileHandler : public FileHandler {
+ public:
+  enum class Kind { kTag, kBody, kBodyApp, kCtl };
+
+  WindowFileHandler(Help* h, int id, Kind kind) : h_(h), id_(id), kind_(kind) {}
+
+  Status Open(OpenFile& f, uint8_t mode) override {
+    Window* w = Win();
+    if (w == nullptr) {
+      return Status::Error("window is gone");
+    }
+    if ((mode & kOtrunc) != 0) {
+      if (kind_ == Kind::kBody) {
+        return h_->SetBodyBytes(w, 0, "", /*truncate=*/true);
+      }
+      if (kind_ == Kind::kTag) {
+        return h_->SetTagBytes(w, 0, "", /*truncate=*/true);
+      }
+    }
+    return Status::Ok();
+  }
+
+  Result<std::string> Read(OpenFile& f, uint64_t offset, uint32_t count) override {
+    Window* w = Win();
+    if (w == nullptr) {
+      return Status::Error("window is gone");
+    }
+    std::string data;
+    switch (kind_) {
+      case Kind::kTag:
+        data = w->tag().text->Utf8();
+        break;
+      case Kind::kBody:
+        data = w->body().text->Utf8();
+        break;
+      case Kind::kBodyApp:
+        return std::string();  // write-only
+      case Kind::kCtl:
+        data = StrFormat("%d\n", id_);
+        break;
+    }
+    if (offset >= data.size()) {
+      return std::string();
+    }
+    return data.substr(offset, count);
+  }
+
+  Result<uint32_t> Write(OpenFile& f, uint64_t offset, std::string_view data) override {
+    Window* w = Win();
+    if (w == nullptr) {
+      return Status::Error("window is gone");
+    }
+    Status s;
+    switch (kind_) {
+      case Kind::kTag:
+        s = h_->SetTagBytes(w, offset, data, /*truncate=*/false);
+        break;
+      case Kind::kBody:
+        s = h_->SetBodyBytes(w, offset, data, /*truncate=*/false);
+        break;
+      case Kind::kBodyApp:
+        s = h_->AppendBody(w, data);
+        break;
+      case Kind::kCtl:
+        s = h_->HandleCtl(w, data);
+        break;
+    }
+    if (!s.ok()) {
+      return s;
+    }
+    return static_cast<uint32_t>(data.size());
+  }
+
+  uint64_t Length(const Node& n) const override {
+    Window* w = Win();
+    if (w == nullptr) {
+      return 0;
+    }
+    switch (kind_) {
+      case Kind::kTag:
+        return w->tag().text->Utf8().size();
+      case Kind::kBody:
+        return w->body().text->Utf8().size();
+      default:
+        return 0;
+    }
+  }
+
+ private:
+  Window* Win() const {
+    for (Window* w : h_->AllWindows()) {
+      if (w->id() == id_) {
+        return w;
+      }
+    }
+    return nullptr;
+  }
+
+  Help* h_;
+  int id_;
+  Kind kind_;
+};
+
+// Extension: writing "<dir> <name[:addr]>" to /mnt/help/open opens a file
+// exactly as the Open command would. This is what lets `decl` close the loop
+// ("a future change to help will be to close this loop so the Open operation
+// also happens automatically") from a shell script.
+class OpenRequestHandler : public FileHandler {
+ public:
+  explicit OpenRequestHandler(Help* h) : h_(h) {}
+
+  Result<std::string> Read(OpenFile& f, uint64_t offset, uint32_t count) override {
+    return std::string();
+  }
+  Result<uint32_t> Write(OpenFile& f, uint64_t offset, std::string_view data) override {
+    for (const std::string& line : Split(data, '\n')) {
+      std::vector<std::string> words = Tokenize(line);
+      if (words.empty()) {
+        continue;
+      }
+      if (words.size() < 2) {
+        return Status::Error("open: want 'dir name'");
+      }
+      auto r = h_->OpenFile(words[1], words[0], nullptr);
+      if (!r.ok()) {
+        return r.status();
+      }
+    }
+    return static_cast<uint32_t>(data.size());
+  }
+
+ private:
+  Help* h_;
+};
+
+}  // namespace
+
+void InstallHelpFs(Help* h) {
+  Vfs& vfs = h->vfs();
+  vfs.MkdirAll("/mnt/help/new");
+  vfs.AttachHandler("/mnt/help/index", std::make_shared<SnapshotHandler>([h] {
+    std::string out;
+    for (Window* w : h->AllWindows()) {
+      std::string tagline = w->tag().text->Utf8();
+      size_t nl = tagline.find('\n');
+      if (nl != std::string::npos) {
+        tagline = tagline.substr(0, nl);
+      }
+      out += StrFormat("%d\t%s\n", w->id(), tagline.c_str());
+    }
+    return out;
+  }));
+  vfs.AttachHandler("/mnt/help/new/ctl", std::make_shared<NewCtlHandler>(h));
+  vfs.AttachHandler("/mnt/help/snarf", std::make_shared<SnarfHandler>(h));
+  vfs.AttachHandler("/mnt/help/open", std::make_shared<OpenRequestHandler>(h));
+}
+
+// --- Help member functions that form the file-server surface ----------------
+
+void Help::RegisterWindowFiles(Window* w) {
+  std::string dir = StrFormat("/mnt/help/%d", w->id());
+  vfs_.MkdirAll(dir);
+  using K = WindowFileHandler::Kind;
+  vfs_.AttachHandler(dir + "/tag", std::make_shared<WindowFileHandler>(this, w->id(), K::kTag));
+  vfs_.AttachHandler(dir + "/body",
+                     std::make_shared<WindowFileHandler>(this, w->id(), K::kBody));
+  vfs_.AttachHandler(dir + "/bodyapp",
+                     std::make_shared<WindowFileHandler>(this, w->id(), K::kBodyApp));
+  vfs_.AttachHandler(dir + "/ctl", std::make_shared<WindowFileHandler>(this, w->id(), K::kCtl));
+}
+
+void Help::UnregisterWindowFiles(Window* w) {
+  std::string dir = StrFormat("/mnt/help/%d", w->id());
+  for (const char* f : {"tag", "body", "bodyapp", "ctl"}) {
+    vfs_.Remove(dir + "/" + f);
+  }
+  vfs_.Remove(dir);
+}
+
+namespace {
+
+// Byte-level patch of a Text (program writes arrive as bytes).
+void PatchText(Text* t, uint64_t offset, std::string_view data, bool truncate) {
+  std::string cur = truncate ? std::string() : t->Utf8();
+  if (offset > cur.size()) {
+    cur.resize(offset, ' ');
+  }
+  if (offset + data.size() >= cur.size()) {
+    cur.resize(offset + data.size());
+  }
+  cur.replace(static_cast<size_t>(offset), data.size(), data);
+  bool was_dirty = t->dirty();
+  t->SetAll(cur);
+  t->set_dirty(was_dirty);
+}
+
+}  // namespace
+
+Status Help::SetBodyBytes(Window* w, uint64_t offset, std::string_view data,
+                          bool truncate) {
+  PatchText(w->body().text.get(), offset, data, truncate);
+  TouchBody(w);
+  return Status::Ok();
+}
+
+Status Help::AppendBody(Window* w, std::string_view data) {
+  Text& t = *w->body().text;
+  t.InsertNoUndo(t.size(), RunesFromUtf8(data));
+  TouchBody(w);
+  return Status::Ok();
+}
+
+Status Help::SetTagBytes(Window* w, uint64_t offset, std::string_view data, bool truncate) {
+  PatchText(w->tag().text.get(), offset, data, truncate);
+  w->tag().Relayout();
+  return Status::Ok();
+}
+
+Status Help::HandleCtl(Window* w, std::string_view commands) {
+  for (const std::string& line : Split(commands, '\n')) {
+    std::string_view trimmed = TrimSpace(line);
+    if (trimmed.empty()) {
+      continue;
+    }
+    std::vector<std::string> words = Tokenize(trimmed);
+    const std::string& cmd = words[0];
+    if (cmd == "tag") {
+      size_t pos = trimmed.find("tag");
+      std::string text(TrimSpace(trimmed.substr(pos + 3)));
+      w->tag().text->SetAll(text);
+      w->tag().Relayout();
+    } else if (cmd == "show") {
+      if (words.size() < 2) {
+        return Status::Error("ctl: show needs an address");
+      }
+      int col = page_->ColumnOf(w);
+      if (col >= 0) {
+        page_->col(col).MakeVisible(w);
+      }
+      SelectAddress(w, words[1]);
+    } else if (cmd == "select") {
+      if (words.size() < 3) {
+        return Status::Error("ctl: select needs q0 q1");
+      }
+      long q0 = ParseInt(words[1]);
+      long q1 = ParseInt(words[2]);
+      if (q0 < 0 || q1 < 0) {
+        return Status::Error("ctl: bad select offsets");
+      }
+      size_t n = w->body().text->size();
+      Selection sel{static_cast<size_t>(q0), static_cast<size_t>(q1)};
+      sel.q0 = std::min(sel.q0, n);
+      sel.q1 = std::min(std::max(sel.q1, sel.q0), n);
+      w->body().sel = sel;
+      current_ = &w->body();
+      w->body().ShowOffset(sel.q0);
+    } else if (cmd == "insert") {
+      if (words.size() < 2) {
+        return Status::Error("ctl: insert needs an offset");
+      }
+      long q = ParseInt(words[1]);
+      if (q < 0) {
+        return Status::Error("ctl: bad insert offset");
+      }
+      // The text is everything after the offset word, untrimmed (trailing
+      // spaces are part of the payload).
+      std::string_view raw = line;
+      size_t text_at = raw.find(words[1], raw.find("insert") + 6) + words[1].size();
+      std::string_view text = raw.substr(std::min(raw.size(), text_at));
+      if (!text.empty() && text[0] == ' ') {
+        text.remove_prefix(1);
+      }
+      Text& t = *w->body().text;
+      t.InsertNoUndo(std::min(static_cast<size_t>(q), t.size()), RunesFromUtf8(text));
+      TouchBody(w);
+    } else if (cmd == "delete") {
+      if (words.size() < 3) {
+        return Status::Error("ctl: delete needs q0 q1");
+      }
+      long q0 = ParseInt(words[1]);
+      long q1 = ParseInt(words[2]);
+      if (q0 < 0 || q1 < q0) {
+        return Status::Error("ctl: bad delete range");
+      }
+      w->body().text->DeleteNoUndo(static_cast<size_t>(q0), static_cast<size_t>(q1 - q0));
+      TouchBody(w);
+    } else if (cmd == "clean") {
+      w->body().text->set_dirty(false);
+      UpdateDirtyTag(w);
+    } else {
+      return Status::Error("ctl: unknown message '" + cmd + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace help

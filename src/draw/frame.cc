@@ -1,0 +1,148 @@
+#include "src/draw/frame.h"
+
+namespace help {
+
+void Frame::Fill(const Text& t, size_t origin) {
+  origin_ = std::min(origin, t.size());
+  rows_.clear();
+  end_ = origin_;
+  if (rect_.empty()) {
+    return;
+  }
+  int maxrows = rect_.height();
+  int width = rect_.width();
+  size_t pos = origin_;
+  size_t n = t.size();
+  Row row;
+  row.start_off = pos;
+  int x = 0;
+  auto flush = [&](size_t row_end) {
+    row.end_off = row_end;
+    rows_.push_back(std::move(row));
+    row = Row{};
+    row.start_off = row_end;
+    x = 0;
+  };
+  while (pos < n && static_cast<int>(rows_.size()) < maxrows) {
+    Rune r = t.At(pos);
+    if (r == '\n') {
+      flush(pos + 1);
+      pos++;
+      continue;
+    }
+    int w = 1;
+    if (r == '\t') {
+      w = kTabStop - (x % kTabStop);
+    }
+    if (x + w > width && x > 0) {
+      // Wrap before this rune.
+      flush(pos);
+      continue;
+    }
+    row.runes.push_back({r, pos, x, w});
+    x += w;
+    pos++;
+    if (x >= width) {
+      flush(pos);
+    }
+  }
+  if (static_cast<int>(rows_.size()) < maxrows) {
+    flush(pos);  // final (possibly empty) row — gives the caret a home
+  }
+  end_ = rows_.empty() ? origin_ : rows_.back().end_off;
+}
+
+size_t Frame::PointToOffset(Point p) const {
+  if (rows_.empty()) {
+    return origin_;
+  }
+  int rel = p.y - rect_.y0;
+  if (rel < 0) {
+    rel = 0;
+  }
+  if (rel >= static_cast<int>(rows_.size())) {
+    rel = static_cast<int>(rows_.size()) - 1;
+  }
+  const Row& row = rows_[static_cast<size_t>(rel)];
+  int col = p.x - rect_.x0;
+  for (const PlacedRune& pr : row.runes) {
+    if (col < pr.x + pr.width) {
+      return pr.off;
+    }
+  }
+  // Past the end of the row: the newline (or the row's end).
+  if (row.end_off > row.start_off + row.runes.size()) {
+    return row.end_off - 1;  // the newline itself
+  }
+  return row.end_off;
+}
+
+std::optional<Point> Frame::OffsetToPoint(size_t off) const {
+  for (size_t yi = 0; yi < rows_.size(); yi++) {
+    const Row& row = rows_[yi];
+    if (off < row.start_off || off > row.end_off) {
+      continue;
+    }
+    for (const PlacedRune& pr : row.runes) {
+      if (pr.off == off) {
+        return Point{rect_.x0 + pr.x, rect_.y0 + static_cast<int>(yi)};
+      }
+    }
+    // Offset is the newline / end of this row.
+    if (off == row.end_off - 1 && row.end_off > row.start_off + row.runes.size()) {
+      int x = row.runes.empty() ? 0 : row.runes.back().x + row.runes.back().width;
+      return Point{rect_.x0 + x, rect_.y0 + static_cast<int>(yi)};
+    }
+    if (off == row.end_off && yi + 1 == rows_.size()) {
+      int x = row.runes.empty() ? 0 : row.runes.back().x + row.runes.back().width;
+      return Point{rect_.x0 + x, rect_.y0 + static_cast<int>(yi)};
+    }
+  }
+  return std::nullopt;
+}
+
+Style Frame::StyleFor(size_t off, const Selection& sel, bool current,
+                      const Selection* exec_sel, Style base) const {
+  if (exec_sel != nullptr && off >= exec_sel->q0 && off < exec_sel->q1) {
+    return Style::kExec;
+  }
+  if (!sel.null() && off >= sel.q0 && off < sel.q1) {
+    return current ? Style::kReverse : Style::kOutline;
+  }
+  return base;
+}
+
+void Frame::Draw(Screen* screen, const Selection& sel, bool current, Style base,
+                 const Selection* exec_sel) const {
+  Rect clip = rect_.Intersect(screen->bounds());
+  screen->Fill(clip, ' ', base);
+  for (size_t yi = 0; yi < rows_.size(); yi++) {
+    int y = rect_.y0 + static_cast<int>(yi);
+    if (y < clip.y0 || y >= clip.y1) {
+      continue;
+    }
+    for (const PlacedRune& pr : rows_[yi].runes) {
+      int x = rect_.x0 + pr.x;
+      Style st = StyleFor(pr.off, sel, current, exec_sel, base);
+      if (pr.r == '\t') {
+        for (int k = 0; k < pr.width && x + k < clip.x1; k++) {
+          if (x + k >= clip.x0) {
+            screen->At(x + k, y) = {' ', st};
+          }
+        }
+      } else if (x >= clip.x0 && x < clip.x1) {
+        screen->At(x, y) = {pr.r, st};
+      }
+    }
+  }
+  // Null selection caret.
+  if (sel.null() && current) {
+    auto p = OffsetToPoint(sel.q0);
+    if (p.has_value() && clip.Contains(*p)) {
+      Cell& c = screen->At(p->x, p->y);
+      c.style = Style::kCaret;
+    }
+  }
+}
+
+}  // namespace help

@@ -1,0 +1,75 @@
+// Frame: text layout into a rectangle, after Plan 9's libframe (which help
+// linked against — see the -lframe in Figure 12's link line). A frame shows
+// a Text from rune offset `origin`, wrapping long lines and expanding tabs,
+// and provides the two mappings everything else is built on: screen point →
+// rune offset (mouse clicks) and rune offset → screen point (showing an
+// addressed line, drawing selections).
+#ifndef SRC_DRAW_FRAME_H_
+#define SRC_DRAW_FRAME_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/draw/screen.h"
+#include "src/text/text.h"
+
+namespace help {
+
+inline constexpr int kTabStop = 8;
+
+class Frame {
+ public:
+  void SetRect(const Rect& r) { rect_ = r; }
+  const Rect& rect() const { return rect_; }
+
+  // Lays out `t` from rune offset `origin`. Call again after any edit or
+  // geometry change (cheap: proportional to the visible region).
+  void Fill(const Text& t, size_t origin);
+
+  size_t origin() const { return origin_; }
+  // One past the offset of the last rune displayed (== where scrolling
+  // forward would continue).
+  size_t end() const { return end_; }
+  // Number of display rows actually used.
+  int lines_used() const { return static_cast<int>(rows_.size()); }
+  bool Visible(size_t off) const { return off >= origin_ && off < end_; }
+
+  // Maps a screen point (absolute coordinates) to the rune offset of the
+  // character at or nearest that cell. Points below the laid text map to
+  // end(); points past a line's end map to that line's newline.
+  size_t PointToOffset(Point p) const;
+
+  // Maps a visible rune offset to its screen cell; nullopt if not displayed.
+  std::optional<Point> OffsetToPoint(size_t off) const;
+
+  // Draws the laid-out text. `sel` draws in kReverse when `current`, in
+  // kOutline otherwise; a null selection draws a kCaret cell. `exec_sel`
+  // (if non-null) underlines an in-progress button-2 sweep.
+  void Draw(Screen* screen, const Selection& sel, bool current, Style base,
+            const Selection* exec_sel = nullptr) const;
+
+ private:
+  struct PlacedRune {
+    Rune r;
+    size_t off;
+    int x;  // absolute column (tabs make x jump)
+    int width;
+  };
+  struct Row {
+    std::vector<PlacedRune> runes;
+    size_t start_off = 0;  // offset of first rune logically on this row
+    size_t end_off = 0;    // one past last rune on this row (incl. newline)
+  };
+
+  Style StyleFor(size_t off, const Selection& sel, bool current,
+                 const Selection* exec_sel, Style base) const;
+
+  Rect rect_;
+  size_t origin_ = 0;
+  size_t end_ = 0;
+  std::vector<Row> rows_;
+};
+
+}  // namespace help
+
+#endif  // SRC_DRAW_FRAME_H_

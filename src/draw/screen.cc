@@ -1,0 +1,122 @@
+#include "src/draw/screen.h"
+
+namespace help {
+
+Screen::Screen(int width, int height)
+    : width_(width), height_(height),
+      cells_(static_cast<size_t>(width) * static_cast<size_t>(height)) {}
+
+void Screen::Clear() {
+  std::fill(cells_.begin(), cells_.end(), Cell{});
+}
+
+void Screen::Fill(const Rect& r, Rune ch, Style style) {
+  Rect c = r.Intersect(bounds());
+  for (int y = c.y0; y < c.y1; y++) {
+    for (int x = c.x0; x < c.x1; x++) {
+      At(x, y) = {ch, style};
+    }
+  }
+}
+
+int Screen::DrawRunes(int x, int y, RuneStringView s, Style style, const Rect& clip) {
+  Rect c = clip.Intersect(bounds());
+  if (y < c.y0 || y >= c.y1) {
+    return 0;
+  }
+  int drawn = 0;
+  for (Rune r : s) {
+    if (x >= c.x1) {
+      break;
+    }
+    if (x >= c.x0) {
+      At(x, y) = {r, style};
+      drawn++;
+    }
+    x++;
+  }
+  return drawn;
+}
+
+std::string Screen::Row(int y) const {
+  RuneString runes;
+  for (int x = 0; x < width_; x++) {
+    runes.push_back(At(x, y).ch);
+  }
+  return Utf8FromRunes(runes);
+}
+
+std::string Screen::Render() const {
+  std::string out;
+  for (int y = 0; y < height_; y++) {
+    std::string row = Row(y);
+    size_t end = row.find_last_not_of(' ');
+    out += end == std::string::npos ? "" : row.substr(0, end + 1);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Screen::RenderAnnotated() const {
+  std::string out;
+  for (int y = 0; y < height_; y++) {
+    std::string row;
+    Style prev = Style::kNormal;
+    for (int x = 0; x < width_; x++) {
+      const Cell& cell = At(x, y);
+      Style cur = cell.style;
+      // Only selection-ish styles get brackets; structural styles render as
+      // their glyphs.
+      auto opener = [](Style s) -> const char* {
+        switch (s) {
+          case Style::kReverse:
+            return "\xC2\xAB";  // «
+          case Style::kOutline:
+            return "\xE2\x80\xB9";  // ‹
+          case Style::kExec:
+            return "_";
+          default:
+            return "";
+        }
+      };
+      auto closer = [](Style s) -> const char* {
+        switch (s) {
+          case Style::kReverse:
+            return "\xC2\xBB";  // »
+          case Style::kOutline:
+            return "\xE2\x80\xBA";  // ›
+          case Style::kExec:
+            return "_";
+          default:
+            return "";
+        }
+      };
+      if (cur != prev) {
+        row += closer(prev);
+        row += opener(cur);
+        prev = cur;
+      }
+      std::string ch;
+      EncodeRune(cell.ch == 0 ? ' ' : cell.ch, &ch);
+      row += ch;
+    }
+    row += [&] {
+      switch (prev) {
+        case Style::kReverse:
+          return "\xC2\xBB";
+        case Style::kOutline:
+          return "\xE2\x80\xBA";
+        case Style::kExec:
+          return "_";
+        default:
+          return "";
+      }
+    }();
+    size_t end = row.find_last_not_of(' ');
+    out += end == std::string::npos ? "" : row.substr(0, end + 1);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace help

@@ -1,0 +1,163 @@
+// A 9P-style file protocol. Help "provides its client processes access to
+// its structure by presenting a file service"; this module is the wire level
+// of that service. Messages are length-prefixed little-endian packets —
+// T-messages from clients, R-messages from the server — covering version,
+// attach, walk, open, create, read, write, clunk, remove, and stat, with
+// Rerror carrying Plan 9-style error strings.
+//
+// The transport is pluggable; tests and examples use the in-process byte
+// transport, which still exercises the full encode → dispatch → decode path.
+#ifndef SRC_FS_NINEP_H_
+#define SRC_FS_NINEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/fs/vfs.h"
+
+namespace help {
+
+enum class MsgType : uint8_t {
+  kTversion = 100,
+  kRversion = 101,
+  kTattach = 104,
+  kRattach = 105,
+  kRerror = 107,
+  kTwalk = 110,
+  kRwalk = 111,
+  kTopen = 112,
+  kRopen = 113,
+  kTcreate = 114,
+  kRcreate = 115,
+  kTread = 116,
+  kRread = 117,
+  kTwrite = 118,
+  kRwrite = 119,
+  kTclunk = 120,
+  kRclunk = 121,
+  kTremove = 122,
+  kRremove = 123,
+  kTstat = 124,
+  kRstat = 125,
+};
+
+inline constexpr uint16_t kNoTag = 0xFFFF;
+inline constexpr uint32_t kNoFid = 0xFFFFFFFF;
+inline constexpr uint32_t kDefaultMsize = 64 * 1024;
+
+// One protocol message, T or R; unused fields are ignored per type.
+struct Fcall {
+  MsgType type = MsgType::kRerror;
+  uint16_t tag = kNoTag;
+  uint32_t fid = kNoFid;
+  uint32_t newfid = kNoFid;   // Twalk
+  uint32_t msize = 0;         // Tversion/Rversion
+  std::string version;        // Tversion/Rversion
+  std::string uname;          // Tattach
+  std::string aname;          // Tattach
+  std::vector<std::string> wname;  // Twalk
+  std::vector<Qid> wqid;           // Rwalk
+  Qid qid;                    // Rattach/Ropen/Rcreate
+  uint8_t mode = 0;           // Topen/Tcreate
+  std::string name;           // Tcreate
+  uint32_t perm = 0;          // Tcreate (bit 31 = directory)
+  uint64_t offset = 0;        // Tread/Twrite
+  uint32_t count = 0;         // Tread/Rwrite
+  std::string data;           // Rread/Twrite
+  uint32_t iounit = 0;        // Ropen/Rcreate
+  StatInfo stat;              // Rstat
+  std::string ename;          // Rerror
+};
+
+inline constexpr uint32_t kDirPerm = 0x80000000;  // Tcreate perm bit for directories
+
+// Serializes `f` into a complete packet (including the leading size field).
+std::string EncodeFcall(const Fcall& f);
+
+// Parses one packet. `bytes` must contain exactly one complete message.
+Result<Fcall> DecodeFcall(std::string_view bytes);
+
+// Directory payloads in Rread: a sequence of encoded stat entries.
+std::string EncodeDirEntry(const StatInfo& s);
+Result<std::vector<StatInfo>> DecodeDirEntries(std::string_view data);
+
+// ---------------------------------------------------------------------------
+
+// Serves a Vfs over the protocol. Byte-in, byte-out; one message per call.
+class NinepServer {
+ public:
+  explicit NinepServer(Vfs* vfs) : vfs_(vfs) {}
+
+  // Full byte path: decode, dispatch, encode.
+  std::string HandleBytes(std::string_view packet);
+
+  // Structured dispatch (used by HandleBytes; also directly testable).
+  Fcall Dispatch(const Fcall& t);
+
+  size_t open_fids() const { return fids_.size(); }
+
+ private:
+  struct FidState {
+    NodePtr node;
+    OpenFilePtr open;
+    std::string dirbuf;     // snapshot of directory listing for reads
+    bool dirbuf_valid = false;
+  };
+
+  Fcall Error(uint16_t tag, std::string_view msg) const;
+
+  Vfs* vfs_;
+  std::map<uint32_t, FidState> fids_;
+  uint32_t msize_ = kDefaultMsize;
+};
+
+// Client API over a byte transport (defaults to an in-process server).
+class NinepClient {
+ public:
+  using Transport = std::function<std::string(std::string_view)>;
+
+  explicit NinepClient(Transport transport) : transport_(std::move(transport)) {}
+  // Convenience: client wired straight to a server instance.
+  explicit NinepClient(NinepServer* server)
+      : transport_([server](std::string_view b) { return server->HandleBytes(b); }) {}
+
+  Status Connect(std::string_view uname = "user");
+
+  // Low-level operations; fids are allocated by the client.
+  Result<uint32_t> WalkFid(std::string_view path);           // returns new fid
+  Status OpenFid(uint32_t fid, uint8_t mode);
+  Result<std::string> ReadFid(uint32_t fid, uint64_t offset, uint32_t count);
+  Result<uint32_t> WriteFid(uint32_t fid, uint64_t offset, std::string_view data);
+  Status Clunk(uint32_t fid);
+  Status RemoveFid(uint32_t fid);
+  Result<StatInfo> StatFid(uint32_t fid);
+
+  // High-level conveniences (walk + open + transfer + clunk).
+  Result<std::string> ReadFile(std::string_view path);
+  Status WriteFile(std::string_view path, std::string_view data);
+  Status AppendFile(std::string_view path, std::string_view data);
+  Result<std::vector<StatInfo>> ReadDir(std::string_view path);
+  Status Create(std::string_view path, bool dir);
+  Status Remove(std::string_view path);
+  Result<StatInfo> Stat(std::string_view path);
+
+  uint64_t rpcs() const { return rpcs_; }
+
+ private:
+  Result<Fcall> Rpc(Fcall t);
+  uint32_t NextFid() { return next_fid_++; }
+
+  Transport transport_;
+  uint32_t root_fid_ = kNoFid;
+  uint32_t next_fid_ = 1;
+  uint16_t next_tag_ = 1;
+  uint64_t rpcs_ = 0;
+};
+
+}  // namespace help
+
+#endif  // SRC_FS_NINEP_H_

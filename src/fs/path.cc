@@ -1,0 +1,102 @@
+#include "src/fs/path.h"
+
+namespace help {
+
+std::string CleanPath(std::string_view path) {
+  bool abs = IsAbsPath(path);
+  std::vector<std::string_view> stack;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      i++;
+    }
+    size_t start = i;
+    while (i < path.size() && path[i] != '/') {
+      i++;
+    }
+    std::string_view elem = path.substr(start, i - start);
+    if (elem.empty() || elem == ".") {
+      continue;
+    }
+    if (elem == "..") {
+      if (!stack.empty() && stack.back() != "..") {
+        stack.pop_back();
+      } else if (!abs) {
+        stack.push_back(elem);  // relative paths keep leading ..
+      }
+      continue;
+    }
+    stack.push_back(elem);
+  }
+  std::string out;
+  if (abs) {
+    out = "/";
+  }
+  for (size_t k = 0; k < stack.size(); k++) {
+    if (k > 0) {
+      out += '/';
+    }
+    out += stack[k];
+  }
+  if (out.empty()) {
+    out = abs ? "/" : ".";
+  }
+  return out;
+}
+
+std::string JoinPath(std::string_view dir, std::string_view name) {
+  if (IsAbsPath(name) || dir.empty()) {
+    return CleanPath(name);
+  }
+  std::string joined(dir);
+  joined += '/';
+  joined += name;
+  return CleanPath(joined);
+}
+
+std::string BasePath(std::string_view path) {
+  std::string clean = CleanPath(path);
+  size_t slash = clean.rfind('/');
+  if (slash == std::string::npos) {
+    return clean;
+  }
+  if (clean == "/") {
+    return "/";
+  }
+  return clean.substr(slash + 1);
+}
+
+std::string DirPath(std::string_view path) {
+  std::string clean = CleanPath(path);
+  size_t slash = clean.rfind('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  if (slash == 0) {
+    return "/";
+  }
+  return clean.substr(0, slash);
+}
+
+bool IsAbsPath(std::string_view path) { return !path.empty() && path[0] == '/'; }
+
+std::vector<std::string> PathElements(std::string_view path) {
+  std::string clean = CleanPath(path);
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < clean.size()) {
+    while (i < clean.size() && clean[i] == '/') {
+      i++;
+    }
+    size_t start = i;
+    while (i < clean.size() && clean[i] != '/') {
+      i++;
+    }
+    if (i > start) {
+      out.emplace_back(clean.substr(start, i - start));
+    }
+  }
+  return out;
+}
+
+}  // namespace help

@@ -1,0 +1,36 @@
+// Path algebra for the Plan 9-style namespace: absolute, slash-separated,
+// case-sensitive paths. Cleaning resolves "." and ".." lexically (the VFS has
+// no symlinks, so lexical resolution is exact).
+#ifndef SRC_FS_PATH_H_
+#define SRC_FS_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace help {
+
+// Lexically canonicalizes: collapses //, resolves . and .., strips trailing
+// slash (except for "/"). A cleaned relative path stays relative.
+std::string CleanPath(std::string_view path);
+
+// Joins and cleans. If `name` is absolute it wins outright — this is exactly
+// help's context rule: relative names get the window's directory prepended,
+// absolute names are taken literally.
+std::string JoinPath(std::string_view dir, std::string_view name);
+
+// Final element ("base name") of a cleaned path.
+std::string BasePath(std::string_view path);
+
+// Everything but the final element; "/" for top-level names. This is the
+// "directory from the tag" used for command and file-name context.
+std::string DirPath(std::string_view path);
+
+bool IsAbsPath(std::string_view path);
+
+// Splits a cleaned path into elements ("/a/b" -> {"a","b"}; "/" -> {}).
+std::vector<std::string> PathElements(std::string_view path);
+
+}  // namespace help
+
+#endif  // SRC_FS_PATH_H_

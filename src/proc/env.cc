@@ -1,0 +1,20 @@
+#include "src/proc/env.h"
+
+namespace help {
+
+std::string Env::GetString(const std::string& name) const {
+  auto it = vars_.find(name);
+  if (it == vars_.end()) {
+    return "";
+  }
+  std::string out;
+  for (size_t i = 0; i < it->second.size(); i++) {
+    if (i > 0) {
+      out += ' ';
+    }
+    out += it->second[i];
+  }
+  return out;
+}
+
+}  // namespace help

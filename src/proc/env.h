@@ -1,0 +1,46 @@
+// Environment variables, rc style: every variable is a list of strings.
+// $helpsel (the selection context help passes to tools) and the decl
+// script's $file/$id/$line all live here.
+#ifndef SRC_PROC_ENV_H_
+#define SRC_PROC_ENV_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace help {
+
+class Env {
+ public:
+  // Opaque per-environment extension slot (the shell stores its function
+  // table here so `fn` definitions clone with the environment).
+  std::shared_ptr<void> ext;
+
+  void Set(std::string name, std::vector<std::string> value) {
+    vars_[std::move(name)] = std::move(value);
+  }
+  void SetString(std::string name, std::string value) {
+    vars_[std::move(name)] = {std::move(value)};
+  }
+  void Unset(const std::string& name) { vars_.erase(name); }
+
+  // The list value; empty list if unset.
+  std::vector<std::string> Get(const std::string& name) const {
+    auto it = vars_.find(name);
+    return it == vars_.end() ? std::vector<std::string>() : it->second;
+  }
+  // Elements joined with spaces ($"var in rc).
+  std::string GetString(const std::string& name) const;
+  bool Has(const std::string& name) const { return vars_.count(name) != 0; }
+
+  // Copy-on-spawn: child processes get a snapshot.
+  Env Clone() const { return *this; }
+
+ private:
+  std::map<std::string, std::vector<std::string>> vars_;
+};
+
+}  // namespace help
+
+#endif  // SRC_PROC_ENV_H_

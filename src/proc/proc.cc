@@ -1,0 +1,194 @@
+#include "src/proc/proc.h"
+
+#include "src/base/strings.h"
+
+namespace help {
+
+namespace {
+
+const char* StateName(ProcState s) {
+  switch (s) {
+    case ProcState::kRunning:
+      return "Running";
+    case ProcState::kBroken:
+      return "Broken";
+    case ProcState::kSleeping:
+      return "Sleeping";
+  }
+  return "Unknown";
+}
+
+std::string FormatValues(const std::vector<NamedValue>& vals) {
+  std::string out;
+  for (size_t i = 0; i < vals.size(); i++) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += StrFormat("%s=0x%llx", vals[i].name.c_str(),
+                     static_cast<unsigned long long>(vals[i].value));
+  }
+  return out;
+}
+
+}  // namespace
+
+void ProcTable::Add(ProcImage image, Vfs* vfs) {
+  int pid = image.pid;
+  if (vfs != nullptr) {
+    std::string dir = StrFormat("/proc/%d", pid);
+    vfs->MkdirAll(dir);
+    vfs->WriteFile(dir + "/status",
+                   StrFormat("%-10s %-10s %s\n", BasePath(image.program).c_str(),
+                             StateName(image.state), image.note.c_str()));
+    vfs->WriteFile(dir + "/note", image.note + "\n");
+  }
+  procs_[pid] = std::move(image);
+}
+
+const ProcImage* ProcTable::Find(int pid) const {
+  auto it = procs_.find(pid);
+  return it == procs_.end() ? nullptr : &it->second;
+}
+
+ProcImage* ProcTable::FindMutable(int pid) {
+  auto it = procs_.find(pid);
+  return it == procs_.end() ? nullptr : &it->second;
+}
+
+std::vector<const ProcImage*> ProcTable::All() const {
+  std::vector<const ProcImage*> out;
+  for (const auto& [pid, p] : procs_) {
+    out.push_back(&p);
+  }
+  return out;
+}
+
+std::vector<const ProcImage*> ProcTable::Broken() const {
+  std::vector<const ProcImage*> out;
+  for (const auto& [pid, p] : procs_) {
+    if (p.state == ProcState::kBroken) {
+      out.push_back(&p);
+    }
+  }
+  return out;
+}
+
+ProcImage MakePaperCrashImage() {
+  ProcImage p;
+  p.pid = 176153;
+  p.program = "/usr/rob/src/help/help";
+  p.srcdir = "/usr/rob/src/help";
+  p.state = ProcState::kBroken;
+  p.note = "user TLB miss (load or fetch)";
+  p.regs = {0x18df4, 0x3f4e8, 0xfb0c, 0x0};
+  p.fault_insn = "MOVW 0(R3),R5";
+  p.stack = {
+      {"strchr", 0x68, "/sys/src/libc/mips/strchr.s", 34, {{"c", 0x3c}, {"s", 0}}, {}},
+      {"strlen", 0x1c, "/sys/src/libc/port/strlen.c", 7, {{"s", 0}}, {}},
+      {"textinsert",
+       0x30,
+       "text.c",
+       32,
+       {{"sel", 1}, {"t", 0x40e60}, {"s", 0}, {"q0", 0xd}, {"full", 1}},
+       {}},
+      {"errs", 0xe8, "errs.c", 34, {{"s", 0}}, {{"n", 0x3d7cc}}},
+      {"Xdie2", 0x14, "exec.c", 252, {}, {{"p", 0x40d88}}},
+      {"lookup", 0xc4, "exec.c", 101, {{"s", 0x40be8}}, {}},
+      {"execute", 0x50, "exec.c", 207, {{"t", 0x3ebbc}, {"p0", 2}, {"p1", 2}},
+       {{"i", 0x1f}, {"n", 0xc5bf}}},
+      {"control", 0x430, "ctrl.c", 331, {}, {}},
+      {"control",
+       0,
+       "ctrl.c",
+       320,
+       {},
+       {{"t", 0x3ebbc}, {"op", 0}, {"n", 0x10}, {"p", 0x10}, {"dclick", 0x10}, {"p0", 2},
+        {"obut", 0}}},
+  };
+  p.kstack = {"syssleep+0x24", "sleep+0x68", "trap+0x1fc"};
+  return p;
+}
+
+std::string AdbStack(const ProcImage& p) {
+  std::string out;
+  out += "last exception: " + p.note;
+  // Strip the "user " prefix adb doesn't print.
+  size_t user = out.find("user ");
+  if (user != std::string::npos) {
+    out.erase(user, 5);
+  }
+  out += "\n";
+  if (p.stack.empty()) {
+    return out;
+  }
+  // Innermost frame: faulting pc with source coordinate and instruction.
+  const StackFrame& top = p.stack.front();
+  out += StrFormat("%s:%d %s+0x%llx?\t%s\n", top.file.c_str(), top.line, top.func.c_str(),
+                   static_cast<unsigned long long>(top.offset), p.fault_insn.c_str());
+  // Remaining frames: "callee(args) called from caller+off file:line", with
+  // the caller's locals indented beneath (this is the Figure 7 layout).
+  for (size_t i = 0; i + 1 < p.stack.size(); i++) {
+    const StackFrame& callee = p.stack[i];
+    const StackFrame& caller = p.stack[i + 1];
+    if (caller.offset != 0) {
+      out += StrFormat("%s(%s) called from %s+0x%llx %s:%d\n", callee.func.c_str(),
+                       FormatValues(callee.args).c_str(), caller.func.c_str(),
+                       static_cast<unsigned long long>(caller.offset), caller.file.c_str(),
+                       caller.line);
+    } else {
+      out += StrFormat("%s(%s) called from %s %s:%d\n", callee.func.c_str(),
+                       FormatValues(callee.args).c_str(), caller.func.c_str(),
+                       caller.file.c_str(), caller.line);
+    }
+    for (const NamedValue& local : caller.locals) {
+      out += StrFormat("\t%s = 0x%llx\n", local.name.c_str(),
+                       static_cast<unsigned long long>(local.value));
+    }
+  }
+  return out;
+}
+
+std::string AdbRegs(const ProcImage& p) {
+  return StrFormat("pc\t0x%llx\nsp\t0x%llx\nstatus\t0x%llx\nbadvaddr\t0x%llx\n",
+                   static_cast<unsigned long long>(p.regs.pc),
+                   static_cast<unsigned long long>(p.regs.sp),
+                   static_cast<unsigned long long>(p.regs.status),
+                   static_cast<unsigned long long>(p.regs.badvaddr));
+}
+
+std::string AdbPc(const ProcImage& p) {
+  if (p.stack.empty()) {
+    return StrFormat("0x%llx\n", static_cast<unsigned long long>(p.regs.pc));
+  }
+  const StackFrame& top = p.stack.front();
+  return StrFormat("0x%llx %s+0x%llx %s:%d\n", static_cast<unsigned long long>(p.regs.pc),
+                   top.func.c_str(), static_cast<unsigned long long>(top.offset),
+                   top.file.c_str(), top.line);
+}
+
+std::string AdbPs(const ProcTable& t) {
+  std::string out;
+  for (const ProcImage* p : t.All()) {
+    out += StrFormat("%8d %-10s %s\n", p->pid, StateName(p->state),
+                     BasePath(p->program).c_str());
+  }
+  return out;
+}
+
+std::string AdbBroke(const ProcTable& t) {
+  std::string out;
+  for (const ProcImage* p : t.Broken()) {
+    out += StrFormat("%d %s\n", p->pid, BasePath(p->program).c_str());
+  }
+  return out;
+}
+
+std::string AdbKstack(const ProcImage& p) {
+  std::string out;
+  for (const std::string& f : p.kstack) {
+    out += f + "\n";
+  }
+  return out;
+}
+
+}  // namespace help

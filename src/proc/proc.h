@@ -1,0 +1,105 @@
+// Simulated process substrate. The paper's debugging walkthrough relies on a
+// Plan 9 property: "a new version of help has crashed and a broken process
+// lies about waiting to be examined". We model a process table whose entries
+// carry symbolized call stacks, registers and a crash note, and expose them
+// at /proc/<pid>/ in the VFS — enough for the /help/db tool scripts to
+// package `adb` exactly as the paper describes.
+#ifndef SRC_PROC_PROC_H_
+#define SRC_PROC_PROC_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/fs/vfs.h"
+
+namespace help {
+
+struct NamedValue {
+  std::string name;
+  uint64_t value = 0;
+};
+
+// One activation record. `offset` is the pc offset within `func`; for the
+// innermost frame that is the faulting instruction, for outer frames it is
+// the call instruction, whose source coordinate is `file:line`.
+struct StackFrame {
+  std::string func;
+  uint64_t offset = 0;
+  std::string file;
+  int line = 0;
+  std::vector<NamedValue> args;    // this function's arguments
+  std::vector<NamedValue> locals;  // this function's locals adb prints
+};
+
+struct Registers {
+  uint64_t pc = 0;
+  uint64_t sp = 0;
+  uint64_t status = 0;
+  uint64_t badvaddr = 0;
+};
+
+enum class ProcState { kRunning, kBroken, kSleeping };
+
+struct ProcImage {
+  int pid = 0;
+  std::string program;  // binary path, e.g. /usr/rob/src/help/help
+  std::string srcdir;   // where its sources live (db tool window tag)
+  ProcState state = ProcState::kRunning;
+  std::string note;     // crash note, e.g. "user TLB miss (load or fetch)"
+  Registers regs;
+  // Innermost first. frame[0].func is where the pc stopped; its `file:line`
+  // is the faulting source coordinate.
+  std::vector<StackFrame> stack;
+  // Faulting instruction display, e.g. "MOVW 0(R3),R5".
+  std::string fault_insn;
+  // Kernel stack, for the kstack/nextkstack scripts.
+  std::vector<std::string> kstack;
+};
+
+class ProcTable {
+ public:
+  // Adds a process and publishes /proc/<pid>/{status,note} in `vfs`
+  // (pass nullptr to skip publication).
+  void Add(ProcImage image, Vfs* vfs);
+
+  const ProcImage* Find(int pid) const;
+  ProcImage* FindMutable(int pid);
+  std::vector<const ProcImage*> All() const;
+  std::vector<const ProcImage*> Broken() const;
+
+ private:
+  std::map<int, ProcImage> procs_;
+};
+
+// Builds the exact crashed-help process from the paper (pid 176153, user TLB
+// miss in strchr via strlen ← textinsert ← errs ← Xdie2 ← lookup ← execute ←
+// control) and registers it. Used by tests, figures and the debug example.
+ProcImage MakePaperCrashImage();
+
+// --- adb: the primitive debugger the db scripts package --------------------
+
+// Formats a stack trace in adb style (Figure 7): innermost frame first with
+// the faulting instruction, then "callee(args) called from caller+off file:line"
+// lines with caller locals indented beneath.
+std::string AdbStack(const ProcImage& p);
+
+// "registers" output: pc/sp/status/badvaddr.
+std::string AdbRegs(const ProcImage& p);
+
+// One-line pc report: "0x18df4 strchr+0x68 /sys/src/libc/mips/strchr.s:34".
+std::string AdbPc(const ProcImage& p);
+
+// ps-style listing of all processes.
+std::string AdbPs(const ProcTable& t);
+
+// pids of broken processes, one per line (the `broke` script).
+std::string AdbBroke(const ProcTable& t);
+
+std::string AdbKstack(const ProcImage& p);
+
+}  // namespace help
+
+#endif  // SRC_PROC_PROC_H_

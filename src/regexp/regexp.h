@@ -1,0 +1,88 @@
+// A small regular-expression engine over runes, in the spirit of Plan 9's
+// libregexp (which help linked against: see the paper's Figure 12 link line,
+// `-lregexp`). Supports literals, '.', character classes, anchors, grouping,
+// alternation, and the *, +, ? repetitions, with submatch capture.
+//
+// The implementation compiles to NFA bytecode executed by a Pike VM (thread
+// lists with capture slots), so matching is O(len(text) * len(program)) with
+// no pathological backtracking — important because Pattern searches run on
+// every window body.
+#ifndef SRC_REGEXP_REGEXP_H_
+#define SRC_REGEXP_REGEXP_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/rune.h"
+#include "src/base/status.h"
+
+namespace help {
+
+class Regexp {
+ public:
+  static constexpr int kMaxGroups = 10;  // \0 (whole match) through \9
+
+  struct MatchResult {
+    size_t begin = 0;  // rune offset of match start
+    size_t end = 0;    // rune offset one past match end
+    // Capture groups 1..9; groups[i] is {begin,end} or {npos,npos} if unset.
+    std::vector<std::pair<size_t, size_t>> groups;
+  };
+
+  // Compiles `pattern` (UTF-8). Returns an error status on syntax errors.
+  static Result<Regexp> Compile(std::string_view pattern);
+
+  // Finds the leftmost match at or after rune offset `start`. `text` is the
+  // whole document so that ^ and $ see true line boundaries.
+  std::optional<MatchResult> Search(RuneStringView text, size_t start = 0) const;
+
+  // True iff the pattern matches starting exactly at `pos`.
+  std::optional<MatchResult> MatchAt(RuneStringView text, size_t pos) const;
+
+  // Convenience for UTF-8 haystacks (offsets in the result are rune offsets).
+  std::optional<MatchResult> SearchUtf8(std::string_view text) const;
+
+  const std::string& pattern() const { return pattern_; }
+
+  Regexp(Regexp&&) = default;
+  Regexp& operator=(Regexp&&) = default;
+  Regexp(const Regexp&) = default;
+  Regexp& operator=(const Regexp&) = default;
+
+ private:
+  // NFA instructions.
+  enum class Op { kChar, kAny, kClass, kBol, kEol, kSave, kSplit, kJmp, kMatch };
+  struct ClassRange {
+    Rune lo;
+    Rune hi;
+  };
+  struct Inst {
+    Op op;
+    Rune r = 0;        // kChar
+    int x = 0;         // kSplit/kJmp target; kSave slot
+    int y = 0;         // kSplit second target
+    int class_id = 0;  // kClass
+  };
+  struct CharClass {
+    bool negated = false;
+    std::vector<ClassRange> ranges;
+    bool Contains(Rune r) const;
+  };
+
+  class Parser;
+
+  Regexp() = default;
+
+  std::optional<MatchResult> Run(RuneStringView text, size_t start, bool anchored) const;
+
+  std::string pattern_;
+  std::vector<Inst> prog_;
+  std::vector<CharClass> classes_;
+  int ngroups_ = 1;
+};
+
+}  // namespace help
+
+#endif  // SRC_REGEXP_REGEXP_H_

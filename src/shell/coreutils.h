@@ -1,0 +1,24 @@
+// The Plan 9-ish userland: native commands installed under /bin in the VFS.
+// These are what "execute any external Plan 9 command" runs, and what the
+// /help tool scripts compose. Each is a small pure function over the
+// in-memory file system and the in-memory stdin/stdout/stderr strings.
+#ifndef SRC_SHELL_COREUTILS_H_
+#define SRC_SHELL_COREUTILS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/shell/shell.h"
+
+namespace help {
+
+// Registers: cat cp mv ls grep sed wc date sort uniq head tail touch mkdir rm
+// echo fortune news ps adb sleep true false basename dirname.
+void RegisterCoreutils(Vfs* vfs, CommandRegistry* registry);
+
+// Formats a Unix timestamp like Plan 9 date(1): "Tue Apr 16 19:30:00 EDT 1991".
+std::string FormatDate(uint64_t unix_seconds);
+
+}  // namespace help
+
+#endif  // SRC_SHELL_COREUTILS_H_

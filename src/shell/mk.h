@@ -1,0 +1,43 @@
+// mk: Plan 9's make. Reads `mkfile` in the current directory, compares
+// modification times in the VFS, and runs recipes through the shell.
+//
+// Also implements the paper's future-work proposal — "a tool that ... sees
+// what source files have been modified and builds the targets that depend on
+// them" — as `mk -r` (reverse mk): instead of being told a target, it scans
+// the dependency graph for targets stale with respect to modified sources
+// and rebuilds exactly those.
+#ifndef SRC_SHELL_MK_H_
+#define SRC_SHELL_MK_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/shell/shell.h"
+
+namespace help {
+
+struct MkRule {
+  std::string target;
+  std::vector<std::string> deps;
+  std::vector<std::string> recipe;  // shell lines
+};
+
+struct Mkfile {
+  std::vector<MkRule> rules;
+  std::map<std::string, std::string> vars;
+
+  const MkRule* Find(std::string_view target) const;
+};
+
+// Parses mkfile text (tabs introduce recipe lines; NAME=value defines a
+// variable; $NAME substitutes).
+Result<Mkfile> ParseMkfile(std::string_view src);
+
+// Registers /bin/mk.
+void RegisterMk(Vfs* vfs, CommandRegistry* registry);
+
+}  // namespace help
+
+#endif  // SRC_SHELL_MK_H_

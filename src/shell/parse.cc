@@ -1,0 +1,613 @@
+// Shell parser: hand-written scanner + recursive descent, mirroring rc's
+// grammar closely enough for the tool scripts in /help.
+#include <cctype>
+
+#include "src/shell/shell.h"
+
+namespace help {
+
+namespace {
+
+bool IsWordChar(char c) {
+  switch (c) {
+    case ' ':
+    case '\t':
+    case '\n':
+    case '\r':
+    case ';':
+    case '|':
+    case '{':
+    case '}':
+    case '<':
+    case '>':
+    case '\'':
+    case '`':
+    case '$':
+    case '^':
+    case '#':
+    case '(':
+    case ')':
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool IsVarChar(char c) {
+  return isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '*';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : src_(src) {}
+
+  Result<std::shared_ptr<ShellScript>> Parse() {
+    auto script = ParseScript(/*in_block=*/false);
+    if (!script.ok()) {
+      return script;
+    }
+    if (!AtEnd()) {
+      return Err("unexpected '" + std::string(1, Peek()) + "'");
+    }
+    return script;
+  }
+
+ private:
+  // --- scanning helpers ---
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek() const { return src_[pos_]; }
+  char PeekAt(size_t k) const { return pos_ + k < src_.size() ? src_[pos_ + k] : '\0'; }
+  void Advance() { pos_++; }
+
+  void SkipBlanks() {  // spaces/tabs and comments, not newlines
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\r') {
+        Advance();
+      } else if (c == '#') {
+        while (!AtEnd() && Peek() != '\n') {
+          Advance();
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  void SkipBlanksAndNewlines() {
+    while (true) {
+      SkipBlanks();
+      if (!AtEnd() && Peek() == '\n') {
+        Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status Err(std::string msg) const { return Status::Error("rc: " + std::move(msg)); }
+
+  // --- grammar ---
+
+  Result<std::shared_ptr<ShellScript>> ParseScript(bool in_block) {
+    auto script = std::make_shared<ShellScript>();
+    while (true) {
+      SkipBlanksAndNewlines();
+      if (AtEnd()) {
+        if (in_block) {
+          return Err("missing '}'");
+        }
+        break;
+      }
+      if (Peek() == '}') {
+        if (!in_block) {
+          return Err("unexpected '}'");
+        }
+        break;  // caller consumes
+      }
+      auto line = ParsePipeline();
+      if (!line.ok()) {
+        return line.status();
+      }
+      script->lines.push_back(line.take());
+      SkipBlanks();
+      if (!AtEnd() && (Peek() == '\n' || Peek() == ';')) {
+        Advance();
+      }
+    }
+    return script;
+  }
+
+  Result<Pipeline> ParsePipeline() {
+    Pipeline p;
+    while (true) {
+      auto cmd = ParseCmd();
+      if (!cmd.ok()) {
+        return cmd.status();
+      }
+      p.cmds.push_back(cmd.take());
+      SkipBlanks();
+      if (!AtEnd() && Peek() == '|') {
+        Advance();
+        SkipBlanksAndNewlines();  // a pipe at end of line continues it
+        continue;
+      }
+      break;
+    }
+    return p;
+  }
+
+  // True when the upcoming bare word is exactly `kw` (a control keyword in
+  // command position).
+  bool AtKeyword(std::string_view kw) {
+    size_t k = 0;
+    for (; k < kw.size(); k++) {
+      if (PeekAt(k) != kw[k]) {
+        return false;
+      }
+    }
+    char after = PeekAt(k);
+    return !IsWordChar(after) || after == '\0';
+  }
+
+  // Parses '(' script ')' — the condition of if/while.
+  Result<std::shared_ptr<ShellScript>> ParseParenScript() {
+    SkipBlanks();
+    if (AtEnd() || Peek() != '(') {
+      return Err("expected '('");
+    }
+    Advance();
+    auto script = std::make_shared<ShellScript>();
+    while (true) {
+      SkipBlanksAndNewlines();
+      if (AtEnd()) {
+        return Err("missing ')'");
+      }
+      if (Peek() == ')') {
+        Advance();
+        break;
+      }
+      auto line = ParsePipeline();
+      if (!line.ok()) {
+        return line.status();
+      }
+      script->lines.push_back(line.take());
+      SkipBlanks();
+      if (!AtEnd() && (Peek() == ';' || Peek() == '\n')) {
+        Advance();
+      }
+    }
+    return script;
+  }
+
+  // Parses the body of a control structure: a single command (possibly a
+  // block or another control structure), wrapped as a one-line script.
+  Result<std::shared_ptr<ShellScript>> ParseBodyCmd() {
+    SkipBlanksAndNewlines();
+    auto pipeline = ParsePipeline();
+    if (!pipeline.ok()) {
+      return pipeline.status();
+    }
+    auto script = std::make_shared<ShellScript>();
+    script->lines.push_back(pipeline.take());
+    return script;
+  }
+
+  Result<ShellCmd> ParseControl() {
+    ShellCmd cmd;
+    if (AtKeyword("if")) {
+      pos_ += 2;
+      SkipBlanks();
+      if (AtKeyword("not")) {
+        pos_ += 3;
+        cmd.kind = ShellCmd::Kind::kIfNot;
+        auto body = ParseBodyCmd();
+        if (!body.ok()) {
+          return body.status();
+        }
+        cmd.body = body.take();
+        return cmd;
+      }
+      cmd.kind = ShellCmd::Kind::kIf;
+      auto cond = ParseParenScript();
+      if (!cond.ok()) {
+        return cond.status();
+      }
+      cmd.cond = cond.take();
+      auto body = ParseBodyCmd();
+      if (!body.ok()) {
+        return body.status();
+      }
+      cmd.body = body.take();
+      return cmd;
+    }
+    if (AtKeyword("while")) {
+      pos_ += 5;
+      cmd.kind = ShellCmd::Kind::kWhile;
+      auto cond = ParseParenScript();
+      if (!cond.ok()) {
+        return cond.status();
+      }
+      cmd.cond = cond.take();
+      auto body = ParseBodyCmd();
+      if (!body.ok()) {
+        return body.status();
+      }
+      cmd.body = body.take();
+      return cmd;
+    }
+    if (AtKeyword("for")) {
+      pos_ += 3;
+      cmd.kind = ShellCmd::Kind::kFor;
+      SkipBlanks();
+      if (AtEnd() || Peek() != '(') {
+        return Err("for: expected '('");
+      }
+      Advance();
+      SkipBlanks();
+      std::string var;
+      while (!AtEnd() && (isalnum(static_cast<unsigned char>(Peek())) != 0 || Peek() == '_')) {
+        var.push_back(Peek());
+        Advance();
+      }
+      if (var.empty()) {
+        return Err("for: missing variable");
+      }
+      cmd.var = var;
+      SkipBlanks();
+      if (AtKeyword("in")) {
+        pos_ += 2;
+        cmd.for_in = true;
+        while (true) {
+          SkipBlanks();
+          if (AtEnd()) {
+            return Err("for: missing ')'");
+          }
+          if (Peek() == ')') {
+            break;
+          }
+          auto w = ParseWord();
+          if (!w.ok()) {
+            return w.status();
+          }
+          cmd.for_list.push_back(w.take());
+        }
+      }
+      SkipBlanks();
+      if (AtEnd() || Peek() != ')') {
+        return Err("for: missing ')'");
+      }
+      Advance();
+      auto body = ParseBodyCmd();
+      if (!body.ok()) {
+        return body.status();
+      }
+      cmd.body = body.take();
+      return cmd;
+    }
+    if (AtKeyword("switch")) {
+      pos_ += 6;
+      cmd.kind = ShellCmd::Kind::kSwitch;
+      SkipBlanks();
+      if (AtEnd() || Peek() != '(') {
+        return Err("switch: expected '('");
+      }
+      Advance();
+      SkipBlanks();
+      auto subject = ParseWord();
+      if (!subject.ok()) {
+        return subject.status();
+      }
+      cmd.subject = subject.take();
+      SkipBlanks();
+      if (AtEnd() || Peek() != ')') {
+        return Err("switch: missing ')'");
+      }
+      Advance();
+      SkipBlanksAndNewlines();
+      if (AtEnd() || Peek() != '{') {
+        return Err("switch: expected '{'");
+      }
+      Advance();
+      // Clauses: `case pat...` followed by commands until the next case/'}'.
+      while (true) {
+        SkipBlanksAndNewlines();
+        if (AtEnd()) {
+          return Err("switch: missing '}'");
+        }
+        if (Peek() == '}') {
+          Advance();
+          break;
+        }
+        if (!AtKeyword("case")) {
+          return Err("switch: expected 'case'");
+        }
+        pos_ += 4;
+        CaseClause clause;
+        while (true) {
+          SkipBlanks();
+          if (AtEnd()) {
+            return Err("switch: unterminated case");
+          }
+          if (Peek() == '\n' || Peek() == ';') {
+            Advance();
+            break;
+          }
+          auto w = ParseWord();
+          if (!w.ok()) {
+            return w.status();
+          }
+          clause.patterns.push_back(w.take());
+        }
+        clause.body = std::make_shared<ShellScript>();
+        while (true) {
+          SkipBlanksAndNewlines();
+          if (AtEnd() || Peek() == '}' || AtKeyword("case")) {
+            break;
+          }
+          auto line = ParsePipeline();
+          if (!line.ok()) {
+            return line.status();
+          }
+          clause.body->lines.push_back(line.take());
+          SkipBlanks();
+          if (!AtEnd() && (Peek() == '\n' || Peek() == ';')) {
+            Advance();
+          }
+        }
+        cmd.cases.push_back(std::move(clause));
+      }
+      return cmd;
+    }
+    if (AtKeyword("fn")) {
+      pos_ += 2;
+      cmd.kind = ShellCmd::Kind::kFnDef;
+      SkipBlanks();
+      std::string name;
+      while (!AtEnd() && IsWordChar(Peek())) {
+        name.push_back(Peek());
+        Advance();
+      }
+      if (name.empty()) {
+        return Err("fn: missing name");
+      }
+      cmd.var = name;
+      SkipBlanksAndNewlines();
+      if (AtEnd() || Peek() != '{') {
+        return Err("fn: expected '{'");
+      }
+      Advance();
+      auto body = ParseScript(/*in_block=*/true);
+      if (!body.ok()) {
+        return body.status();
+      }
+      if (AtEnd() || Peek() != '}') {
+        return Err("fn: missing '}'");
+      }
+      Advance();
+      cmd.body = body.take();
+      return cmd;
+    }
+    return Err("not a control structure");
+  }
+
+  bool AtControlKeyword() {
+    return AtKeyword("if") || AtKeyword("for") || AtKeyword("while") ||
+           AtKeyword("switch") || AtKeyword("fn");
+  }
+
+  Result<ShellCmd> ParseCmd() {
+    ShellCmd cmd;
+    SkipBlanks();
+    if (AtEnd()) {
+      return Err("missing command");
+    }
+    if (AtControlKeyword()) {
+      return ParseControl();
+    }
+    if (Peek() == '{') {
+      Advance();
+      auto block = ParseScript(/*in_block=*/true);
+      if (!block.ok()) {
+        return block.status();
+      }
+      if (AtEnd() || Peek() != '}') {
+        return Err("missing '}'");
+      }
+      Advance();
+      cmd.block = block.take();
+    } else {
+      // Leading assignments: NAME '=' with no intervening space, repeated.
+      while (true) {
+        SkipBlanks();
+        size_t save = pos_;
+        std::string name;
+        while (!AtEnd() &&
+               (isalnum(static_cast<unsigned char>(Peek())) != 0 || Peek() == '_')) {
+          name.push_back(Peek());
+          Advance();
+        }
+        if (name.empty() || AtEnd() || Peek() != '=') {
+          pos_ = save;
+          break;
+        }
+        Advance();  // '='
+        std::vector<Word> value;
+        if (!AtEnd() && Peek() == '(') {
+          // rc list literal: name=(w1 w2 ...).
+          Advance();
+          while (true) {
+            SkipBlanks();
+            if (AtEnd()) {
+              return Err("missing ')' in list");
+            }
+            if (Peek() == ')') {
+              Advance();
+              break;
+            }
+            auto v = ParseWord();
+            if (!v.ok()) {
+              return v.status();
+            }
+            value.push_back(v.take());
+          }
+        } else if (!AtEnd() && IsWordStart(Peek())) {
+          auto v = ParseWord();
+          if (!v.ok()) {
+            return v.status();
+          }
+          value.push_back(v.take());
+        }
+        cmd.assigns.emplace_back(std::move(name), std::move(value));
+      }
+      while (true) {
+        SkipBlanks();
+        if (AtEnd() || !IsWordStart(Peek())) {
+          break;
+        }
+        auto word = ParseWord();
+        if (!word.ok()) {
+          return word.status();
+        }
+        cmd.words.push_back(word.take());
+      }
+      if (cmd.words.empty() && cmd.assigns.empty()) {
+        return Err(AtEnd() ? "missing command" : std::string("unexpected '") + Peek() + "'");
+      }
+    }
+    if (cmd.block != nullptr) {
+      cmd.kind = ShellCmd::Kind::kBlock;
+    }
+    // Redirections after the command or block.
+    while (true) {
+      SkipBlanks();
+      if (AtEnd()) {
+        break;
+      }
+      Redir::Kind kind;
+      if (Peek() == '>') {
+        Advance();
+        if (!AtEnd() && Peek() == '>') {
+          Advance();
+          kind = Redir::Kind::kAppend;
+        } else {
+          kind = Redir::Kind::kOut;
+        }
+      } else if (Peek() == '<') {
+        Advance();
+        kind = Redir::Kind::kIn;
+      } else {
+        break;
+      }
+      SkipBlanks();
+      if (AtEnd() || !IsWordStart(Peek())) {
+        return Err("missing redirection target");
+      }
+      auto target = ParseWord();
+      if (!target.ok()) {
+        return target.status();
+      }
+      cmd.redirs.push_back({kind, target.take()});
+    }
+    return cmd;
+  }
+
+  static bool IsWordStart(char c) {
+    return IsWordChar(c) || c == '\'' || c == '$' || c == '`' || c == '^';
+  }
+
+  Result<Word> ParseWord() {
+    Word w;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (IsWordChar(c)) {
+        WordFrag f;
+        f.kind = WordFrag::Kind::kLit;
+        while (!AtEnd() && IsWordChar(Peek())) {
+          f.text.push_back(Peek());
+          Advance();
+        }
+        w.frags.push_back(std::move(f));
+      } else if (c == '^') {
+        Advance();  // explicit concatenation: just keep appending frags
+      } else if (c == '\'') {
+        Advance();
+        WordFrag f;
+        f.kind = WordFrag::Kind::kQuoted;
+        while (true) {
+          if (AtEnd()) {
+            return Err("missing closing quote");
+          }
+          if (Peek() == '\'') {
+            Advance();
+            if (!AtEnd() && Peek() == '\'') {  // '' inside quotes = literal '
+              f.text.push_back('\'');
+              Advance();
+              continue;
+            }
+            break;
+          }
+          f.text.push_back(Peek());
+          Advance();
+        }
+        w.frags.push_back(std::move(f));
+      } else if (c == '$') {
+        Advance();
+        WordFrag f;
+        f.kind = WordFrag::Kind::kVar;
+        if (!AtEnd() && Peek() == '#') {  // $#var: element count
+          f.text.push_back('#');
+          Advance();
+        }
+        if (AtEnd() || !IsVarChar(Peek())) {
+          return Err("bad variable reference");
+        }
+        if (Peek() == '*') {
+          f.text.push_back('*');
+          Advance();
+        } else {
+          while (!AtEnd() && IsVarChar(Peek()) && Peek() != '*') {
+            f.text.push_back(Peek());
+            Advance();
+          }
+        }
+        w.frags.push_back(std::move(f));
+      } else if (c == '`') {
+        Advance();
+        if (AtEnd() || Peek() != '{') {
+          return Err("expected '{' after '`'");
+        }
+        Advance();
+        auto script = ParseScript(/*in_block=*/true);
+        if (!script.ok()) {
+          return script.status();
+        }
+        if (AtEnd() || Peek() != '}') {
+          return Err("missing '}' in command substitution");
+        }
+        Advance();
+        WordFrag f;
+        f.kind = WordFrag::Kind::kBackquote;
+        f.script = script.take();
+        w.frags.push_back(std::move(f));
+      } else {
+        break;
+      }
+    }
+    if (w.frags.empty()) {
+      return Err("empty word");
+    }
+    return w;
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<ShellScript>> ParseShell(std::string_view src) {
+  return Parser(src).Parse();
+}
+
+}  // namespace help

@@ -1,0 +1,123 @@
+#include "src/text/address.h"
+
+#include <cctype>
+
+#include "src/base/strings.h"
+#include "src/regexp/regexp.h"
+
+namespace help {
+
+FileAddress SplitFileAddress(std::string_view s) {
+  for (size_t i = 0; i + 1 < s.size(); i++) {
+    if (s[i] != ':') {
+      continue;
+    }
+    char next = s[i + 1];
+    if (isdigit(static_cast<unsigned char>(next)) || next == '#' || next == '/' ||
+        next == '$') {
+      return {std::string(s.substr(0, i)), std::string(s.substr(i + 1))};
+    }
+  }
+  return {std::string(s), std::string()};
+}
+
+namespace {
+
+// Evaluates one simple address starting at (*addr); consumes what it parses.
+Result<Selection> EvalSimple(const Text& t, std::string_view* addr) {
+  if (addr->empty()) {
+    return Status::Error("address: empty");
+  }
+  char c = (*addr)[0];
+  if (isdigit(static_cast<unsigned char>(c))) {
+    size_t i = 0;
+    while (i < addr->size() && isdigit(static_cast<unsigned char>((*addr)[i]))) {
+      i++;
+    }
+    long line = ParseInt(addr->substr(0, i));
+    addr->remove_prefix(i);
+    if (line <= 0) {
+      return Status::Error("address: bad line number");
+    }
+    return t.LineRange(static_cast<size_t>(line));
+  }
+  if (c == '#') {
+    addr->remove_prefix(1);
+    size_t i = 0;
+    while (i < addr->size() && isdigit(static_cast<unsigned char>((*addr)[i]))) {
+      i++;
+    }
+    long off = ParseInt(addr->substr(0, i));
+    addr->remove_prefix(i);
+    if (off < 0) {
+      return Status::Error("address: bad character offset");
+    }
+    size_t pos = std::min(static_cast<size_t>(off), t.size());
+    return Selection{pos, pos};
+  }
+  if (c == '$') {
+    addr->remove_prefix(1);
+    return Selection{t.size(), t.size()};
+  }
+  if (c == '/') {
+    addr->remove_prefix(1);
+    std::string pattern;
+    while (!addr->empty() && (*addr)[0] != '/') {
+      if ((*addr)[0] == '\\' && addr->size() > 1 && (*addr)[1] == '/') {
+        pattern += '/';
+        addr->remove_prefix(2);
+        continue;
+      }
+      pattern += (*addr)[0];
+      addr->remove_prefix(1);
+    }
+    if (!addr->empty()) {
+      addr->remove_prefix(1);  // closing '/'
+    }
+    if (pattern.empty()) {
+      // sam's bare // repeats the previous pattern; with no such memory an
+      // empty pattern is an error rather than a match-everything.
+      return Status::Error("address: empty regexp");
+    }
+    auto re = Regexp::Compile(pattern);
+    if (!re.ok()) {
+      return re.status();
+    }
+    RuneString all = t.ReadAll();
+    auto m = re.value().Search(all);
+    if (!m) {
+      return Status::Error("address: no match for /" + pattern + "/");
+    }
+    return Selection{m->begin, m->end};
+  }
+  return Status::Error("address: bad syntax");
+}
+
+}  // namespace
+
+Result<Selection> EvalAddress(const Text& t, std::string_view addr) {
+  auto first = EvalSimple(t, &addr);
+  if (!first.ok()) {
+    return first;
+  }
+  if (!addr.empty() && addr[0] == ',') {
+    addr.remove_prefix(1);
+    auto second = EvalSimple(t, &addr);
+    if (!second.ok()) {
+      return second;
+    }
+    if (!addr.empty()) {
+      return Status::Error("address: trailing junk");
+    }
+    if (second.value().q1 < first.value().q0) {
+      return Status::Error("address: range out of order");
+    }
+    return Selection{first.value().q0, second.value().q1};
+  }
+  if (!addr.empty()) {
+    return Status::Error("address: trailing junk");
+  }
+  return first;
+}
+
+}  // namespace help

@@ -1,0 +1,37 @@
+// Address syntax: `Open help.c:27` positions a window at a location. The
+// paper notes the syntax "permits specifying general locations, although only
+// line numbers will be used"; we implement the general form, a subset of
+// sam's addresses:
+//
+//   27          line 27 (the whole line becomes the selection)
+//   #512        the null selection at rune offset 512
+//   /regexp/    the first match of regexp
+//   $           the end of the file
+//   a1,a2       from the start of a1 through the end of a2
+#ifndef SRC_TEXT_ADDRESS_H_
+#define SRC_TEXT_ADDRESS_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/text/text.h"
+
+namespace help {
+
+struct FileAddress {
+  std::string file;  // may be relative; context rules resolve it
+  std::string addr;  // empty when no address was given
+};
+
+// Splits "name:addr" into its parts. The colon must be followed by a valid
+// address lead-in (digit, '#', '/', '$'); otherwise the whole string is a
+// file name (so DOS-style or odd names don't mis-split).
+FileAddress SplitFileAddress(std::string_view s);
+
+// Evaluates `addr` against `t`, returning the selection it denotes.
+Result<Selection> EvalAddress(const Text& t, std::string_view addr);
+
+}  // namespace help
+
+#endif  // SRC_TEXT_ADDRESS_H_

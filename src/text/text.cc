@@ -1,0 +1,207 @@
+#include "src/text/text.h"
+
+#include <algorithm>
+
+namespace help {
+
+void Text::Insert(size_t pos, RuneStringView s) {
+  if (s.empty()) {
+    return;
+  }
+  pos = std::min(pos, size());
+  buf_.Insert(pos, s);
+  undo_.push_back({true, pos, RuneString(s), change_id_});
+  redo_.clear();
+  dirty_ = true;
+  version_++;
+}
+
+void Text::Delete(size_t pos, size_t n) {
+  if (n == 0 || pos >= size()) {
+    return;
+  }
+  RuneString removed = buf_.Delete(pos, n);
+  if (removed.empty()) {
+    return;
+  }
+  undo_.push_back({false, pos, std::move(removed), change_id_});
+  redo_.clear();
+  dirty_ = true;
+  version_++;
+}
+
+void Text::Replace(size_t q0, size_t q1, RuneStringView s) {
+  if (q1 > q0) {
+    Delete(q0, q1 - q0);
+  }
+  Insert(q0, s);
+}
+
+void Text::InsertNoUndo(size_t pos, RuneStringView s) {
+  if (s.empty()) {
+    return;
+  }
+  buf_.Insert(std::min(pos, size()), s);
+  version_++;
+}
+
+void Text::DeleteNoUndo(size_t pos, size_t n) {
+  buf_.Delete(pos, n);
+  version_++;
+}
+
+void Text::SetAll(std::string_view utf8) {
+  buf_.Delete(0, size());
+  buf_.Insert(0, RunesFromUtf8(utf8));
+  undo_.clear();
+  redo_.clear();
+  dirty_ = false;
+  version_++;
+}
+
+Text::Change Text::Invert(const Change& c) const {
+  return {!c.insert, c.pos, c.s, c.group};
+}
+
+void Text::Apply(const Change& c, size_t* touched) {
+  if (c.insert) {
+    buf_.Insert(c.pos, c.s);
+  } else {
+    buf_.Delete(c.pos, c.s.size());
+  }
+  if (touched != nullptr) {
+    *touched = std::min(*touched, c.pos);
+  }
+  version_++;
+}
+
+bool Text::Undo(size_t* touched) {
+  if (undo_.empty()) {
+    return false;
+  }
+  size_t low = size();
+  uint64_t group = undo_.back().group;
+  while (!undo_.empty() && undo_.back().group == group) {
+    Change c = std::move(undo_.back());
+    undo_.pop_back();
+    Apply(Invert(c), &low);
+    redo_.push_back(std::move(c));
+  }
+  if (touched != nullptr) {
+    *touched = low;
+  }
+  dirty_ = true;
+  return true;
+}
+
+bool Text::Redo(size_t* touched) {
+  if (redo_.empty()) {
+    return false;
+  }
+  size_t low = size();
+  uint64_t group = redo_.back().group;
+  while (!redo_.empty() && redo_.back().group == group) {
+    Change c = std::move(redo_.back());
+    redo_.pop_back();
+    Apply(c, &low);
+    undo_.push_back(std::move(c));
+  }
+  if (touched != nullptr) {
+    *touched = low;
+  }
+  dirty_ = true;
+  return true;
+}
+
+size_t Text::LineCount() const {
+  size_t n = 1;
+  size_t sz = size();
+  for (size_t i = 0; i < sz; i++) {
+    if (buf_.At(i) == '\n' && i + 1 < sz) {
+      n++;
+    }
+  }
+  return n;
+}
+
+size_t Text::LineStart(size_t line) const {
+  if (line <= 1) {
+    return 0;
+  }
+  size_t sz = size();
+  size_t cur = 1;
+  for (size_t i = 0; i < sz; i++) {
+    if (buf_.At(i) == '\n') {
+      cur++;
+      if (cur == line) {
+        return i + 1;
+      }
+    }
+  }
+  // Past the last line: clamp to the start of the final line.
+  size_t i = sz;
+  while (i > 0 && buf_.At(i - 1) != '\n') {
+    i--;
+  }
+  return i;
+}
+
+size_t Text::LineEndAt(size_t pos) const {
+  size_t sz = size();
+  pos = std::min(pos, sz);
+  while (pos < sz && buf_.At(pos) != '\n') {
+    pos++;
+  }
+  return pos;
+}
+
+size_t Text::LineAt(size_t pos) const {
+  size_t sz = size();
+  pos = std::min(pos, sz);
+  size_t line = 1;
+  for (size_t i = 0; i < pos; i++) {
+    if (buf_.At(i) == '\n') {
+      line++;
+    }
+  }
+  return line;
+}
+
+Selection Text::LineRange(size_t line) const {
+  size_t start = LineStart(line);
+  size_t end = LineEndAt(start);
+  if (end < size()) {
+    end++;  // sam semantics: a line address includes its newline
+  }
+  return {start, end};
+}
+
+Selection Text::ExpandWord(size_t pos) const {
+  size_t sz = size();
+  pos = std::min(pos, sz);
+  size_t q0 = pos;
+  size_t q1 = pos;
+  while (q0 > 0 && IsWordRune(buf_.At(q0 - 1))) {
+    q0--;
+  }
+  while (q1 < sz && IsWordRune(buf_.At(q1))) {
+    q1++;
+  }
+  return {q0, q1};
+}
+
+Selection Text::ExpandFilename(size_t pos) const {
+  size_t sz = size();
+  pos = std::min(pos, sz);
+  size_t q0 = pos;
+  size_t q1 = pos;
+  while (q0 > 0 && IsFilenameRune(buf_.At(q0 - 1))) {
+    q0--;
+  }
+  while (q1 < sz && IsFilenameRune(buf_.At(q1))) {
+    q1++;
+  }
+  return {q0, q1};
+}
+
+}  // namespace help

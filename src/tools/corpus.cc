@@ -1,0 +1,743 @@
+// BuildPaperWorld: the file tree and process state the paper's figures show.
+// Every source coordinate a figure cites is placed on its exact line:
+//   dat.h:136        uchar *n;                      (the declaration)
+//   help.c:35        n = (uchar*)"a test string";   (the initialization)
+//   exec.c:101       call through the command table (lookup -> Xdie2)
+//   exec.c:207       execute calls lookup
+//   exec.c:213       Xdie1 clears n                 (the bug)
+//   exec.c:252       Xdie2 passes n to errs
+//   errs.c:34        errs calls textinsert
+//   text.c:32        textinsert calls strlen
+//   ctrl.c:320,331   control's loop and its call to execute
+//   /sys/src/libc/mips/strchr.s:34   the faulting MOVW
+//   /sys/src/libc/port/strlen.c:7    strlen's body
+#include "src/base/strings.h"
+#include "src/tools/tools.h"
+
+namespace help {
+
+namespace {
+
+// Builds a file line by line; At(n, s) pads with blank lines so `s` lands on
+// 1-based line n exactly.
+class Src {
+ public:
+  Src& L(std::string_view line) {
+    out_ += line;
+    out_ += '\n';
+    line_++;
+    return *this;
+  }
+  Src& At(int lineno, std::string_view line) {
+    while (line_ < lineno) {
+      L("");
+    }
+    if (line_ != lineno) {
+      // A miscounted layout is a bug in the corpus itself.
+      out_ += StrFormat("#error line mismatch: want %d have %d\n", lineno, line_);
+    }
+    return L(line);
+  }
+  int next_line() const { return line_; }
+  std::string Build() { return std::move(out_); }
+
+ private:
+  std::string out_;
+  int line_ = 1;  // the line L() will write next
+};
+
+void W(Vfs& vfs, std::string_view path, std::string_view content) {
+  vfs.MkdirAll(DirPath(path));
+  vfs.WriteFile(path, content);
+}
+
+void SysHeaders(Vfs& vfs) {
+  W(vfs, "/sys/include/u.h",
+    "typedef unsigned char uchar;\n"
+    "typedef unsigned short ushort;\n"
+    "typedef unsigned int uint;\n"
+    "typedef unsigned long ulong;\n"
+    "typedef unsigned long long uvlong;\n");
+  W(vfs, "/sys/include/libc.h",
+    "typedef struct Dir Dir;\n"
+    "struct Dir\n"
+    "{\n"
+    "\tchar name[28];\n"
+    "\tlong length;\n"
+    "\tlong mtime;\n"
+    "};\n"
+    "extern char *strchr(char*, int);\n"
+    "extern long strlen(char*);\n"
+    "extern int strcmp(char*, char*);\n"
+    "extern int access(char*, int);\n"
+    "extern void exits(char*);\n"
+    "extern int fprint(int, char*, ...);\n"
+    "extern int print(char*, ...);\n");
+  W(vfs, "/sys/include/libg.h",
+    "typedef struct Point Point;\n"
+    "typedef struct Rectangle Rectangle;\n"
+    "struct Point\n"
+    "{\n"
+    "\tint x;\n"
+    "\tint y;\n"
+    "};\n"
+    "struct Rectangle\n"
+    "{\n"
+    "\tPoint min;\n"
+    "\tPoint max;\n"
+    "};\n");
+  W(vfs, "/sys/include/libframe.h",
+    "typedef struct Frame Frame;\n"
+    "struct Frame\n"
+    "{\n"
+    "\tint nlines;\n"
+    "\tint maxlines;\n"
+    "};\n"
+    "extern void frinsert(Text*, uchar**, long);\n");
+}
+
+std::string DatH() {
+  Src s;
+  s.L("typedef struct Addr Addr;");
+  s.L("typedef struct Client Client;");
+  s.L("typedef struct Page Page;");
+  s.L("typedef struct Proc Proc;");
+  s.L("typedef struct String String;");
+  s.L("typedef struct Text Text;");
+  s.L("");
+  s.L("struct Addr");
+  s.L("{");
+  s.L("\tText *t;");
+  s.L("\tlong q0;");
+  s.L("\tlong q1;");
+  s.L("};");
+  s.L("");
+  s.L("struct String");
+  s.L("{");
+  s.L("\tuchar *s;");
+  s.L("\tint len;");
+  s.L("};");
+  s.L("");
+  s.L("struct Text");
+  s.L("{");
+  s.L("\tlong org;");
+  s.L("\tlong nchars;");
+  s.L("\tlong q0;");
+  s.L("\tlong q1;");
+  s.L("\tText *next;");
+  s.L("\tPage *page;");
+  s.L("};");
+  s.L("");
+  s.L("struct Page");
+  s.L("{");
+  s.L("\tText *text;");
+  s.L("\tPage *link;");
+  s.L("\tint nwin;");
+  s.L("};");
+  s.L("");
+  s.L("struct Client");
+  s.L("{");
+  s.L("\tint fd;");
+  s.L("\tPage *p;");
+  s.L("};");
+  s.L("");
+  s.L("struct Proc");
+  s.L("{");
+  s.L("\tint pid;");
+  s.L("\tchar *cmd;");
+  s.L("};");
+  s.L("");
+  s.L("/*");
+  s.L(" * globals");
+  s.L(" */");
+  s.At(136, "uchar *n;");
+  s.At(137, "int fn;");
+  s.L("Page *page;");
+  s.L("Text *curt;");
+  s.L("int ncmd;");
+  return s.Build();
+}
+
+std::string FnsH() {
+  return
+      "void\tcontrol(void);\n"
+      "void\terrs(uchar*);\n"
+      "void\texecute(Text*, long, long);\n"
+      "Page*\tfindopen1(Page*, char*);\n"
+      "int\tlookup(String*);\n"
+      "Text*\tnewtext(void);\n"
+      "void\tnewsel(Text*);\n"
+      "String*\tgetsel(Text*, long, long);\n"
+      "void\tstrinsert(Text*, uchar*, int, long);\n"
+      "void\ttextinsert(int, Text*, uchar*, long, int);\n"
+      "int\twaitevent(void);\n"
+      "void\tXdie1(int, char**, Page*, Text*);\n"
+      "void\tXdie2(int, char**, Page*, Text*);\n";
+}
+
+std::string Includes() {
+  return
+      "#include <u.h>\n"
+      "#include <libc.h>\n"
+      "#include <libg.h>\n"
+      "#include <libframe.h>\n"
+      "#include \"dat.h\"\n"
+      "#include \"fns.h\"\n";
+}
+
+std::string HelpC() {
+  Src s;
+  s.L("#include <u.h>");
+  s.L("#include <libc.h>");
+  s.L("#include <libg.h>");
+  s.L("#include <libframe.h>");
+  s.L("#include \"dat.h\"");
+  s.L("#include \"fns.h\"");
+  s.L("");
+  s.L("int\tmouseslave;");
+  s.L("int\tkbdslave;");
+  s.L("");
+  s.L("/*");
+  s.L(" * help: a combined editor, window system and shell.");
+  s.L(" * main() checks for a running instance, loads the tools,");
+  s.L(" * and hands control to the event loop.");
+  s.L(" */");
+  s.At(25, "void");
+  s.L("main(int argc, char *argv[])");
+  s.L("{");
+  s.L("\tint i;");
+  s.L("\tchar *s;");
+  s.L("");
+  s.L("\ti = 0;");
+  s.L("\ts = 0;");
+  s.At(33, "\tDir d;");
+  s.L("\tRectangle r;");
+  s.At(35, "\tn = (uchar*)\"a test string\";");
+  s.L("\tif(access(\"/mnt/help/new\", 0) == 0){");
+  s.L("\t\tfprint(2, \"help: already running\\n\");");
+  s.L("\t\texits(\"running\");");
+  s.L("\t}");
+  s.At(40, "\tfn = 0;");
+  s.L("\tswitch(argc){");
+  s.L("\tcase 'f':");
+  s.L("\t\ti = 1;");
+  s.L("\t\tbreak;");
+  s.L("\t}");
+  s.L("\tcontrol();");
+  s.L("\texits(s);");
+  s.L("}");
+  return s.Build();
+}
+
+std::string ExecC() {
+  Src s;
+  std::string inc = Includes();
+  s.L("#include <u.h>");
+  s.L("#include <libc.h>");
+  s.L("#include <libg.h>");
+  s.L("#include <libframe.h>");
+  s.L("#include \"dat.h\"");
+  s.L("#include \"fns.h\"");
+  s.L("");
+  s.L("typedef struct Cmd Cmd;");
+  s.L("struct Cmd");
+  s.L("{");
+  s.L("\tchar *name;");
+  s.L("\tvoid (*f)(int, char**, Page*, Text*);");
+  s.L("};");
+  s.L("");
+  s.L("static Cmd cmdtab[] = {");
+  s.L("\t{\"die1\", Xdie1},");
+  s.L("\t{\"die2\", Xdie2},");
+  s.L("\t{0, 0},");
+  s.L("};");
+  s.L("");
+  s.L("/*");
+  s.L(" * Look a command name up in the table and run it.");
+  s.L(" */");
+  s.At(90, "int");
+  s.L("lookup(String *cs)");
+  s.L("{");
+  s.L("\tint i;");
+  s.L("\tCmd *c;");
+  s.L("");
+  s.L("\tfor(i = 0; i < ncmd; i++){");
+  s.L("\t\tc = &cmdtab[i];");
+  s.L("\t\tif(strcmp(c->name, (char*)cs->s) == 0){");
+  s.L("\t\t\tif(c->f == 0)");
+  s.At(100, "\t\t\t\treturn 0;");
+  s.At(101, "\t\t\t(*c->f)(0, 0, page, curt);");
+  s.L("\t\t\treturn 1;");
+  s.L("\t\t}");
+  s.L("\t}");
+  s.L("\treturn 0;");
+  s.L("}");
+  s.L("");
+  s.At(199, "void");
+  s.At(200, "execute(Text *t, long p0, long p1)");
+  s.L("{");
+  s.L("\tString *cs;");
+  s.L("");
+  s.L("\tcs = getsel(t, p0, p1);");
+  s.L("\tif(cs == 0)");
+  s.L("\t\treturn;");
+  s.At(207, "\tlookup(cs);");
+  s.L("}");
+  s.L("");
+  s.At(210, "void");
+  s.At(211, "Xdie1(int argc, char *argv[], Page *page, Text *curt)");
+  s.L("{");
+  s.At(213, "\tn = 0;");
+  s.L("}");
+  s.L("");
+  s.At(249, "void");
+  s.At(250, "Xdie2(int argc, char *argv[], Page *page, Text *curt)");
+  s.L("{");
+  s.At(252, "\terrs((uchar*)n);");
+  s.L("}");
+  s.L("");
+  s.L("/*");
+  s.L(" * Exact match");
+  s.L(" */");
+  s.At(258, "Page*");
+  s.At(259, "findopen1(Page *p, char *name)");
+  s.L("{");
+  s.L("\tchar *s;");
+  s.At(262, "\tint n;");
+  s.L("\tPage *q;");
+  s.L("");
+  s.At(265, "Again:");
+  s.L("\tif(p == 0)");
+  s.L("\t\treturn p;");
+  s.L("\ts = strchr(name, '/');");
+  s.At(269, "\tn = 0;");
+  s.L("\tif(s)");
+  s.At(271, "\t\tn = s - name;");
+  s.L("\tq = p->link;");
+  s.L("\tp = q;");
+  s.L("\tgoto Again;");
+  s.L("}");
+  (void)inc;
+  return s.Build();
+}
+
+std::string ErrsC() {
+  Src s;
+  s.L("#include <u.h>");
+  s.L("#include <libc.h>");
+  s.L("#include <libg.h>");
+  s.L("#include <libframe.h>");
+  s.L("#include \"dat.h\"");
+  s.L("#include \"fns.h\"");
+  s.L("");
+  s.L("static Text *errtext;");
+  s.L("");
+  s.L("/*");
+  s.L(" * Append diagnostics to the Errors window, creating it if needed.");
+  s.L(" */");
+  s.At(25, "void");
+  s.L("errs(uchar *es)");
+  s.L("{");
+  s.L("\tint n;");
+  s.L("");
+  s.L("\tif(errtext == 0)");
+  s.L("\t\terrtext = newtext();");
+  s.At(32, "\tn = 0;");
+  s.L("\tif(es)");
+  s.At(34, "\t\ttextinsert(1, errtext, es, n, 1);");
+  s.L("}");
+  return s.Build();
+}
+
+std::string TextC() {
+  Src s;
+  s.L("#include <u.h>");
+  s.L("#include <libc.h>");
+  s.L("#include <libg.h>");
+  s.L("#include <libframe.h>");
+  s.L("#include \"dat.h\"");
+  s.L("#include \"fns.h\"");
+  s.L("");
+  s.L("/*");
+  s.L(" * Insert text into a window body at q0, updating the frame.");
+  s.L(" */");
+  s.At(25, "void");
+  s.L("textinsert(int sel, Text *t, uchar *s, long q0, int full)");
+  s.L("{");
+  s.L("\tint n;");
+  s.L("\tlong p0;");
+  s.At(30, "\tif(sel)");
+  s.At(31, "\t\tnewsel(t);");
+  s.At(32, "\tn = strlen((char*)s);");
+  s.At(33, "\tstrinsert(t, s, n, q0);");
+  s.L("\tp0 = q0 - t->org;");
+  s.L("\tif(p0 < 0)");
+  s.L("\t\tt->org += n;");
+  s.L("\telse if(p0 <= t->nchars)");
+  s.L("\t\tfrinsert(t, &s, p0);");
+  s.L("\tt->q0 = q0;");
+  s.L("\tif(!full)");
+  s.L("\t\treturn;");
+  s.L("\tscrollto(t, t->org);");
+  s.L("}");
+  return s.Build();
+}
+
+std::string CtrlC() {
+  Src s;
+  s.L("#include <u.h>");
+  s.L("#include <libc.h>");
+  s.L("#include <libg.h>");
+  s.L("#include <libframe.h>");
+  s.L("#include \"dat.h\"");
+  s.L("#include \"fns.h\"");
+  s.L("");
+  s.L("/*");
+  s.L(" * The main event loop: wait for mouse and keyboard events and");
+  s.L(" * dispatch them. Button 2 sweeps end up in execute().");
+  s.L(" */");
+  s.At(315, "void");
+  s.At(316, "control(void)");
+  s.L("{");
+  s.L("\tText *t;");
+  s.L("\tint op, n, p, dclick, p0, obut;");
+  s.At(320, "\tfor(;;){");
+  s.L("\t\top = waitevent();");
+  s.L("\t\tn = 0;");
+  s.L("\t\tp = 0;");
+  s.L("\t\tdclick = 0;");
+  s.L("\t\tobut = 0;");
+  s.L("\t\tp0 = op + n + p + dclick + obut;");
+  s.L("\t\tt = curt;");
+  s.L("\t\tif(t == 0)");
+  s.L("\t\t\tcontinue;");
+  s.L("\t\tif(op == 2)");
+  s.At(331, "\t\t\texecute(t, p0, p0);");
+  s.L("\t}");
+  s.L("}");
+  return s.Build();
+}
+
+// The remaining help sources: small but real, so `uses *.c` parses a full
+// program and the directory listing matches Figure 1's.
+std::string ClikC() {
+  return Includes() +
+         "\n"
+         "/*\n"
+         " * Double-click detection.\n"
+         " */\n"
+         "static long lastclick;\n"
+         "\n"
+         "int\n"
+         "dclick(long msec)\n"
+         "{\n"
+         "\tint hit;\n"
+         "\n"
+         "\thit = msec - lastclick < 500;\n"
+         "\tlastclick = msec;\n"
+         "\treturn hit;\n"
+         "}\n";
+}
+
+std::string FileC() {
+  return Includes() +
+         "\n"
+         "/*\n"
+         " * string routines\n"
+         " */\n"
+         "\n"
+         "void\n"
+         "strinsert(Text *t, uchar *s, int len, long q0)\n"
+         "{\n"
+         "\tlong i;\n"
+         "\n"
+         "\tfor(i = 0; i < len; i++)\n"
+         "\t\tt->nchars++;\n"
+         "\tt->q0 = q0 + len;\n"
+         "}\n"
+         "\n"
+         "String*\n"
+         "getsel(Text *t, long p0, long p1)\n"
+         "{\n"
+         "\tstatic String str;\n"
+         "\n"
+         "\tif(p1 < p0)\n"
+         "\t\treturn 0;\n"
+         "\tstr.len = p1 - p0;\n"
+         "\treturn &str;\n"
+         "}\n";
+}
+
+std::string PageC() {
+  return Includes() +
+         "\n"
+         "/*\n"
+         " * Window placement within a column.\n"
+         " */\n"
+         "Page*\n"
+         "newpage(Page *link)\n"
+         "{\n"
+         "\tstatic Page pool[64];\n"
+         "\tstatic int npool;\n"
+         "\tPage *p;\n"
+         "\n"
+         "\tp = &pool[npool++];\n"
+         "\tp->link = link;\n"
+         "\tp->nwin = 0;\n"
+         "\treturn p;\n"
+         "}\n";
+}
+
+std::string PickC() {
+  return Includes() +
+         "\n"
+         "/*\n"
+         " * Map a mouse point to the window under it.\n"
+         " */\n"
+         "Page*\n"
+         "pick(Page *p, int x, int y)\n"
+         "{\n"
+         "\twhile(p){\n"
+         "\t\tif(p->nwin > 0)\n"
+         "\t\t\treturn p;\n"
+         "\t\tp = p->link;\n"
+         "\t}\n"
+         "\treturn 0;\n"
+         "}\n";
+}
+
+std::string ProcC() {
+  return Includes() +
+         "\n"
+         "/*\n"
+         " * Slave processes for mouse and keyboard.\n"
+         " */\n"
+         "int\n"
+         "startslave(char *cmd)\n"
+         "{\n"
+         "\tProc pr;\n"
+         "\n"
+         "\tpr.pid = 0;\n"
+         "\tpr.cmd = cmd;\n"
+         "\treturn pr.pid;\n"
+         "}\n"
+         "\n"
+         "int\n"
+         "waitevent(void)\n"
+         "{\n"
+         "\treturn 0;\n"
+         "}\n";
+}
+
+std::string ScrlC() {
+  return Includes() +
+         "\n"
+         "/*\n"
+         " * Scrolling.\n"
+         " */\n"
+         "void\n"
+         "scrollto(Text *t, long org)\n"
+         "{\n"
+         "\tif(org < 0)\n"
+         "\t\torg = 0;\n"
+         "\tif(org > t->nchars)\n"
+         "\t\torg = t->nchars;\n"
+         "\tt->org = org;\n"
+         "}\n";
+}
+
+std::string UtilC() {
+  return Includes() +
+         "\n"
+         "Text*\n"
+         "newtext(void)\n"
+         "{\n"
+         "\tstatic Text pool[128];\n"
+         "\tstatic int npool;\n"
+         "\n"
+         "\treturn &pool[npool++];\n"
+         "}\n"
+         "\n"
+         "void\n"
+         "newsel(Text *t)\n"
+         "{\n"
+         "\tt->q0 = 0;\n"
+         "\tt->q1 = 0;\n"
+         "}\n";
+}
+
+std::string XtrnC() {
+  return Includes() +
+         "\n"
+         "/*\n"
+         " * External command execution: connect output to the Errors window.\n"
+         " */\n"
+         "int\n"
+         "xtrn(char *cmd)\n"
+         "{\n"
+         "\tif(cmd == 0)\n"
+         "\t\treturn -1;\n"
+         "\treturn 0;\n"
+         "}\n";
+}
+
+std::string Mkfile() {
+  std::string objs;
+  static const char* kStems[] = {"clik", "ctrl", "errs", "exec", "file", "help",
+                                 "page", "pick", "proc", "scrl", "text", "util", "xtrn"};
+  for (const char* stem : kStems) {
+    objs += std::string(stem) + ".v ";
+  }
+  std::string mk = "OBJ=" + objs + "\n\n";
+  mk += "help: $OBJ\n\tvl -o help $OBJ -l9 -lregexp -ldmalloc\n\n";
+  for (const char* stem : kStems) {
+    mk += std::string(stem) + ".v: " + stem + ".c dat.h fns.h\n\tvc -w " + stem + ".c\n\n";
+  }
+  return mk;
+}
+
+void LibcSources(Vfs& vfs) {
+  Src strchr_s;
+  strchr_s.L("/*");
+  strchr_s.L(" * strchr(s, c) - find first occurrence of c in s");
+  strchr_s.L(" */");
+  strchr_s.L("");
+  strchr_s.L("TEXT\tstrchr(SB), $0");
+  strchr_s.L("\tMOVW\ts+0(FP), R3");
+  strchr_s.L("\tMOVB\tc+4(FP), R4");
+  strchr_s.At(33, "loop:");
+  strchr_s.At(34, "\tMOVW\t0(R3), R5");
+  strchr_s.L("\tBNE\tR5, loop");
+  strchr_s.L("\tRET");
+  W(vfs, "/sys/src/libc/mips/strchr.s", strchr_s.Build());
+
+  Src strlen_c;
+  strlen_c.L("#include <u.h>");
+  strlen_c.L("#include <libc.h>");
+  strlen_c.L("");
+  strlen_c.L("long");
+  strlen_c.L("strlen(char *s)");
+  strlen_c.L("{");
+  strlen_c.At(7, "\treturn strchr(s, 0) - s;");
+  strlen_c.L("}");
+  W(vfs, "/sys/src/libc/port/strlen.c", strlen_c.Build());
+}
+
+void Mailbox(Vfs& vfs) {
+  std::string mbox;
+  mbox +=
+      "From chk@alias.com Tue Apr 16 19:30:23 EDT 1991\n"
+      "\n"
+      "Rob,\n"
+      "The UKUUG are collecting old-time verses about UNIX before they\n"
+      "disappear from the minds of those who remember them.\n"
+      "Subject: UNIX in song & verse\n"
+      "\n";
+  mbox +=
+      "From sean Tue Apr 16 19:26:14 EDT 1991\n"
+      "\n"
+      "i tried your new help and got this:\n"
+      "help 176153: user TLB miss (load or fetch) badvaddr=0x0\n"
+      "help 176153: status=0xfb0c pc=0x18df4 sp=0x3f4e8\n"
+      "\n";
+  mbox +=
+      "From attunix!rrg Tue Apr 16 19:03:11 EDT 1991\n"
+      "\n"
+      "ping\n"
+      "\n";
+  mbox +=
+      "From knight%MRCO.CARLETON.CA@mitvma.mit.edu Tue Apr 16 19:01:45 EDT 1991\n"
+      "\n"
+      "request for reprints\n"
+      "\n";
+  mbox +=
+      "From deutsch%PARCPLACE.COM@mitvma.mit.edu Tue Apr 16 18:54:02 EDT 1991\n"
+      "\n"
+      "about your window system paper\n"
+      "\n";
+  mbox +=
+      "From howard Tue Apr 16 15:02:57 EDT 1991\n"
+      "\n"
+      "lunch?\n"
+      "\n";
+  mbox +=
+      "From deutsch%PARCPLACE.COM@mitvma.mit.edu Tue Apr 16 12:52:30 EDT 1991\n"
+      "\n"
+      "earlier note\n"
+      "\n";
+  W(vfs, "/mail/box/rob/mbox", mbox);
+}
+
+}  // namespace
+
+void BuildPaperWorld(Help* h) {
+  Vfs& vfs = h->vfs();
+  SysHeaders(vfs);
+
+  const std::string dir = "/usr/rob/src/help";
+  W(vfs, dir + "/dat.h", DatH());
+  W(vfs, dir + "/fns.h", FnsH());
+  W(vfs, dir + "/help.c", HelpC());
+  W(vfs, dir + "/exec.c", ExecC());
+  W(vfs, dir + "/errs.c", ErrsC());
+  W(vfs, dir + "/text.c", TextC());
+  W(vfs, dir + "/ctrl.c", CtrlC());
+  W(vfs, dir + "/clik.c", ClikC());
+  W(vfs, dir + "/file.c", FileC());
+  W(vfs, dir + "/page.c", PageC());
+  W(vfs, dir + "/pick.c", PickC());
+  W(vfs, dir + "/proc.c", ProcC());
+  W(vfs, dir + "/scrl.c", ScrlC());
+  W(vfs, dir + "/util.c", UtilC());
+  W(vfs, dir + "/xtrn.c", XtrnC());
+  W(vfs, dir + "/mkfile", Mkfile());
+
+  W(vfs, "/usr/rob/lib/profile",
+    "bind -c $home/tmp /tmp\n"
+    "bind -a $home/bin/rc /bin\n"
+    "bind -a $home/bin/$cputype /bin\n"
+    "fn x { if(! ~ $#* 0) $* }\n"
+    "switch($service){\n"
+    "case terminal\n"
+    "\tbind 'Ik' /net/dk\n"
+    "\tprompt=('% ' '')\n"
+    "\tsite=plan9\n"
+    "case cpu\n"
+    "\tbind -b /mnt/term/mnt/8.5 /dev\n"
+    "\tnews\n"
+    "}\n"
+    "fortune\n");
+
+  W(vfs, "/lib/news",
+    "The UKUUG are collecting old-time verses about UNIX before they\n"
+    "disappear from the minds of those who remember them.\n");
+
+  LibcSources(vfs);
+  Mailbox(vfs);
+
+  // The sources are also installed under /sys/src/cmd/help — the path the
+  // paper's grep example uses: grep '^main' /sys/src/cmd/help/*.c
+  for (const char* f : {"dat.h", "fns.h", "help.c", "exec.c", "errs.c", "text.c",
+                        "ctrl.c", "clik.c", "file.c", "page.c", "pick.c", "proc.c",
+                        "scrl.c", "util.c", "xtrn.c", "mkfile"}) {
+    auto data = vfs.ReadFile(dir + "/" + f);
+    if (data.ok()) {
+      W(vfs, std::string("/sys/src/cmd/help/") + f, data.value());
+    }
+  }
+
+  // The crashed help, pid 176153, waiting to be examined.
+  h->procs().Add(MakePaperCrashImage(), &vfs);
+
+  // Build the program once so the object files exist and mk is a no-op until
+  // a source changes (Figure 12 then rebuilds exactly one object).
+  Env env;
+  Io io;
+  std::string out;
+  std::string err;
+  io.out = &out;
+  io.err = &err;
+  h->shell().Run("cd /usr/rob/src/help; mk", &env, "/", {}, io);
+}
+
+}  // namespace help

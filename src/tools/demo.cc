@@ -1,0 +1,199 @@
+#include "src/tools/demo.h"
+
+namespace help {
+
+PaperDemo::PaperDemo(int width, int height) : help_([&] {
+        Help::Options o;
+        o.width = width;
+        o.height = height;
+        return o;
+      }()) {
+  InstallTools(&help_);
+  BuildPaperWorld(&help_);
+  Boot(&help_);
+}
+
+Window* PaperDemo::FindWindowTagged(std::string_view substr) {
+  Window* found = nullptr;
+  for (Window* w : help_.AllWindows()) {
+    if (w->tag().text->Utf8().find(substr) != std::string::npos) {
+      found = w;
+    }
+  }
+  return found;
+}
+
+void PaperDemo::Reveal(Window* w) {
+  int col = help_.page().ColumnOf(w);
+  if (col < 0) {
+    return;
+  }
+  const auto& wins = help_.page().col(col).windows();
+  for (size_t i = 0; i < wins.size(); i++) {
+    if (wins[i] == w) {
+      help_.ClickWindowTab(col, static_cast<int>(i));
+      return;
+    }
+  }
+}
+
+Point PaperDemo::Locate(Window* w, std::string_view needle, int occurrence) {
+  Point p = help_.FindInWindow(w, needle, occurrence);
+  if (p.x < 0) {
+    Reveal(w);
+    p = help_.FindInWindow(w, needle, occurrence);
+  }
+  // Off-screen in the body: scroll the way a user would (every press
+  // counted) — button 2 at the top of the bar jumps to the start, then
+  // button 3 pages forward.
+  if (p.x < 0 && !w->ScrollbarRect().empty()) {
+    Rect sb = w->ScrollbarRect();
+    if (w->body().frame.origin() != 0) {
+      help_.MouseExec({sb.x0, sb.y0}, {sb.x0, sb.y0});
+      p = help_.FindInWindow(w, needle, occurrence);
+    }
+    int guard = 0;
+    while (p.x < 0 && guard++ < 64) {
+      size_t before = w->body().frame.origin();
+      Point bottom{sb.x0, sb.y1 - 1};
+      help_.MouseDrag(bottom, bottom);
+      if (w->body().frame.origin() == before) {
+        break;
+      }
+      p = help_.FindInWindow(w, needle, occurrence);
+    }
+  }
+  return p;
+}
+
+void PaperDemo::BeginStep(const char* name) {
+  step_name_ = name;
+  mark_ = help_.counters();
+}
+
+std::string PaperDemo::EndStep() {
+  StepStats st;
+  st.name = step_name_;
+  st.presses = help_.counters().button_presses - mark_.button_presses;
+  st.keystrokes = help_.counters().keystrokes - mark_.keystrokes;
+  stats_.push_back(st);
+  return help_.Render(/*annotated=*/true);
+}
+
+std::string PaperDemo::Fig04_Boot() {
+  BeginStep("fig4: screen after booting");
+  return EndStep();
+}
+
+std::string PaperDemo::Fig05_Headers() {
+  BeginStep("fig5: execute mail/headers");
+  // "I click the middle mouse button on the word headers in the window
+  // containing the file /help/mail/stf."
+  Window* mail_stf = FindWindowTagged("/help/mail/stf");
+  help_.MouseExecWord(Locate(mail_stf, "headers"));
+  return EndStep();
+}
+
+std::string PaperDemo::Fig06_Messages() {
+  BeginStep("fig6: messages on Sean's header");
+  // "just pointing with the left button anywhere in the header line will do"
+  Window* headers = FindWindowTagged("/mail/box/rob/mbox");
+  help_.MouseClick(Locate(headers, "2 sean"));
+  Window* mail_stf = FindWindowTagged("/help/mail/stf");
+  help_.MouseExecWord(Locate(mail_stf, "messages"));
+  return EndStep();
+}
+
+std::string PaperDemo::Fig07_Stack() {
+  BeginStep("fig7: db/stack on the broken process");
+  // "I point at the process number (I certainly shouldn't have to type it)
+  // and execute stack in the debugger tool."
+  Window* msg = FindWindowTagged("From sean");
+  help_.MouseClick(Locate(msg, "176153"));
+  Window* db_stf = FindWindowTagged("/help/db/stf");
+  help_.MouseExecWord(Locate(db_stf, "stack"));
+  return EndStep();
+}
+
+std::string PaperDemo::Fig08_OpenTextC() {
+  BeginStep("fig8: Open text.c:32 from the trace");
+  // "I point at the identifying text in the stack window and execute Open."
+  Window* stack = FindWindowTagged("176153 stack");
+  help_.MouseClick(Locate(stack, "text.c"));
+  Window* edit_stf = FindWindowTagged("/help/edit/stf");
+  help_.MouseExecWord(Locate(edit_stf, "Open"));
+  return EndStep();
+}
+
+std::string PaperDemo::Fig09_CloseAndOpenExecC() {
+  BeginStep("fig9: Close! text.c, Open exec.c:252");
+  // "I close the window on text.c by hitting Close! in the tag."
+  Window* textc = help_.WindowForFile("/usr/rob/src/help/text.c");
+  if (textc != nullptr) {
+    help_.MouseExecWord(Locate(textc, "Close!"));
+  }
+  Window* stack = FindWindowTagged("176153 stack");
+  help_.MouseClick(Locate(stack, "exec.c:252"));
+  Window* edit_stf = FindWindowTagged("/help/edit/stf");
+  help_.MouseExecWord(Locate(edit_stf, "Open"));
+  return EndStep();
+}
+
+std::string PaperDemo::Fig10_Uses() {
+  BeginStep("fig10: uses *.c on the variable n");
+  // "pointing at the variable in the source text and executing uses *.c by
+  // sweeping both 'words' with the middle button"
+  Window* execc = help_.WindowForFile("/usr/rob/src/help/exec.c");
+  Point cast = Locate(execc, "(uchar*)n");
+  help_.MouseClick({cast.x + 8, cast.y});  // the n itself
+  Window* cbr_stf = FindWindowTagged("/help/cbr/stf");
+  Point u = Locate(cbr_stf, "uses *.c");
+  help_.MouseExec(u, {u.x + 8, u.y});
+  return EndStep();
+}
+
+std::string PaperDemo::Fig11_OpenHelpCAndExec213() {
+  BeginStep("fig11: Open help.c:35, then exec.c:213");
+  Window* uses = FindWindowTagged(" uses Close!");
+  Window* edit_stf = FindWindowTagged("/help/edit/stf");
+  // "I Open help.c to that line and see that the variable is indeed
+  // initialized."
+  help_.MouseClick(Locate(uses, "help.c:35"));
+  help_.MouseExecWord(Locate(edit_stf, "Open"));
+  // "So I point to exec.c:213 and execute Open."
+  help_.MouseClick(Locate(uses, "exec.c:213"));
+  help_.MouseExecWord(Locate(edit_stf, "Open"));
+  return EndStep();
+}
+
+std::string PaperDemo::Fig12_CutPutMk() {
+  BeginStep("fig12: Cut the line, Put!, mk");
+  Window* execc = help_.WindowForFile("/usr/rob/src/help/exec.c");
+  // Opening exec.c:213 left the offending line selected; "I use Cut to
+  // remove the offending line" — one middle click on Cut.
+  Window* edit_stf = FindWindowTagged("/help/edit/stf");
+  help_.MouseExecWord(Locate(edit_stf, "Cut"));
+  // "...write the file back out (the word Put! appears in the tag of a
+  // modified window)"
+  help_.MouseExecWord(Locate(execc, "Put!"));
+  // "...and then execute mk in /help/cbr to compile the program (a total of
+  // three clicks of the middle button)."
+  Window* cbr_stf = FindWindowTagged("/help/cbr/stf");
+  help_.MouseExecWord(Locate(cbr_stf, "mk"));
+  return EndStep();
+}
+
+const std::vector<PaperDemo::StepStats>& PaperDemo::RunAll() {
+  Fig04_Boot();
+  Fig05_Headers();
+  Fig06_Messages();
+  Fig07_Stack();
+  Fig08_OpenTextC();
+  Fig09_CloseAndOpenExecC();
+  Fig10_Uses();
+  Fig11_OpenHelpCAndExec213();
+  Fig12_CutPutMk();
+  return stats_;
+}
+
+}  // namespace help

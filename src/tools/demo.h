@@ -1,0 +1,67 @@
+// PaperDemo: the paper's debugging walkthrough (Figures 4 through 12),
+// scripted against the real system — every step is performed with the same
+// mouse gestures the paper describes, and the gesture counters record what
+// they cost. "Through this entire demo I haven't yet touched the keyboard."
+#ifndef SRC_TOOLS_DEMO_H_
+#define SRC_TOOLS_DEMO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tools/tools.h"
+
+namespace help {
+
+class PaperDemo {
+ public:
+  struct StepStats {
+    std::string name;
+    int presses = 0;    // mouse button presses this step
+    int keystrokes = 0; // keystrokes this step
+  };
+
+  // A roomier screen than the default so the walkthrough matches the paper's
+  // window arrangement (the figures show a full workstation display).
+  explicit PaperDemo(int width = 112, int height = 56);
+
+  Help& help() { return help_; }
+
+  // Steps, in walkthrough order. Each returns the rendered screen after the
+  // step (annotated: «current selection», ‹other selections›).
+  std::string Fig04_Boot();
+  std::string Fig05_Headers();
+  std::string Fig06_Messages();
+  std::string Fig07_Stack();
+  std::string Fig08_OpenTextC();
+  std::string Fig09_CloseAndOpenExecC();
+  std::string Fig10_Uses();
+  std::string Fig11_OpenHelpCAndExec213();
+  std::string Fig12_CutPutMk();
+
+  // Runs everything; returns per-step stats.
+  const std::vector<StepStats>& RunAll();
+
+  const std::vector<StepStats>& stats() const { return stats_; }
+
+  // --- helpers shared with tests/benches --------------------------------
+
+  // Window whose tag contains `substr` (latest match wins), or null.
+  Window* FindWindowTagged(std::string_view substr);
+  // Makes `w` visible by clicking its tab if it is hidden/covered.
+  void Reveal(Window* w);
+  // Locates `needle` on screen within `w`, revealing the window if needed.
+  Point Locate(Window* w, std::string_view needle, int occurrence = 0);
+
+ private:
+  void BeginStep(const char* name);
+  std::string EndStep();
+
+  Help help_;
+  std::vector<StepStats> stats_;
+  Help::Counters mark_;
+  const char* step_name_ = "";
+};
+
+}  // namespace help
+
+#endif  // SRC_TOOLS_DEMO_H_

@@ -1,0 +1,137 @@
+// The mail backend (written, per the acknowledgements, by Sean Dorward —
+// "Sean Dorward wrote the mail tools"). A native help/mail does the mbox
+// parsing; the /help/mail scripts connect it to the screen.
+//
+//   help/mail -h mbox       numbered header lines ("2 sean Tue Apr 16 ...")
+//   help/mail -m N mbox     full text of message N
+//   help/mail -s N mbox     sender of message N
+//   help/mail -d N mbox     delete message N (rewrites the mbox)
+//   help/mail -send mbox    append a message from the cut buffer (simulated)
+#include "src/base/strings.h"
+#include "src/shell/coreutils.h"
+#include "src/shell/shell.h"
+
+namespace help {
+
+namespace {
+
+struct MboxMessage {
+  std::string sender;
+  std::string date;
+  std::string text;  // complete text including the From line
+};
+
+std::vector<MboxMessage> ParseMbox(std::string_view data) {
+  std::vector<MboxMessage> out;
+  MboxMessage cur;
+  bool in_msg = false;
+  for (const std::string& line : Split(data, '\n')) {
+    if (HasPrefix(line, "From ")) {
+      if (in_msg) {
+        out.push_back(cur);
+      }
+      cur = MboxMessage();
+      in_msg = true;
+      std::vector<std::string> fields = Tokenize(line);
+      if (fields.size() >= 2) {
+        cur.sender = fields[1];
+      }
+      for (size_t i = 2; i < fields.size(); i++) {
+        if (i > 2) {
+          cur.date += ' ';
+        }
+        cur.date += fields[i];
+      }
+    }
+    if (in_msg) {
+      cur.text += line + "\n";
+    }
+  }
+  if (in_msg) {
+    out.push_back(cur);
+  }
+  return out;
+}
+
+std::string JoinMbox(const std::vector<MboxMessage>& msgs) {
+  std::string out;
+  for (const MboxMessage& m : msgs) {
+    out += m.text;
+  }
+  return out;
+}
+
+int MailCmd(ExecContext& ctx, const std::vector<std::string>& argv, Io& io) {
+  if (argv.size() < 3) {
+    *io.err += "usage: help/mail -h|-send mbox | -m|-s|-d N mbox\n";
+    return 1;
+  }
+  const std::string& flag = argv[1];
+  std::string mbox_path = JoinPath(ctx.cwd, argv.back());
+  auto data = ctx.vfs->ReadFile(mbox_path);
+  if (!data.ok()) {
+    *io.err += "help/mail: " + data.message() + "\n";
+    return 1;
+  }
+  std::vector<MboxMessage> msgs = ParseMbox(data.value());
+
+  if (flag == "-h") {
+    for (size_t i = 0; i < msgs.size(); i++) {
+      *io.out += StrFormat("%zu %s %s\n", i + 1, msgs[i].sender.c_str(),
+                           msgs[i].date.c_str());
+    }
+    return 0;
+  }
+  if (flag == "-send") {
+    auto buf = ctx.vfs->ReadFile("/mnt/help/snarf");
+    std::string body = buf.ok() ? buf.value() : std::string();
+    std::string msg = "From rob " + FormatDate(ctx.vfs->clock()->Now()) + "\n\n" + body;
+    if (!HasSuffix(msg, "\n")) {
+      msg += "\n";
+    }
+    Status s = ctx.vfs->AppendFile(mbox_path, msg);
+    if (!s.ok()) {
+      *io.err += "help/mail: " + s.message() + "\n";
+      return 1;
+    }
+    *io.out += "message queued\n";
+    return 0;
+  }
+  if (argv.size() < 4) {
+    *io.err += "usage: help/mail -m|-s|-d N mbox\n";
+    return 1;
+  }
+  long n = ParseInt(argv[2]);
+  if (n < 1 || static_cast<size_t>(n) > msgs.size()) {
+    *io.err += "help/mail: no message " + argv[2] + "\n";
+    return 1;
+  }
+  const MboxMessage& m = msgs[static_cast<size_t>(n - 1)];
+  if (flag == "-m") {
+    *io.out += m.text;
+    return 0;
+  }
+  if (flag == "-s") {
+    *io.out += m.sender + "\n";
+    return 0;
+  }
+  if (flag == "-d") {
+    msgs.erase(msgs.begin() + (n - 1));
+    Status s = ctx.vfs->WriteFile(mbox_path, JoinMbox(msgs));
+    if (!s.ok()) {
+      *io.err += "help/mail: " + s.message() + "\n";
+      return 1;
+    }
+    return 0;
+  }
+  *io.err += "help/mail: bad flag " + flag + "\n";
+  return 1;
+}
+
+}  // namespace
+
+void RegisterMailTool(Vfs* vfs, CommandRegistry* registry) {
+  registry->Register(vfs, "/bin/help/mail", MailCmd);
+}
+
+}  // namespace help

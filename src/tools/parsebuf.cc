@@ -1,0 +1,122 @@
+// help/parse and help/buf: the two native helpers the tool scripts build on.
+//
+// help passes an application "the file and character offset of the mouse
+// position" through $helpsel ("<window-id> <q0> <q1>"); help/parse turns
+// that into useful pieces:
+//
+//   -c   rc assignments: file=... dir=... id=... line=...  (for `eval`)
+//   -w   the word under the selection (or the selection text if non-null)
+//   -n   the first field of the line containing the selection
+//   -d   the directory context of the selection's window
+//   -f   the file name from the selection window's tag
+//   -l   the 1-based line number of the selection
+//
+// help/buf prints the cut buffer (/mnt/help/snarf).
+#include "src/base/strings.h"
+#include "src/shell/shell.h"
+#include "src/text/text.h"
+
+namespace help {
+
+namespace {
+
+struct SelContext {
+  int id = -1;
+  Text body;
+  std::string tagfile;  // first token of the tag
+  std::string dir;
+  Selection sel;
+};
+
+Result<SelContext> LoadSelContext(ExecContext& ctx) {
+  std::vector<std::string> parts = Tokenize(ctx.env->GetString("helpsel"));
+  if (parts.size() != 3) {
+    return Status::Error("help/parse: no selection ($helpsel unset)");
+  }
+  SelContext sc;
+  sc.id = static_cast<int>(ParseInt(parts[0]));
+  sc.sel.q0 = static_cast<size_t>(ParseInt(parts[1]));
+  sc.sel.q1 = static_cast<size_t>(ParseInt(parts[2]));
+  std::string base = StrFormat("/mnt/help/%d", sc.id);
+  auto body = ctx.vfs->ReadFile(base + "/body");
+  if (!body.ok()) {
+    return body.status();
+  }
+  sc.body.SetAll(body.value());
+  auto tag = ctx.vfs->ReadFile(base + "/tag");
+  if (!tag.ok()) {
+    return tag.status();
+  }
+  std::vector<std::string> tagwords = Tokenize(tag.value());
+  if (!tagwords.empty()) {
+    sc.tagfile = tagwords[0];
+  }
+  sc.dir = HasSuffix(sc.tagfile, "/") ? CleanPath(sc.tagfile) : DirPath(sc.tagfile);
+  sc.sel.q0 = std::min(sc.sel.q0, sc.body.size());
+  sc.sel.q1 = std::min(std::max(sc.sel.q1, sc.sel.q0), sc.body.size());
+  return sc;
+}
+
+std::string WordAt(const SelContext& sc) {
+  if (!sc.sel.null()) {
+    return sc.body.Utf8Range(sc.sel.q0, sc.sel.q1);
+  }
+  Selection w = sc.body.ExpandWord(sc.sel.q0);
+  return sc.body.Utf8Range(w.q0, w.q1);
+}
+
+int ParseCmd(ExecContext& ctx, const std::vector<std::string>& argv, Io& io) {
+  auto sc = LoadSelContext(ctx);
+  if (!sc.ok()) {
+    *io.err += sc.message() + "\n";
+    return 1;
+  }
+  const SelContext& s = sc.value();
+  std::string flag = argv.size() > 1 ? argv[1] : "-c";
+  if (flag == "-c") {
+    *io.out += StrFormat("file=%s dir=%s id=%s line=%zu\n", s.tagfile.c_str(),
+                         s.dir.c_str(), WordAt(s).c_str(), s.body.LineAt(s.sel.q0));
+    return 0;
+  }
+  if (flag == "-w") {
+    *io.out += WordAt(s) + "\n";
+    return 0;
+  }
+  if (flag == "-n") {
+    Selection line = s.body.LineRange(s.body.LineAt(s.sel.q0));
+    std::vector<std::string> fields = Tokenize(s.body.Utf8Range(line.q0, line.q1));
+    *io.out += (fields.empty() ? std::string() : fields[0]) + "\n";
+    return 0;
+  }
+  if (flag == "-d") {
+    *io.out += s.dir + "\n";
+    return 0;
+  }
+  if (flag == "-f") {
+    *io.out += s.tagfile + "\n";
+    return 0;
+  }
+  if (flag == "-l") {
+    *io.out += StrFormat("%zu\n", s.body.LineAt(s.sel.q0));
+    return 0;
+  }
+  *io.err += "usage: help/parse [-c|-w|-n|-d|-f|-l]\n";
+  return 1;
+}
+
+int BufCmd(ExecContext& ctx, const std::vector<std::string>& argv, Io& io) {
+  auto data = ctx.vfs->ReadFile("/mnt/help/snarf");
+  if (data.ok()) {
+    *io.out += data.value();
+  }
+  return 0;
+}
+
+}  // namespace
+
+void RegisterParseBuf(Vfs* vfs, CommandRegistry* registry) {
+  registry->Register(vfs, "/bin/help/parse", ParseCmd);
+  registry->Register(vfs, "/bin/help/buf", BufCmd);
+}
+
+}  // namespace help

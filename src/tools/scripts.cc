@@ -1,0 +1,192 @@
+// The /help tool tree: plain files and small rc scripts. "A help window on
+// such a file behaves much like a menu, but is really just a window on a
+// plain file."
+#include "src/tools/tools.h"
+
+namespace help {
+
+void RegisterParseBuf(Vfs* vfs, CommandRegistry* registry);   // parsebuf.cc
+void RegisterMailTool(Vfs* vfs, CommandRegistry* registry);   // mail.cc
+
+namespace {
+
+void W(Vfs& vfs, std::string_view path, std::string_view content) {
+  vfs.MkdirAll(DirPath(path));
+  vfs.WriteFile(path, content);
+}
+
+void InstallEditTool(Vfs& vfs) {
+  W(vfs, "/help/edit/stf",
+    "Open\n"
+    "Pattern ''\n"
+    "Text ''\n"
+    "Cut\tPaste\tSnarf\n"
+    "Write\tNew\n"
+    "Undo\tRedo\n");
+}
+
+void InstallCbrTool(Vfs& vfs) {
+  W(vfs, "/help/cbr/stf", "Open\tmk\tsrc\tdecl\tdecl.o\tuses *.c\n");
+
+  // The paper's decl script, adapted only in spelling: parse the selection
+  // context, make a window, label it, and run the code-generator-less
+  // compiler over the preprocessed source.
+  W(vfs, "/help/cbr/decl",
+    "eval `{help/parse -c}\n"
+    "x=`{cat /mnt/help/new/ctl}\n"
+    "{\n"
+    "echo tag $dir/^' decl Close!'\n"
+    "} > /mnt/help/$x/ctl\n"
+    "cpp $cppflags $file |\n"
+    "help/rcc -w -g -i$id -n$line -f$file |\n"
+    "sed 1q > /mnt/help/$x/bodyapp\n");
+
+  // Extension ("a future change to help will be to close this loop"):
+  // decl.o also opens the declaration's window automatically.
+  W(vfs, "/help/cbr/decl.o",
+    "eval `{help/parse -c}\n"
+    "loc=`{cpp $cppflags $file | help/rcc -w -g -i$id -n$line -f$file | sed 1q}\n"
+    "echo $dir $loc > /mnt/help/open\n");
+
+  W(vfs, "/help/cbr/uses",
+    "eval `{help/parse -c}\n"
+    "cd $dir\n"
+    "x=`{cat /mnt/help/new/ctl}\n"
+    "{\n"
+    "echo tag $dir/^' uses Close!'\n"
+    "} > /mnt/help/$x/ctl\n"
+    "help/rcc -u -i$id -n$line -f$file $* > /mnt/help/$x/bodyapp\n");
+
+  W(vfs, "/help/cbr/src",
+    "eval `{help/parse -c}\n"
+    "cd $dir\n"
+    "x=`{cat /mnt/help/new/ctl}\n"
+    "{\n"
+    "echo tag $dir/^' src Close!'\n"
+    "} > /mnt/help/$x/ctl\n"
+    "help/rcc -s$id -f$file *.c > /mnt/help/$x/bodyapp\n");
+
+  W(vfs, "/help/cbr/mk",
+    "dir=`{help/parse -d}\n"
+    "x=`{cat /mnt/help/new/ctl}\n"
+    "{\n"
+    "echo tag $dir/mk 'Close!'\n"
+    "} > /mnt/help/$x/ctl\n"
+    "cd $dir\n"
+    "mk > /mnt/help/$x/bodyapp\n");
+}
+
+void InstallDbTool(Vfs& vfs) {
+  W(vfs, "/help/db/stf",
+    "ps\tpc\tregs\tbroke\n"
+    "stack\tkstack\tnextkstack\n");
+
+  // Each script is a dozen lines that "package the most important functions
+  // of adb as easy-to-use operations ... while hiding the rebarbative
+  // syntax".
+  W(vfs, "/help/db/stack",
+    "pid=`{help/parse -w}\n"
+    "dir=`{adb $pid srcdir}\n"
+    "x=`{cat /mnt/help/new/ctl}\n"
+    "{\n"
+    "echo tag $dir/ $pid stack 'Close!'\n"
+    "} > /mnt/help/$x/ctl\n"
+    "adb $pid stack > /mnt/help/$x/bodyapp\n");
+
+  W(vfs, "/help/db/regs",
+    "pid=`{help/parse -w}\n"
+    "x=`{cat /mnt/help/new/ctl}\n"
+    "echo tag $pid regs 'Close!' > /mnt/help/$x/ctl\n"
+    "adb $pid regs > /mnt/help/$x/bodyapp\n");
+
+  W(vfs, "/help/db/pc",
+    "pid=`{help/parse -w}\n"
+    "adb $pid pc\n");
+
+  W(vfs, "/help/db/broke",
+    "x=`{cat /mnt/help/new/ctl}\n"
+    "echo tag broke 'Close!' > /mnt/help/$x/ctl\n"
+    "adb broke > /mnt/help/$x/bodyapp\n");
+
+  // /bin/ps is named explicitly: a bare `ps` would resolve to this very
+  // script (the shell searches the script's directory first).
+  W(vfs, "/help/db/ps",
+    "x=`{cat /mnt/help/new/ctl}\n"
+    "echo tag ps 'Close!' > /mnt/help/$x/ctl\n"
+    "/bin/ps > /mnt/help/$x/bodyapp\n");
+
+  W(vfs, "/help/db/kstack",
+    "pid=`{help/parse -w}\n"
+    "x=`{cat /mnt/help/new/ctl}\n"
+    "echo tag $pid kstack 'Close!' > /mnt/help/$x/ctl\n"
+    "adb $pid kstack > /mnt/help/$x/bodyapp\n");
+
+  W(vfs, "/help/db/nextkstack",
+    "pid=`{help/parse -w}\n"
+    "adb $pid kstack | tail -n 1\n");
+}
+
+void InstallMailToolScripts(Vfs& vfs) {
+  W(vfs, "/help/mail/stf", "headers\tmessages\tdelete\treread\tsend\n");
+
+  W(vfs, "/help/mail/headers",
+    "x=`{cat /mnt/help/new/ctl}\n"
+    "{\n"
+    "echo tag /mail/box/rob/mbox /bin/help/mail 'Close!'\n"
+    "} > /mnt/help/$x/ctl\n"
+    "help/mail -h /mail/box/rob/mbox > /mnt/help/$x/bodyapp\n");
+
+  W(vfs, "/help/mail/messages",
+    "n=`{help/parse -n}\n"
+    "who=`{help/mail -s $n /mail/box/rob/mbox}\n"
+    "x=`{cat /mnt/help/new/ctl}\n"
+    "{\n"
+    "echo tag From $who 'Close!'\n"
+    "} > /mnt/help/$x/ctl\n"
+    "help/mail -m $n /mail/box/rob/mbox > /mnt/help/$x/bodyapp\n");
+
+  W(vfs, "/help/mail/delete",
+    "n=`{help/parse -n}\n"
+    "help/mail -d $n /mail/box/rob/mbox\n");
+
+  W(vfs, "/help/mail/reread",
+    "x=`{cat /mnt/help/new/ctl}\n"
+    "{\n"
+    "echo tag /mail/box/rob/mbox /bin/help/mail 'Close!'\n"
+    "} > /mnt/help/$x/ctl\n"
+    "help/mail -h /mail/box/rob/mbox > /mnt/help/$x/bodyapp\n");
+
+  W(vfs, "/help/mail/send",
+    "help/mail -send /mail/box/rob/mbox\n");
+}
+
+}  // namespace
+
+void InstallTools(Help* h) {
+  Vfs& vfs = h->vfs();
+  RegisterParseBuf(&vfs, &h->registry());
+  RegisterMailTool(&vfs, &h->registry());
+  InstallEditTool(vfs);
+  InstallCbrTool(vfs);
+  InstallDbTool(vfs);
+  InstallMailToolScripts(vfs);
+}
+
+void Boot(Help* h) {
+  // The left column gets the Boot window; the right column loads the tools.
+  h->CreateWindow("help/Boot Exit", /*col_hint=*/0);
+  for (const char* stf :
+       {"/help/edit/stf", "/help/cbr/stf", "/help/db/stf", "/help/mail/stf"}) {
+    h->OpenFile(stf, "/", nullptr, /*col_hint=*/1);
+  }
+  h->SetCurrent(nullptr);
+  h->ResetCounters();
+}
+
+PaperSession::PaperSession() {
+  InstallTools(&help);
+  BuildPaperWorld(&help);
+  Boot(&help);
+}
+
+}  // namespace help

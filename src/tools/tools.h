@@ -1,0 +1,41 @@
+// The tool suites and world setup.
+//
+// "When help starts it loads a set of 'tools'... These are files with names
+// like /help/edit/stf... Each is a plain text file that lists the names of
+// the commands available as parts of the tool, collected in the appropriate
+// directory."
+//
+// InstallTools writes the /help tree: the stf menu files and the rc scripts
+// (decl, uses, stack, headers, ...) that connect ordinary programs to the
+// user interface through /mnt/help — "we would not need to write any user
+// interface software". It also registers the two native helpers the scripts
+// lean on (help/parse, help/buf) and the mail backend (help/mail).
+//
+// BuildPaperWorld populates the file system with the paper's corpus: the
+// help sources in /usr/rob/src/help (with every coordinate the figures cite
+// on its exact line), the system headers, Rob's profile and mailbox, the
+// libc sources the crash walks through, and the broken process 176153.
+//
+// Boot creates the initial screen: the help/Boot window on the left and the
+// four tool windows loaded into the right-hand column (Figure 4).
+#ifndef SRC_TOOLS_TOOLS_H_
+#define SRC_TOOLS_TOOLS_H_
+
+#include "src/core/help.h"
+
+namespace help {
+
+void InstallTools(Help* h);
+void BuildPaperWorld(Help* h);
+void Boot(Help* h);
+
+// Convenience: a Help with userland + tools + paper world + booted screen.
+// (Used by tests, figure benches and the examples.)
+struct PaperSession {
+  PaperSession();
+  Help help;
+};
+
+}  // namespace help
+
+#endif  // SRC_TOOLS_TOOLS_H_

@@ -1,0 +1,231 @@
+#include <algorithm>
+
+#include "src/wm/wm.h"
+
+namespace help {
+
+namespace {
+// A new window is "too little visible" below this many rows (tag + 3 lines).
+constexpr int kMinUseful = 4;
+}  // namespace
+
+bool Column::Contains(const Window* w) const {
+  return std::find(wins_.begin(), wins_.end(), w) != wins_.end();
+}
+
+int Column::LowestVisibleText() const {
+  int low = ContentRect().y0;
+  for (const Window* w : wins_) {
+    if (!w->hidden()) {
+      low = std::max(low, w->UsedBottom());
+    }
+  }
+  return low;
+}
+
+Window* Column::LowestVisibleWindow() const {
+  Window* lowest = nullptr;
+  for (Window* w : wins_) {
+    if (!w->hidden() && (lowest == nullptr || w->rect().y0 > lowest->rect().y0)) {
+      lowest = w;
+    }
+  }
+  return lowest;
+}
+
+void Column::SortByDesiredY() {
+  std::stable_sort(wins_.begin(), wins_.end(), [](const Window* a, const Window* b) {
+    return a->desired_y0() < b->desired_y0();
+  });
+}
+
+void Column::Place(Window* w) {
+  Rect content = ContentRect();
+  if (!Contains(w)) {
+    wins_.push_back(w);
+  }
+  // Rule 1: immediately below the lowest visible text already in the column.
+  int y0 = LowestVisibleText();
+  if (content.y1 - y0 >= kMinUseful) {
+    // Truncate any window whose rect extends below the text it shows — the
+    // new window takes over that blank space.
+    for (Window* v : wins_) {
+      if (v != w && !v->hidden() && v->rect().y1 > y0 && v->rect().y0 < y0) {
+        v->SetRect({content.x0, v->rect().y0, content.x1, y0});
+      }
+    }
+    w->SetRect({content.x0, y0, content.x1, content.y1});
+    Normalize();
+    return;
+  }
+  // Rule 2: cover the bottom half of the lowest window.
+  Window* lowest = LowestVisibleWindow();
+  if (lowest != nullptr && lowest != w && lowest->rect().height() / 2 >= kMinUseful) {
+    int mid = lowest->rect().y0 + lowest->rect().height() / 2;
+    lowest->SetRect({content.x0, lowest->rect().y0, content.x1, mid});
+    w->SetRect({content.x0, mid, content.x1, content.y1});
+    Normalize();
+    return;
+  }
+  // Rule 3: the bottom 25% of the column, hiding what it covers entirely.
+  int h = std::max(kMinUseful, content.height() / 4);
+  y0 = std::max(content.y0, content.y1 - h);
+  for (Window* v : wins_) {
+    if (v == w || v->hidden()) {
+      continue;
+    }
+    if (v->rect().y0 >= y0) {
+      v->Hide();
+    } else if (v->rect().y1 > y0) {
+      v->SetRect({content.x0, v->rect().y0, content.x1, y0});
+    }
+  }
+  w->SetRect({content.x0, y0, content.x1, content.y1});
+  Normalize();
+}
+
+void Column::AddAt(Window* w, int y) {
+  Rect content = ContentRect();
+  if (!Contains(w)) {
+    wins_.push_back(w);
+  }
+  y = std::clamp(y, content.y0, content.y1 - 1);
+  int h = w->desired_height() > 0 ? w->desired_height() : content.height() / 3;
+  int y1 = std::min(content.y1, y + std::max(h, 2));
+  // Local rearrangement: windows under the drop lose the overlapped rows.
+  for (Window* v : wins_) {
+    if (v == w || v->hidden()) {
+      continue;
+    }
+    Rect r = v->rect();
+    if (r.y0 >= y && r.y0 < y1) {
+      // Its tag would be covered; push the window below the drop if there is
+      // room for at least its tag, else cover it completely.
+      if (content.y1 - y1 >= 1) {
+        int bottom = std::max(y1 + 1, std::min(content.y1, y1 + r.height()));
+        v->SetRect({content.x0, y1, content.x1, bottom});
+      } else {
+        v->Hide();
+      }
+    } else if (r.y1 > y && r.y0 < y) {
+      v->SetRect({content.x0, r.y0, content.x1, y});
+    }
+  }
+  w->SetRect({content.x0, y, content.x1, y1});
+  Normalize();
+}
+
+void Column::MakeVisible(Window* w) {
+  if (!Contains(w)) {
+    wins_.push_back(w);
+  }
+  Rect content = ContentRect();
+  int y0 = std::clamp(w->desired_y0(), content.y0, content.y1 - 1);
+  // "fully visible, from the tag to the bottom of the column it is in"
+  for (Window* v : wins_) {
+    if (v == w || v->hidden()) {
+      continue;
+    }
+    if (v->rect().y0 >= y0) {
+      v->Hide();
+    } else if (v->rect().y1 > y0) {
+      v->SetRect({content.x0, v->rect().y0, content.x1, y0});
+    }
+  }
+  w->SetRect({content.x0, y0, content.x1, content.y1});
+  Normalize();
+}
+
+void Column::Remove(Window* w) {
+  auto it = std::find(wins_.begin(), wins_.end(), w);
+  if (it == wins_.end()) {
+    return;
+  }
+  // Give the freed rows to the window above (or below, if it was first).
+  Rect freed = w->rect();
+  wins_.erase(it);
+  w->Hide();
+  if (!freed.empty()) {
+    Window* above = nullptr;
+    for (Window* v : wins_) {
+      if (!v->hidden() && v->rect().y1 <= freed.y0 &&
+          (above == nullptr || v->rect().y1 > above->rect().y1)) {
+        above = v;
+      }
+    }
+    if (above != nullptr) {
+      above->SetRect({freed.x0, above->rect().y0, freed.x1, freed.y1});
+    } else {
+      Window* below = nullptr;
+      for (Window* v : wins_) {
+        if (!v->hidden() && v->rect().y0 >= freed.y1 &&
+            (below == nullptr || v->rect().y0 < below->rect().y0)) {
+          below = v;
+        }
+      }
+      if (below != nullptr) {
+        below->SetRect({freed.x0, freed.y0, freed.x1, below->rect().y1});
+      }
+    }
+  }
+  Normalize();
+}
+
+void Column::Normalize() {
+  SortByDesiredY();
+  Rect content = ContentRect();
+  // Walk top to bottom, keeping rects inside the column and non-overlapping;
+  // a window that cannot keep even its tag row is covered completely.
+  int cursor = content.y0;
+  std::vector<Window*> visible;
+  for (Window* w : wins_) {
+    if (!w->hidden()) {
+      visible.push_back(w);
+    }
+  }
+  std::sort(visible.begin(), visible.end(),
+            [](const Window* a, const Window* b) { return a->rect().y0 < b->rect().y0; });
+  for (size_t i = 0; i < visible.size(); i++) {
+    Window* w = visible[i];
+    int y0 = std::max(w->rect().y0, cursor);
+    int y1 = std::min(w->rect().y1, content.y1);
+    if (i + 1 < visible.size()) {
+      y1 = std::min(y1, std::max(visible[i + 1]->rect().y0, y0));
+    }
+    if (y1 - y0 < 1 || y0 >= content.y1) {
+      w->Hide();
+      continue;
+    }
+    w->SetRect({content.x0, y0, content.x1, y1});
+    cursor = y1;
+  }
+  // The bottom-most visible window keeps the rest of the column; dangling
+  // blank space at the column bottom is what rule 1 fills on placement.
+}
+
+void Column::DrawTabs(Screen* screen) const {
+  // One black square per window, top to bottom, at the column's left edge.
+  int y = rect_.y0;
+  for (const Window* w : wins_) {
+    if (y >= rect_.y1) {
+      break;
+    }
+    Rune square = 0x25A0;  // ■
+    Style style = w->hidden() ? Style::kBorder : Style::kTab;
+    screen->At(rect_.x0, y) = {square, style};
+    y++;
+  }
+}
+
+int Column::TabIndexAt(Point p) const {
+  if (p.x != rect_.x0) {
+    return -1;
+  }
+  int idx = p.y - rect_.y0;
+  if (idx < 0 || idx >= static_cast<int>(wins_.size())) {
+    return -1;
+  }
+  return idx;
+}
+
+}  // namespace help

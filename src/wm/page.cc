@@ -1,0 +1,167 @@
+#include <algorithm>
+
+#include "src/wm/wm.h"
+
+namespace help {
+
+Page::Page(int width, int height, int ncols) : screen_(width, height) {
+  cols_.resize(static_cast<size_t>(std::max(1, ncols)));
+  LayoutColumns();
+}
+
+void Page::LayoutColumns() {
+  int w = screen_.width();
+  int h = screen_.height();
+  int n = static_cast<int>(cols_.size());
+  // Row 0 is the column-expansion tab row; columns occupy the rest.
+  int y0 = 1;
+  std::vector<int> widths(static_cast<size_t>(n), w / n);
+  if (expanded_ >= 0 && n > 1) {
+    int wide = w * 3 / 4;
+    int rest = (w - wide) / (n - 1);
+    for (int i = 0; i < n; i++) {
+      widths[static_cast<size_t>(i)] = i == expanded_ ? wide : rest;
+    }
+  }
+  int x = 0;
+  for (int i = 0; i < n; i++) {
+    int cw = i == n - 1 ? w - x : widths[static_cast<size_t>(i)];
+    cols_[static_cast<size_t>(i)].SetRect({x, y0, x + cw, h});
+    x += cw;
+  }
+  for (auto& col : cols_) {
+    col.Normalize();
+    for (Window* win : col.windows()) {
+      if (!win->hidden()) {
+        Rect content = col.ContentRect();
+        win->SetRect({content.x0, win->rect().y0, content.x1,
+                      std::min(win->rect().y1, content.y1)});
+      }
+    }
+  }
+}
+
+Window* Page::Create(int id, std::shared_ptr<Text> tag, std::shared_ptr<Text> body,
+                     int col_index, const Window* near) {
+  auto w = std::make_unique<Window>(id, std::move(tag), std::move(body));
+  Window* raw = w.get();
+  windows_.push_back(std::move(w));
+  int ci = col_index;
+  if (ci < 0 && near != nullptr) {
+    ci = ColumnOf(near);
+  }
+  if (ci < 0 || ci >= ncols()) {
+    ci = 0;
+  }
+  cols_[static_cast<size_t>(ci)].Place(raw);
+  return raw;
+}
+
+Window* Page::FindById(int id) {
+  for (const auto& w : windows_) {
+    if (w->id() == id) {
+      return w.get();
+    }
+  }
+  return nullptr;
+}
+
+void Page::Remove(Window* w) {
+  for (auto& col : cols_) {
+    col.Remove(w);
+  }
+  windows_.erase(std::remove_if(windows_.begin(), windows_.end(),
+                                [w](const std::unique_ptr<Window>& p) { return p.get() == w; }),
+                 windows_.end());
+}
+
+int Page::ColumnOf(const Window* w) const {
+  for (size_t i = 0; i < cols_.size(); i++) {
+    if (cols_[i].Contains(w)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Page::Hit Page::HitTest(Point p) {
+  Hit hit;
+  if (p.y == 0) {
+    // Column-expansion tab row.
+    for (size_t i = 0; i < cols_.size(); i++) {
+      if (p.x >= cols_[i].rect().x0 && p.x < cols_[i].rect().x1) {
+        hit.column = static_cast<int>(i);
+        hit.on_column_tab = true;
+        return hit;
+      }
+    }
+    return hit;
+  }
+  for (size_t i = 0; i < cols_.size(); i++) {
+    Column& col = cols_[i];
+    if (!col.rect().Contains(p)) {
+      continue;
+    }
+    hit.column = static_cast<int>(i);
+    hit.tab_index = col.TabIndexAt(p);
+    if (hit.tab_index >= 0) {
+      return hit;
+    }
+    // Topmost (last-normalized) window containing the point; rects are
+    // disjoint after Normalize, so any hit is unique.
+    for (Window* w : col.windows()) {
+      if (w->hidden() || !w->rect().Contains(p)) {
+        continue;
+      }
+      hit.window = w;
+      if (p.y == w->rect().y0) {
+        hit.sub = &w->tag();
+      } else if (w->ScrollbarRect().Contains(p)) {
+        hit.on_scrollbar = true;
+      } else {
+        hit.sub = &w->body();
+      }
+      return hit;
+    }
+    return hit;
+  }
+  return hit;
+}
+
+void Page::Drag(Window* w, Point dest) {
+  int target = 0;
+  for (size_t i = 0; i < cols_.size(); i++) {
+    if (dest.x >= cols_[i].rect().x0 && dest.x < cols_[i].rect().x1) {
+      target = static_cast<int>(i);
+      break;
+    }
+  }
+  int from = ColumnOf(w);
+  if (from >= 0) {
+    // Detach without redistributing space yet; AddAt re-tiles the target.
+    cols_[static_cast<size_t>(from)].Remove(w);
+  }
+  cols_[static_cast<size_t>(target)].AddAt(w, dest.y);
+}
+
+void Page::ToggleExpand(int i) {
+  expanded_ = expanded_ == i ? -1 : i;
+  LayoutColumns();
+}
+
+void Page::Draw(const Subwindow* current, const Selection* exec_sel,
+                const Subwindow* exec_sub) {
+  screen_.Clear();
+  // Column-expansion tabs.
+  for (size_t i = 0; i < cols_.size(); i++) {
+    screen_.At(cols_[i].rect().x0, 0) = {0x25A0, Style::kTab};
+  }
+  for (auto& col : cols_) {
+    col.DrawTabs(&screen_);
+    for (Window* w : col.windows()) {
+      w->Draw(&screen_, current, exec_sel, exec_sub);
+    }
+  }
+}
+
+}  // namespace help

@@ -1,0 +1,153 @@
+#include <algorithm>
+
+#include "src/base/strings.h"
+#include "src/fs/path.h"
+#include "src/wm/wm.h"
+
+namespace help {
+
+void Subwindow::ShowOffset(size_t off) {
+  if (frame.Visible(off) || frame.rect().empty()) {
+    return;
+  }
+  // Scroll so `off`'s line sits about a third of the way down.
+  size_t line = text->LineAt(off);
+  int back = std::max(1, frame.rect().height() / 3);
+  size_t top_line = line > static_cast<size_t>(back) ? line - static_cast<size_t>(back) : 1;
+  origin = text->LineStart(top_line);
+  Relayout();
+  // Long wrapped lines may still hide it; fall forward until visible.
+  int guard = 0;
+  while (!frame.Visible(off) && origin < text->size() && guard++ < 4096) {
+    origin = frame.end() > origin ? frame.end() : origin + 1;
+    Relayout();
+  }
+}
+
+Window::Window(int id, std::shared_ptr<Text> tag, std::shared_ptr<Text> body) : id_(id) {
+  tag_.text = std::move(tag);
+  tag_.is_tag = true;
+  tag_.window = this;
+  body_.text = std::move(body);
+  body_.window = this;
+}
+
+void Window::SetRect(const Rect& r) {
+  rect_ = r;
+  if (!r.empty()) {
+    desired_y0_ = r.y0;
+    desired_height_ = r.height();
+  }
+  Relayout();
+}
+
+void Window::Hide() {
+  rect_ = {0, 0, 0, 0};
+  Relayout();
+}
+
+void Window::Relayout() {
+  if (rect_.empty()) {
+    tag_.frame.SetRect({0, 0, 0, 0});
+    body_.frame.SetRect({0, 0, 0, 0});
+    return;
+  }
+  tag_.frame.SetRect({rect_.x0, rect_.y0, rect_.x1, rect_.y0 + 1});
+  // The leftmost body column is the scroll bar.
+  body_.frame.SetRect({rect_.x0 + 1, rect_.y0 + 1, rect_.x1, rect_.y1});
+  tag_.Relayout();
+  body_.Relayout();
+}
+
+Rect Window::ScrollbarRect() const {
+  if (hidden() || rect_.height() < 2) {
+    return {0, 0, 0, 0};
+  }
+  return {rect_.x0, rect_.y0 + 1, rect_.x0 + 1, rect_.y1};
+}
+
+void Window::ScrollLines(int lines) {
+  Text& t = *body_.text;
+  long line = static_cast<long>(t.LineAt(body_.origin)) + lines;
+  long last = static_cast<long>(t.LineCount());
+  line = std::clamp(line, 1L, last);
+  body_.origin = t.LineStart(static_cast<size_t>(line));
+  body_.Relayout();
+}
+
+void Window::ScrollTo(double fraction) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  Text& t = *body_.text;
+  size_t line = 1 + static_cast<size_t>(fraction * static_cast<double>(t.LineCount()));
+  body_.origin = t.LineStart(line);
+  body_.Relayout();
+}
+
+std::string Window::TagFilename() const {
+  std::vector<std::string> fields = Tokenize(tag_.text->Utf8());
+  return fields.empty() ? std::string() : fields[0];
+}
+
+std::string Window::ContextDir() const {
+  std::string name = TagFilename();
+  if (name.empty()) {
+    return "/";
+  }
+  if (HasSuffix(name, "/")) {  // directory windows carry a final slash
+    return CleanPath(name);
+  }
+  return DirPath(name);
+}
+
+int Window::UsedBottom() const {
+  if (hidden()) {
+    return rect_.y0;
+  }
+  // Tag row plus the body rows that actually hold text.
+  int rows = body_.frame.lines_used();
+  // The frame always keeps one (possibly empty) trailing row for the caret;
+  // don't count it as "visible text" unless it holds runes.
+  if (rows > 0) {
+    size_t end = body_.frame.end();
+    size_t origin = body_.frame.origin();
+    if (end == origin) {
+      rows = 0;
+    } else if (body_.text->size() > 0 && end > 0 && body_.text->At(end - 1) == '\n') {
+      // Trailing newline leaves an empty last row.
+      rows--;
+    }
+  }
+  int bottom = rect_.y0 + 1 + rows;
+  return std::min(bottom, rect_.y1);
+}
+
+void Window::Draw(Screen* screen, const Subwindow* current, const Selection* exec_sel,
+                  const Subwindow* exec_sub) const {
+  if (hidden()) {
+    return;
+  }
+  const Selection* tag_exec = exec_sub == &tag_ ? exec_sel : nullptr;
+  const Selection* body_exec = exec_sub == &body_ ? exec_sel : nullptr;
+  tag_.frame.Draw(screen, tag_.sel, current == &tag_, Style::kTag, tag_exec);
+  body_.frame.Draw(screen, body_.sel, current == &body_, Style::kNormal, body_exec);
+  // Scroll bar: light track with a solid thumb spanning the visible part.
+  Rect sb = ScrollbarRect();
+  if (!sb.empty()) {
+    size_t total = std::max<size_t>(1, body_.text->size());
+    double top = static_cast<double>(body_.frame.origin()) / static_cast<double>(total);
+    double bottom = static_cast<double>(body_.frame.end()) / static_cast<double>(total);
+    int h = sb.height();
+    int t0 = sb.y0 + static_cast<int>(top * h);
+    int t1 = std::max(sb.y0 + static_cast<int>(bottom * h), t0 + 1);
+    for (int y = sb.y0; y < sb.y1; y++) {
+      bool thumb = y >= t0 && y < t1;
+      if (sb.x0 >= 0 && sb.x0 < screen->width() && y >= 0 && y < screen->height()) {
+        screen->At(sb.x0, y) = {thumb ? static_cast<Rune>(0x2588)    // █
+                                      : static_cast<Rune>(0x2502),   // │
+                                Style::kBorder};
+      }
+    }
+  }
+}
+
+}  // namespace help

@@ -1,0 +1,81 @@
+// Clone!: multiple windows per file (a paper future-work item). Both windows
+// share one body; edits appear in both, Put! cleans every tag.
+#include <gtest/gtest.h>
+
+#include "src/core/help.h"
+
+namespace help {
+namespace {
+
+class CloneTest : public ::testing::Test {
+ protected:
+  CloneTest() {
+    h_.vfs().MkdirAll("/src");
+    h_.vfs().WriteFile("/src/f.c", "original content\n");
+    auto w = h_.OpenFile("/src/f.c", "/", nullptr);
+    first_ = w.value();
+    EXPECT_TRUE(h_.ExecuteText("Clone!", first_).ok());
+    for (Window* w2 : h_.AllWindows()) {
+      if (w2 != first_ && w2->TagFilename() == "/src/f.c") {
+        second_ = w2;
+      }
+    }
+  }
+  Help h_;
+  Window* first_ = nullptr;
+  Window* second_ = nullptr;
+};
+
+TEST_F(CloneTest, CloneSharesBody) {
+  ASSERT_NE(second_, nullptr);
+  EXPECT_EQ(first_->body().text, second_->body().text);
+  EXPECT_NE(&first_->tag(), &second_->tag());
+}
+
+TEST_F(CloneTest, EditInOneAppearsInBoth) {
+  ASSERT_NE(second_, nullptr);
+  first_->body().sel = {0, 8};
+  h_.SetCurrent(&first_->body());
+  h_.Type("REPLACED");
+  EXPECT_EQ(second_->body().text->Utf8(), "REPLACED content\n");
+  // Both tags show the dirty marker.
+  EXPECT_NE(first_->tag().text->Utf8().find("Put!"), std::string::npos);
+  EXPECT_NE(second_->tag().text->Utf8().find("Put!"), std::string::npos);
+}
+
+TEST_F(CloneTest, PutFromEitherCleansBoth) {
+  ASSERT_NE(second_, nullptr);
+  first_->body().sel = {0, 0};
+  h_.SetCurrent(&first_->body());
+  h_.Type("x");
+  ASSERT_TRUE(h_.ExecuteText("Put!", second_).ok());
+  EXPECT_EQ(first_->tag().text->Utf8().find("Put!"), std::string::npos);
+  EXPECT_EQ(second_->tag().text->Utf8().find("Put!"), std::string::npos);
+  EXPECT_EQ(h_.vfs().ReadFile("/src/f.c").value().substr(0, 1), "x");
+}
+
+TEST_F(CloneTest, IndependentSelectionsAndScrolling) {
+  ASSERT_NE(second_, nullptr);
+  first_->body().sel = {0, 3};
+  second_->body().sel = {4, 8};
+  EXPECT_NE(first_->body().sel, second_->body().sel);
+}
+
+TEST_F(CloneTest, CloseOneKeepsTheOther) {
+  ASSERT_NE(second_, nullptr);
+  h_.CloseWindow(second_);
+  EXPECT_EQ(h_.WindowForFile("/src/f.c"), first_);
+  first_->body().sel = {0, 0};
+  h_.SetCurrent(&first_->body());
+  h_.Type("still alive ");
+  EXPECT_EQ(first_->body().text->Utf8().substr(0, 12), "still alive ");
+}
+
+TEST_F(CloneTest, ClonedWindowServesOwnFiles) {
+  ASSERT_NE(second_, nullptr);
+  std::string body_path = "/mnt/help/" + std::to_string(second_->id()) + "/body";
+  EXPECT_EQ(h_.vfs().ReadFile(body_path).value(), "original content\n");
+}
+
+}  // namespace
+}  // namespace help

@@ -1,0 +1,244 @@
+// Userland tests: each /bin command plus mk (forward and reverse modes).
+#include <gtest/gtest.h>
+
+#include "src/shell/coreutils.h"
+#include "src/shell/mk.h"
+#include "src/shell/shell.h"
+
+namespace help {
+namespace {
+
+class CoreutilsTest : public ::testing::Test {
+ protected:
+  CoreutilsTest() : shell_(&vfs_, &registry_, &procs_) {
+    RegisterCoreutils(&vfs_, &registry_);
+    RegisterMk(&vfs_, &registry_);
+  }
+
+  std::string Run(std::string_view src, int* status = nullptr, std::string cwd = "/") {
+    std::string out;
+    std::string err;
+    Io io;
+    io.out = &out;
+    io.err = &err;
+    auto r = shell_.Run(src, &env_, std::move(cwd), {}, io);
+    EXPECT_TRUE(r.ok()) << r.message();
+    if (status != nullptr) {
+      *status = r.ok() ? r.value() : -1;
+    }
+    last_err_ = err;
+    return out;
+  }
+
+  Vfs vfs_;
+  CommandRegistry registry_;
+  ProcTable procs_;
+  Env env_;
+  Shell shell_;
+  std::string last_err_;
+};
+
+TEST_F(CoreutilsTest, CatFilesAndStdin) {
+  vfs_.WriteFile("/a", "A");
+  vfs_.WriteFile("/b", "B");
+  EXPECT_EQ(Run("cat /a /b"), "AB");
+  EXPECT_EQ(Run("echo piped | cat"), "piped\n");
+  int status;
+  Run("cat /ghost", &status);
+  EXPECT_EQ(status, 1);
+}
+
+TEST_F(CoreutilsTest, CpAndMv) {
+  vfs_.WriteFile("/src", "data");
+  Run("cp /src /dst");
+  EXPECT_EQ(vfs_.ReadFile("/dst").value(), "data");
+  vfs_.MkdirAll("/dir");
+  Run("cp /src /dir");  // copy into directory keeps the base name
+  EXPECT_EQ(vfs_.ReadFile("/dir/src").value(), "data");
+  Run("mv /dst /moved");
+  EXPECT_FALSE(vfs_.Walk("/dst").ok());
+  EXPECT_EQ(vfs_.ReadFile("/moved").value(), "data");
+}
+
+TEST_F(CoreutilsTest, LsFormats) {
+  vfs_.MkdirAll("/d/sub");
+  vfs_.WriteFile("/d/f", "1234");
+  EXPECT_EQ(Run("ls /d"), "/d/f\n/d/sub/\n");
+  std::string longform = Run("ls -l /d");
+  EXPECT_NE(longform.find("4"), std::string::npos);
+  EXPECT_NE(longform.find("d "), std::string::npos);
+}
+
+TEST_F(CoreutilsTest, GrepFlagsAndExit) {
+  vfs_.WriteFile("/f", "alpha\nbeta\ngamma\nbetatron\n");
+  EXPECT_EQ(Run("grep beta /f"), "beta\nbetatron\n");
+  EXPECT_EQ(Run("grep -n ^beta /f"), "2: beta\n4: betatron\n");
+  EXPECT_EQ(Run("grep -c alpha /f"), "1\n");
+  EXPECT_EQ(Run("grep -v a /f"), "");
+  int status;
+  Run("grep zebra /f", &status);
+  EXPECT_EQ(status, 1);
+  Run("grep '(' /f", &status);
+  EXPECT_EQ(status, 2);  // bad regexp
+  // Multiple files get labels.
+  vfs_.WriteFile("/g", "beta\n");
+  EXPECT_EQ(Run("grep beta /f /g"), "/f:beta\n/f:betatron\n/g:beta\n");
+}
+
+TEST_F(CoreutilsTest, SedOneQuit) {
+  vfs_.WriteFile("/f", "first\nsecond\nthird\n");
+  EXPECT_EQ(Run("sed 1q /f"), "first\n");
+  EXPECT_EQ(Run("sed 2q /f"), "first\nsecond\n");
+  EXPECT_EQ(Run("cat /f | sed 1q"), "first\n");
+}
+
+TEST_F(CoreutilsTest, SedSubstitute) {
+  vfs_.WriteFile("/f", "aaa bbb aaa\n");
+  EXPECT_EQ(Run("sed s/aaa/X/ /f"), "X bbb aaa\n");
+  EXPECT_EQ(Run("sed s/aaa/X/g /f"), "X bbb X\n");
+}
+
+TEST_F(CoreutilsTest, WcSortUniqHeadTail) {
+  vfs_.WriteFile("/f", "b\na\nb\n");
+  EXPECT_EQ(Run("wc -l /f"), "3\n");
+  EXPECT_EQ(Run("sort /f"), "a\nb\nb\n");
+  EXPECT_EQ(Run("sort /f | uniq"), "a\nb\n");
+  EXPECT_EQ(Run("sort -r /f | sed 1q"), "b\n");
+  vfs_.WriteFile("/n", "1\n2\n3\n4\n5\n");
+  EXPECT_EQ(Run("head -n 2 /n"), "1\n2\n");
+  EXPECT_EQ(Run("tail -n 2 /n"), "4\n5\n");
+}
+
+TEST_F(CoreutilsTest, TouchMkdirRm) {
+  Run("mkdir /made/deep");
+  EXPECT_TRUE(vfs_.Walk("/made/deep").value()->dir());
+  Run("touch /made/f");
+  EXPECT_TRUE(vfs_.Walk("/made/f").ok());
+  uint64_t t1 = vfs_.Stat("/made/f").value().mtime;
+  Run("touch /made/f");
+  EXPECT_GT(vfs_.Stat("/made/f").value().mtime, t1);
+  Run("rm /made/f");
+  EXPECT_FALSE(vfs_.Walk("/made/f").ok());
+}
+
+TEST_F(CoreutilsTest, BasenameDirnameDate) {
+  EXPECT_EQ(Run("basename /a/b/c.c"), "c.c\n");
+  EXPECT_EQ(Run("dirname /a/b/c.c"), "/a/b\n");
+  // The deterministic clock starts on Apr 16 1991.
+  EXPECT_NE(Run("date").find("Apr"), std::string::npos);
+  EXPECT_NE(Run("date").find("1991"), std::string::npos);
+}
+
+TEST_F(CoreutilsTest, FormatDateKnownInstant) {
+  EXPECT_EQ(FormatDate(671829974), "Tue Apr 16 19:26:14 EDT 1991");
+  EXPECT_EQ(FormatDate(0), "Thu Jan 1 00:00:00 EDT 1970");
+}
+
+TEST_F(CoreutilsTest, PsAndAdb) {
+  ProcImage img = MakePaperCrashImage();
+  procs_.Add(img, &vfs_);
+  std::string ps = Run("ps");
+  EXPECT_NE(ps.find("176153"), std::string::npos);
+  EXPECT_NE(ps.find("Broken"), std::string::npos);
+  EXPECT_EQ(Run("adb broke"), "176153 help\n");
+  std::string stack = Run("adb 176153 stack");
+  EXPECT_NE(stack.find("strchr.s:34"), std::string::npos);
+  EXPECT_NE(stack.find("called from strlen+0x1c"), std::string::npos);
+  EXPECT_EQ(Run("adb 176153 srcdir"), "/usr/rob/src/help\n");
+  std::string regs = Run("adb 176153 regs");
+  EXPECT_NE(regs.find("0x18df4"), std::string::npos);
+  int status;
+  Run("adb 1 stack", &status);
+  EXPECT_EQ(status, 1);
+  // /proc files published.
+  EXPECT_NE(vfs_.ReadFile("/proc/176153/status").value().find("Broken"),
+            std::string::npos);
+}
+
+// --- mk ---------------------------------------------------------------------
+
+TEST_F(CoreutilsTest, MkBuildsOutOfDateOnly) {
+  vfs_.MkdirAll("/p");
+  vfs_.WriteFile("/p/in", "source");
+  vfs_.WriteFile("/p/mkfile", "out: in\n\tcp in out\n");
+  EXPECT_EQ(Run("mk", nullptr, "/p"), "cp in out\n");
+  EXPECT_EQ(vfs_.ReadFile("/p/out").value(), "source");
+  // Up to date now.
+  EXPECT_NE(Run("mk", nullptr, "/p").find("up to date"), std::string::npos);
+  // Touch the source: rebuilds.
+  Run("touch /p/in");
+  EXPECT_EQ(Run("mk", nullptr, "/p"), "cp in out\n");
+}
+
+TEST_F(CoreutilsTest, MkTransitiveChain) {
+  vfs_.MkdirAll("/p");
+  vfs_.WriteFile("/p/a", "x");
+  vfs_.WriteFile("/p/mkfile",
+                 "c: b\n\tcp b c\n"
+                 "b: a\n\tcp a b\n");
+  EXPECT_EQ(Run("mk c", nullptr, "/p"), "cp a b\ncp b c\n");
+  EXPECT_EQ(vfs_.ReadFile("/p/c").value(), "x");
+}
+
+TEST_F(CoreutilsTest, MkVariables) {
+  vfs_.MkdirAll("/p");
+  vfs_.WriteFile("/p/a", "1");
+  vfs_.WriteFile("/p/b", "2");
+  vfs_.WriteFile("/p/mkfile", "SRC=a b\nall: $SRC\n\tcat $SRC > all.out\n");
+  Run("mk", nullptr, "/p");
+  EXPECT_EQ(vfs_.ReadFile("/p/all.out").value(), "12");
+}
+
+TEST_F(CoreutilsTest, MkMissingRuleAndCycle) {
+  vfs_.MkdirAll("/p");
+  vfs_.WriteFile("/p/mkfile", "a: b\n\techo never\nb: a\n\techo never\n");
+  int status;
+  Run("mk a", &status, "/p");
+  EXPECT_EQ(status, 1);
+  EXPECT_NE(last_err_.find("cycle"), std::string::npos);
+  vfs_.WriteFile("/p/mkfile", "a: missing\n\techo x\n");
+  Run("mk a", &status, "/p");
+  EXPECT_EQ(status, 1);
+  EXPECT_NE(last_err_.find("don't know how to make"), std::string::npos);
+}
+
+// The paper's future-work proposal: build forward from modified sources.
+TEST_F(CoreutilsTest, MkReverseRebuildsStaleTargetsOnly) {
+  vfs_.MkdirAll("/p");
+  vfs_.WriteFile("/p/x.c", "cx");
+  vfs_.WriteFile("/p/y.c", "cy");
+  vfs_.WriteFile("/p/mkfile",
+                 "x.o: x.c\n\tcp x.c x.o\n"
+                 "y.o: y.c\n\tcp y.c y.o\n");
+  Run("mk x.o y.o", nullptr, "/p");
+  // Modify only y.c; reverse mk must rebuild y.o and not x.o.
+  Run("touch /p/y.c");
+  std::string out = Run("mk -r", nullptr, "/p");
+  EXPECT_EQ(out, "cp y.c y.o\n");
+  // Nothing stale: says so.
+  EXPECT_NE(Run("mk -r", nullptr, "/p").find("up to date"), std::string::npos);
+}
+
+TEST_F(CoreutilsTest, MkRecipeFailureStops) {
+  vfs_.MkdirAll("/p");
+  vfs_.WriteFile("/p/in", "s");
+  vfs_.WriteFile("/p/mkfile", "out: in\n\tfalse\n\tcp in out\n");
+  int status;
+  Run("mk", &status, "/p");
+  EXPECT_EQ(status, 1);
+  EXPECT_FALSE(vfs_.Walk("/p/out").ok());
+}
+
+TEST_F(CoreutilsTest, ParseMkfileStructure) {
+  auto mk = ParseMkfile("V=1\nt: d1 d2\n\tr1\n\tr2\n\n# comment\nu:\n\tr3\n");
+  ASSERT_TRUE(mk.ok());
+  ASSERT_EQ(mk.value().rules.size(), 2u);
+  EXPECT_EQ(mk.value().rules[0].target, "t");
+  EXPECT_EQ(mk.value().rules[0].deps, (std::vector<std::string>{"d1", "d2"}));
+  EXPECT_EQ(mk.value().rules[0].recipe, (std::vector<std::string>{"r1", "r2"}));
+  EXPECT_EQ(mk.value().vars.at("V"), "1");
+  EXPECT_FALSE(ParseMkfile("\trecipe without rule\n").ok());
+}
+
+}  // namespace
+}  // namespace help

@@ -1,0 +1,127 @@
+// The complete Figure 4-12 walkthrough, asserting the paper's quantified
+// claims: screen contents per figure, the gesture counts the text cites, and
+// zero keystrokes for the whole session.
+#include <gtest/gtest.h>
+
+#include "src/tools/demo.h"
+
+namespace help {
+namespace {
+
+class DemoTest : public ::testing::Test {
+ protected:
+  PaperDemo demo_;
+};
+
+TEST_F(DemoTest, FullWalkthrough) {
+  std::string fig4 = demo_.Fig04_Boot();
+  EXPECT_NE(fig4.find("/help/edit/stf"), std::string::npos);
+  EXPECT_NE(fig4.find("headers"), std::string::npos);
+
+  std::string fig5 = demo_.Fig05_Headers();
+  EXPECT_NE(fig5.find("/mail/box/rob/mbox"), std::string::npos);
+  EXPECT_NE(fig5.find("2 sean Tue Apr 16 19:26:14 EDT 1991"), std::string::npos);
+
+  std::string fig6 = demo_.Fig06_Messages();
+  EXPECT_NE(fig6.find("From sean"), std::string::npos);
+  EXPECT_NE(fig6.find("i tried your new help and got this:"), std::string::npos);
+  EXPECT_NE(fig6.find("176153"), std::string::npos);
+
+  std::string fig7 = demo_.Fig07_Stack();
+  EXPECT_NE(fig7.find("176153 stack"), std::string::npos);
+  EXPECT_NE(fig7.find("last exception: TLB miss (load or fetch)"), std::string::npos);
+  EXPECT_NE(fig7.find("strchr.s:34"), std::string::npos);
+
+  std::string fig8 = demo_.Fig08_OpenTextC();
+  EXPECT_NE(fig8.find("/usr/rob/src/help/text.c"), std::string::npos);
+  // Line 32 is selected (reverse video) and visible.
+  EXPECT_NE(fig8.find("n = strlen((char*)s);"), std::string::npos);
+  Window* textc = demo_.help().WindowForFile("/usr/rob/src/help/text.c");
+  ASSERT_NE(textc, nullptr);
+  Selection sel = textc->body().sel;
+  EXPECT_EQ(textc->body().text->Utf8Range(sel.q0, sel.q1), "\tn = strlen((char*)s);\n");
+
+  std::string fig9 = demo_.Fig09_CloseAndOpenExecC();
+  EXPECT_EQ(demo_.help().WindowForFile("/usr/rob/src/help/text.c"), nullptr);
+  Window* execc = demo_.help().WindowForFile("/usr/rob/src/help/exec.c");
+  ASSERT_NE(execc, nullptr);
+  sel = execc->body().sel;
+  EXPECT_EQ(execc->body().text->Utf8Range(sel.q0, sel.q1), "\terrs((uchar*)n);\n");
+
+  std::string fig10 = demo_.Fig10_Uses();
+  EXPECT_NE(fig10.find("./dat.h:136"), std::string::npos) << fig10;
+  EXPECT_NE(fig10.find("exec.c:213"), std::string::npos);
+  EXPECT_NE(fig10.find("exec.c:252"), std::string::npos);
+  // The fourth line may sit below the fold of a small window; the body has
+  // the full, exact Figure 10 list.
+  Window* uses_win = nullptr;
+  for (Window* w : demo_.help().AllWindows()) {
+    if (w->tag().text->Utf8().find(" uses Close!") != std::string::npos) {
+      uses_win = w;
+    }
+  }
+  ASSERT_NE(uses_win, nullptr);
+  EXPECT_EQ(uses_win->body().text->Utf8(),
+            "./dat.h:136\nexec.c:213\nexec.c:252\nhelp.c:35\n");
+
+  std::string fig11 = demo_.Fig11_OpenHelpCAndExec213();
+  Window* helpc = demo_.help().WindowForFile("/usr/rob/src/help/help.c");
+  ASSERT_NE(helpc, nullptr);
+  // help.c opened positioned at line 35, the initialization, which Open left
+  // selected. (The window itself may be covered again by the later exec.c
+  // open — the selection state is what persists.)
+  Selection hsel = helpc->body().sel;
+  EXPECT_EQ(helpc->body().text->Utf8Range(hsel.q0, hsel.q1),
+            "\tn = (uchar*)\"a test string\";\n");
+  (void)fig11;
+  // exec.c is now positioned at the offending line, selected.
+  sel = execc->body().sel;
+  EXPECT_EQ(execc->body().text->Utf8Range(sel.q0, sel.q1), "\tn = 0;\n");
+
+  std::string fig12 = demo_.Fig12_CutPutMk();
+  // The line is gone from the buffer and from disk; Xdie1 is empty now.
+  std::string on_disk = demo_.help().vfs().ReadFile("/usr/rob/src/help/exec.c").value();
+  EXPECT_NE(on_disk.find("Xdie1(int argc, char *argv[], Page *page, Text *curt)\n{\n}"),
+            std::string::npos);
+  // mk recompiled exactly the one object and relinked (Figure 12's window).
+  EXPECT_NE(fig12.find("vc -w exec.c"), std::string::npos) << fig12;
+  EXPECT_NE(fig12.find("vl -o help"), std::string::npos);
+  EXPECT_EQ(fig12.find("vc -w errs.c"), std::string::npos);
+
+  // "Through this entire demo I haven't yet touched the keyboard."
+  EXPECT_EQ(demo_.help().counters().keystrokes, 0);
+}
+
+TEST_F(DemoTest, GestureCountsMatchPaperClaims) {
+  demo_.RunAll();
+  ASSERT_EQ(demo_.stats().size(), 9u);
+  // fig8: "by pointing at the entry ... and executing Open": two button clicks.
+  EXPECT_EQ(demo_.stats()[4].name, "fig8: Open text.c:32 from the trace");
+  EXPECT_EQ(demo_.stats()[4].presses, 2);
+  // fig12: "a total of three clicks of the middle button".
+  EXPECT_EQ(demo_.stats()[8].name, "fig12: Cut the line, Put!, mk");
+  EXPECT_EQ(demo_.stats()[8].presses, 3);
+  // Zero keystrokes in every step.
+  for (const auto& st : demo_.stats()) {
+    EXPECT_EQ(st.keystrokes, 0) << st.name;
+  }
+}
+
+TEST_F(DemoTest, DirtyMarkerAppearsOnlyAfterEdit) {
+  demo_.Fig04_Boot();
+  demo_.Fig05_Headers();
+  demo_.Fig06_Messages();
+  demo_.Fig07_Stack();
+  demo_.Fig08_OpenTextC();
+  demo_.Fig09_CloseAndOpenExecC();
+  Window* execc = demo_.help().WindowForFile("/usr/rob/src/help/exec.c");
+  EXPECT_EQ(execc->tag().text->Utf8().find("Put!"), std::string::npos);
+  demo_.Fig10_Uses();
+  demo_.Fig11_OpenHelpCAndExec213();
+  // The Cut inside Fig12 makes it dirty; Put! then clears it again.
+  demo_.Fig12_CutPutMk();
+  EXPECT_EQ(execc->tag().text->Utf8().find("Put!"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace help

@@ -1,0 +1,202 @@
+// Screen and Frame tests: layout, wrapping, tabs, the point<->offset maps,
+// and selection drawing.
+#include <gtest/gtest.h>
+
+#include "src/draw/frame.h"
+#include "src/draw/screen.h"
+
+namespace help {
+namespace {
+
+TEST(Rect, Geometry) {
+  Rect r{2, 3, 10, 8};
+  EXPECT_EQ(r.width(), 8);
+  EXPECT_EQ(r.height(), 5);
+  EXPECT_TRUE(r.Contains({2, 3}));
+  EXPECT_FALSE(r.Contains({10, 3}));
+  EXPECT_TRUE((Rect{0, 0, 0, 0}).empty());
+  Rect i = r.Intersect({5, 0, 20, 5});
+  EXPECT_EQ(i, (Rect{5, 3, 10, 5}));
+  EXPECT_TRUE(r.Intersect({100, 100, 101, 101}).empty());
+}
+
+TEST(Screen, FillAndRender) {
+  Screen s(10, 3);
+  s.Fill({0, 0, 10, 3}, '.', Style::kNormal);
+  s.DrawRunes(2, 1, U"abc", Style::kNormal, s.bounds());
+  EXPECT_EQ(s.Row(1), "..abc.....");
+  std::string r = s.Render();
+  EXPECT_EQ(r, "..........\n..abc.....\n..........\n");
+}
+
+TEST(Screen, DrawClips) {
+  Screen s(5, 2);
+  int drawn = s.DrawRunes(3, 0, U"abcdef", Style::kNormal, s.bounds());
+  EXPECT_EQ(drawn, 2);
+  EXPECT_EQ(s.Row(0), "   ab");
+  EXPECT_EQ(s.DrawRunes(0, 5, U"x", Style::kNormal, s.bounds()), 0);
+}
+
+TEST(Screen, AnnotatedRenderMarksStyles) {
+  Screen s(6, 1);
+  s.DrawRunes(0, 0, U"ab", Style::kNormal, s.bounds());
+  s.DrawRunes(2, 0, U"cd", Style::kReverse, s.bounds());
+  s.DrawRunes(4, 0, U"ef", Style::kOutline, s.bounds());
+  std::string r = s.RenderAnnotated();
+  EXPECT_NE(r.find("\xC2\xAB"), std::string::npos);      // «
+  EXPECT_NE(r.find("\xE2\x80\xB9"), std::string::npos);  // ‹
+}
+
+class FrameTest : public ::testing::Test {
+ protected:
+  Frame f_;
+};
+
+TEST_F(FrameTest, SimpleLayout) {
+  Text t("one\ntwo\nthree");
+  f_.SetRect({0, 0, 10, 5});
+  f_.Fill(t, 0);
+  EXPECT_EQ(f_.origin(), 0u);
+  EXPECT_EQ(f_.end(), t.size());
+  EXPECT_EQ(f_.lines_used(), 3);
+}
+
+TEST_F(FrameTest, WrapsLongLines) {
+  Text t("abcdefghij");  // width 4 -> 3 rows
+  f_.SetRect({0, 0, 4, 5});
+  f_.Fill(t, 0);
+  EXPECT_EQ(f_.lines_used(), 3);
+  EXPECT_EQ(f_.PointToOffset({0, 1}), 4u);
+  EXPECT_EQ(f_.PointToOffset({1, 2}), 9u);
+}
+
+TEST_F(FrameTest, StopsAtHeight) {
+  Text t("a\nb\nc\nd\ne\nf\n");
+  f_.SetRect({0, 0, 10, 3});
+  f_.Fill(t, 0);
+  EXPECT_EQ(f_.lines_used(), 3);
+  EXPECT_EQ(f_.end(), 6u);  // "a\nb\nc\n"
+  EXPECT_FALSE(f_.Visible(7));
+  EXPECT_TRUE(f_.Visible(2));
+}
+
+TEST_F(FrameTest, TabsExpandToStops) {
+  Text t("\tx");
+  f_.SetRect({0, 0, 20, 2});
+  f_.Fill(t, 0);
+  auto p = f_.OffsetToPoint(1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->x, kTabStop);
+}
+
+TEST_F(FrameTest, OriginOffsetsLayout) {
+  Text t("0123\n5678\nabcd");
+  f_.SetRect({0, 0, 10, 2});
+  f_.Fill(t, 5);
+  EXPECT_EQ(f_.origin(), 5u);
+  EXPECT_EQ(f_.PointToOffset({0, 0}), 5u);
+  EXPECT_EQ(f_.PointToOffset({2, 1}), 12u);
+}
+
+TEST_F(FrameTest, PointPastLineEndMapsToNewline) {
+  Text t("ab\nlonger line");
+  f_.SetRect({0, 0, 20, 3});
+  f_.Fill(t, 0);
+  EXPECT_EQ(f_.PointToOffset({10, 0}), 2u);  // the newline after "ab"
+}
+
+TEST_F(FrameTest, PointBelowTextMapsToEnd) {
+  Text t("ab");
+  f_.SetRect({0, 0, 10, 4});
+  f_.Fill(t, 0);
+  EXPECT_EQ(f_.PointToOffset({5, 3}), 2u);
+}
+
+TEST_F(FrameTest, AbsoluteCoordinates) {
+  Text t("hello");
+  f_.SetRect({7, 3, 20, 6});
+  f_.Fill(t, 0);
+  EXPECT_EQ(f_.PointToOffset({9, 3}), 2u);
+  auto p = f_.OffsetToPoint(2);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (Point{9, 3}));
+}
+
+// Property: for every visible offset, OffsetToPoint∘PointToOffset is identity.
+class FrameRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(FrameRoundTrip, PointOffsetInverse) {
+  uint32_t seed = static_cast<uint32_t>(GetParam()) * 40503u;
+  auto next = [&seed] {
+    seed = seed * 1664525 + 1013904223;
+    return seed >> 10;
+  };
+  std::string content;
+  for (int i = 0; i < 300; i++) {
+    int c = static_cast<int>(next() % 12);
+    if (c == 0) {
+      content += '\n';
+    } else if (c == 1) {
+      content += '\t';
+    } else {
+      content += static_cast<char>('a' + c);
+    }
+  }
+  Text t(content);
+  Frame f;
+  f.SetRect({3, 2, 3 + 17, 2 + 9});
+  f.Fill(t, next() % 50);
+  for (size_t off = f.origin(); off < f.end(); off++) {
+    auto p = f.OffsetToPoint(off);
+    ASSERT_TRUE(p.has_value()) << off;
+    EXPECT_EQ(f.PointToOffset(*p), off) << "at offset " << off;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameRoundTrip, ::testing::Range(1, 13));
+
+TEST_F(FrameTest, DrawSelectionStyles) {
+  Text t("select me");
+  f_.SetRect({0, 0, 12, 2});
+  f_.Fill(t, 0);
+  Screen s(12, 2);
+  f_.Draw(&s, {0, 6}, /*current=*/true, Style::kNormal);
+  EXPECT_EQ(s.At(0, 0).style, Style::kReverse);
+  EXPECT_EQ(s.At(5, 0).style, Style::kReverse);
+  EXPECT_EQ(s.At(6, 0).style, Style::kNormal);
+  // Non-current: outline.
+  f_.Draw(&s, {0, 6}, /*current=*/false, Style::kNormal);
+  EXPECT_EQ(s.At(0, 0).style, Style::kOutline);
+}
+
+TEST_F(FrameTest, DrawCaretForNullSelection) {
+  Text t("abc");
+  f_.SetRect({0, 0, 6, 1});
+  f_.Fill(t, 0);
+  Screen s(6, 1);
+  f_.Draw(&s, {1, 1}, /*current=*/true, Style::kNormal);
+  EXPECT_EQ(s.At(1, 0).style, Style::kCaret);
+}
+
+TEST_F(FrameTest, DrawExecUnderline) {
+  Text t("run uses now");
+  f_.SetRect({0, 0, 15, 1});
+  f_.Fill(t, 0);
+  Screen s(15, 1);
+  Selection exec{4, 8};
+  f_.Draw(&s, {0, 0}, true, Style::kNormal, &exec);
+  EXPECT_EQ(s.At(4, 0).style, Style::kExec);
+  EXPECT_EQ(s.At(7, 0).style, Style::kExec);
+  EXPECT_EQ(s.At(8, 0).style, Style::kNormal);
+}
+
+TEST_F(FrameTest, EmptyRect) {
+  Text t("anything");
+  f_.SetRect({0, 0, 0, 0});
+  f_.Fill(t, 0);
+  EXPECT_EQ(f_.lines_used(), 0);
+  EXPECT_EQ(f_.end(), f_.origin());
+}
+
+}  // namespace
+}  // namespace help

@@ -1,0 +1,135 @@
+// Raw-event state machine: press/move/release streams become selections,
+// executions, drags, and the chords of the paper.
+#include <gtest/gtest.h>
+
+#include "src/core/events.h"
+
+namespace help {
+namespace {
+
+class EventsTest : public ::testing::Test {
+ protected:
+  EventsTest() : m_(&h_) {
+    h_.vfs().WriteFile("/doc", "pick a word and Exit here\n");
+    auto w = h_.OpenFile("/doc", "/", nullptr);
+    w_ = w.value();
+    body_x_ = w_->rect().x0 + 1;  // body text starts right of the scroll bar
+    body_y_ = w_->rect().y0 + 1;
+  }
+
+  void Press(Button b, int x, int y) {
+    m_.Feed({MouseEvent::Kind::kPress, b, {x, y}});
+  }
+  void Move(int x, int y) {
+    m_.Feed({MouseEvent::Kind::kMove, Button::kLeft, {x, y}});
+  }
+  void Release(Button b, int x, int y) {
+    m_.Feed({MouseEvent::Kind::kRelease, b, {x, y}});
+  }
+
+  Help h_;
+  MouseMachine m_;
+  Window* w_ = nullptr;
+  int body_x_ = 0;
+  int body_y_ = 0;
+};
+
+TEST_F(EventsTest, SweepSelects) {
+  Press(Button::kLeft, body_x_, body_y_);
+  Move(body_x_ + 4, body_y_);
+  Release(Button::kLeft, body_x_ + 4, body_y_);
+  EXPECT_EQ(w_->body().sel, (Selection{0, 4}));
+  EXPECT_EQ(h_.current_sub(), &w_->body());
+  EXPECT_FALSE(m_.left_down());
+}
+
+TEST_F(EventsTest, ClickMakesNullSelection) {
+  Press(Button::kLeft, body_x_ + 2, body_y_);
+  Release(Button::kLeft, body_x_ + 2, body_y_);
+  EXPECT_TRUE(w_->body().sel.null());
+  EXPECT_EQ(w_->body().sel.q0, 2u);
+}
+
+TEST_F(EventsTest, MiddleSweepExecutes) {
+  // Sweep "Exit" (columns 16..20 of the body) with button 2.
+  Press(Button::kMiddle, body_x_ + 16, body_y_);
+  Release(Button::kMiddle, body_x_ + 20, body_y_);
+  EXPECT_TRUE(h_.exited());
+}
+
+TEST_F(EventsTest, MiddleClickExecutesWholeWord) {
+  Press(Button::kMiddle, body_x_ + 17, body_y_);  // inside "Exit"
+  Release(Button::kMiddle, body_x_ + 17, body_y_);
+  EXPECT_TRUE(h_.exited());
+}
+
+TEST_F(EventsTest, ChordCutWhileLeftHeld) {
+  Press(Button::kLeft, body_x_, body_y_);
+  Move(body_x_ + 4, body_y_);
+  // Middle click while left is still down: Cut the swept selection.
+  Press(Button::kMiddle, body_x_ + 4, body_y_);
+  Release(Button::kMiddle, body_x_ + 4, body_y_);
+  Release(Button::kLeft, body_x_ + 4, body_y_);
+  EXPECT_EQ(h_.snarf(), "pick");
+  EXPECT_EQ(w_->body().text->Utf8().substr(0, 3), " a ");
+}
+
+TEST_F(EventsTest, ChordPasteWhileLeftHeld) {
+  h_.set_snarf("REPLACEMENT");
+  Press(Button::kLeft, body_x_, body_y_);
+  Move(body_x_ + 4, body_y_);
+  Press(Button::kRight, body_x_ + 4, body_y_);
+  Release(Button::kRight, body_x_ + 4, body_y_);
+  Release(Button::kLeft, body_x_ + 4, body_y_);
+  EXPECT_EQ(w_->body().text->Utf8().substr(0, 11), "REPLACEMENT");
+}
+
+TEST_F(EventsTest, ChordCutThenPasteIsSnarf) {
+  // "remember the text in the cut buffer for later pasting" — no net edit.
+  std::string before = w_->body().text->Utf8();
+  Press(Button::kLeft, body_x_, body_y_);
+  Move(body_x_ + 4, body_y_);
+  Press(Button::kMiddle, body_x_ + 4, body_y_);
+  Release(Button::kMiddle, body_x_ + 4, body_y_);
+  Press(Button::kRight, body_x_ + 4, body_y_);
+  Release(Button::kRight, body_x_ + 4, body_y_);
+  Release(Button::kLeft, body_x_ + 4, body_y_);
+  EXPECT_EQ(w_->body().text->Utf8(), before);
+  EXPECT_EQ(h_.snarf(), "pick");
+}
+
+TEST_F(EventsTest, ChordSuppressesThePlainSelectRelease) {
+  // After a chord, releasing B1 must not re-select (which would clobber the
+  // caret position the chord left behind).
+  Press(Button::kLeft, body_x_, body_y_);
+  Move(body_x_ + 4, body_y_);
+  Press(Button::kMiddle, body_x_ + 4, body_y_);
+  Release(Button::kMiddle, body_x_ + 4, body_y_);
+  Selection after_cut = w_->body().sel;
+  Release(Button::kLeft, body_x_ + 9, body_y_);  // pointer drifted
+  EXPECT_EQ(w_->body().sel, after_cut);
+}
+
+TEST_F(EventsTest, RightDragMovesWindow) {
+  h_.vfs().WriteFile("/doc2", "second\n");
+  auto w2 = h_.OpenFile("/doc2", "/", nullptr);
+  // Grab w2 by its tag and drag it to the right column.
+  Point tag{w2.value()->rect().x0 + 2, w2.value()->rect().y0};
+  int right_col_x = h_.page().col(1).ContentRect().x0 + 2;
+  Press(Button::kRight, tag.x, tag.y);
+  Move(right_col_x, 10);
+  Release(Button::kRight, right_col_x, 10);
+  EXPECT_EQ(h_.page().ColumnOf(w2.value()), 1);
+}
+
+TEST_F(EventsTest, KeyFeedsTyping) {
+  Press(Button::kLeft, body_x_, body_y_);
+  Release(Button::kLeft, body_x_, body_y_);
+  m_.Key('X');
+  m_.Key('\n');
+  EXPECT_EQ(w_->body().text->Utf8().substr(0, 2), "X\n");
+  EXPECT_EQ(h_.counters().keystrokes, 2);
+}
+
+}  // namespace
+}  // namespace help

@@ -1,0 +1,224 @@
+// Protocol tests: codec round-trips, server dispatch, client conveniences.
+#include <gtest/gtest.h>
+
+#include "src/fs/ninep.h"
+
+namespace help {
+namespace {
+
+Fcall RoundTrip(const Fcall& f) {
+  auto decoded = DecodeFcall(EncodeFcall(f));
+  EXPECT_TRUE(decoded.ok()) << decoded.message();
+  return decoded.ok() ? decoded.value() : Fcall{};
+}
+
+TEST(NinepCodec, VersionRoundTrip) {
+  Fcall f;
+  f.type = MsgType::kTversion;
+  f.tag = kNoTag;
+  f.msize = 8192;
+  f.version = "9P.help";
+  Fcall g = RoundTrip(f);
+  EXPECT_EQ(g.type, MsgType::kTversion);
+  EXPECT_EQ(g.msize, 8192u);
+  EXPECT_EQ(g.version, "9P.help");
+}
+
+TEST(NinepCodec, WalkRoundTrip) {
+  Fcall f;
+  f.type = MsgType::kTwalk;
+  f.tag = 7;
+  f.fid = 1;
+  f.newfid = 2;
+  f.wname = {"mnt", "help", "3", "body"};
+  Fcall g = RoundTrip(f);
+  EXPECT_EQ(g.wname, f.wname);
+  EXPECT_EQ(g.newfid, 2u);
+}
+
+TEST(NinepCodec, RwalkQids) {
+  Fcall f;
+  f.type = MsgType::kRwalk;
+  f.tag = 3;
+  f.wqid = {{11, 2, true}, {12, 0, false}};
+  Fcall g = RoundTrip(f);
+  ASSERT_EQ(g.wqid.size(), 2u);
+  EXPECT_TRUE(g.wqid[0].dir);
+  EXPECT_EQ(g.wqid[1].path, 12u);
+}
+
+TEST(NinepCodec, ReadWriteWithBinaryData) {
+  Fcall f;
+  f.type = MsgType::kTwrite;
+  f.tag = 1;
+  f.fid = 9;
+  f.offset = 0xDEADBEEFull << 8;
+  f.data = std::string("\x00\x01\xFFhello", 8);
+  Fcall g = RoundTrip(f);
+  EXPECT_EQ(g.offset, f.offset);
+  EXPECT_EQ(g.data, f.data);
+}
+
+TEST(NinepCodec, ErrorString) {
+  Fcall f;
+  f.type = MsgType::kRerror;
+  f.tag = 5;
+  f.ename = "file does not exist";
+  EXPECT_EQ(RoundTrip(f).ename, "file does not exist");
+}
+
+TEST(NinepCodec, StatRoundTrip) {
+  Fcall f;
+  f.type = MsgType::kRstat;
+  f.tag = 2;
+  f.stat.name = "body";
+  f.stat.length = 4242;
+  f.stat.mtime = 671803200;
+  f.stat.dir = false;
+  f.stat.qid = {99, 1, false};
+  Fcall g = RoundTrip(f);
+  EXPECT_EQ(g.stat.name, "body");
+  EXPECT_EQ(g.stat.length, 4242u);
+  EXPECT_EQ(g.stat.qid.path, 99u);
+}
+
+TEST(NinepCodec, RejectsTruncatedAndOversized) {
+  Fcall f;
+  f.type = MsgType::kTversion;
+  f.version = "x";
+  std::string bytes = EncodeFcall(f);
+  EXPECT_FALSE(DecodeFcall(bytes.substr(0, bytes.size() - 1)).ok());
+  EXPECT_FALSE(DecodeFcall(bytes + "extra").ok());
+  EXPECT_FALSE(DecodeFcall("").ok());
+}
+
+TEST(NinepCodec, DirEntries) {
+  std::string blob = EncodeDirEntry({"dat.h", {5, 0, false}, 1500, 100, false}) +
+                     EncodeDirEntry({"sub", {6, 1, true}, 0, 101, true});
+  auto entries = DecodeDirEntries(blob);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 2u);
+  EXPECT_EQ(entries.value()[0].name, "dat.h");
+  EXPECT_TRUE(entries.value()[1].dir);
+}
+
+// --- Server + client over the byte transport -----------------------------------
+
+class NinepSession : public ::testing::Test {
+ protected:
+  NinepSession() : server_(&vfs_), client_(&server_) {
+    vfs_.MkdirAll("/usr/rob");
+    vfs_.WriteFile("/usr/rob/x", "contents of x");
+    EXPECT_TRUE(client_.Connect().ok());
+  }
+  Vfs vfs_;
+  NinepServer server_;
+  NinepClient client_;
+};
+
+TEST_F(NinepSession, ReadFile) {
+  auto data = client_.ReadFile("/usr/rob/x");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "contents of x");
+}
+
+TEST_F(NinepSession, ReadMissingFileFails) {
+  EXPECT_FALSE(client_.ReadFile("/usr/rob/ghost").ok());
+}
+
+TEST_F(NinepSession, WriteThenReadBack) {
+  ASSERT_TRUE(client_.WriteFile("/usr/rob/new", "written over 9P").ok());
+  EXPECT_EQ(vfs_.ReadFile("/usr/rob/new").value(), "written over 9P");
+  EXPECT_EQ(client_.ReadFile("/usr/rob/new").value(), "written over 9P");
+}
+
+TEST_F(NinepSession, AppendFile) {
+  ASSERT_TRUE(client_.AppendFile("/usr/rob/x", " + more").ok());
+  EXPECT_EQ(vfs_.ReadFile("/usr/rob/x").value(), "contents of x + more");
+}
+
+TEST_F(NinepSession, CreateAndRemove) {
+  ASSERT_TRUE(client_.Create("/usr/rob/dir", true).ok());
+  EXPECT_TRUE(vfs_.Walk("/usr/rob/dir").value()->dir());
+  ASSERT_TRUE(client_.Create("/usr/rob/dir/f", false).ok());
+  ASSERT_TRUE(client_.Remove("/usr/rob/dir/f").ok());
+  EXPECT_FALSE(vfs_.Walk("/usr/rob/dir/f").ok());
+}
+
+TEST_F(NinepSession, ReadDir) {
+  vfs_.WriteFile("/usr/rob/y", "");
+  auto entries = client_.ReadDir("/usr/rob");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 2u);
+  EXPECT_EQ(entries.value()[0].name, "x");
+  EXPECT_EQ(entries.value()[1].name, "y");
+}
+
+TEST_F(NinepSession, Stat) {
+  auto st = client_.Stat("/usr/rob/x");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().length, 13u);
+  EXPECT_FALSE(st.value().dir);
+}
+
+TEST_F(NinepSession, LargeFileChunkedTransfer) {
+  std::string big(300 * 1024, 'z');
+  ASSERT_TRUE(client_.WriteFile("/usr/rob/big", big).ok());
+  auto data = client_.ReadFile("/usr/rob/big");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value().size(), big.size());
+  EXPECT_EQ(data.value(), big);
+}
+
+TEST_F(NinepSession, FidsAreClunked) {
+  size_t before = server_.open_fids();
+  client_.ReadFile("/usr/rob/x").ok();
+  client_.ReadDir("/usr/rob").ok();
+  client_.Stat("/usr/rob/x").ok();
+  EXPECT_EQ(server_.open_fids(), before);  // no fid leaks
+}
+
+TEST_F(NinepSession, PartialWalkFails) {
+  auto fid = client_.WalkFid("/usr/rob/nodir/deeper");
+  EXPECT_FALSE(fid.ok());
+}
+
+TEST_F(NinepSession, ErrorsCarryPlan9Text) {
+  auto data = client_.ReadFile("/ghost");
+  ASSERT_FALSE(data.ok());
+  EXPECT_NE(data.message().find("does not exist"), std::string::npos);
+}
+
+TEST(NinepServer, DispatchRejectsUnknownFid) {
+  Vfs vfs;
+  NinepServer server(&vfs);
+  Fcall t;
+  t.type = MsgType::kTread;
+  t.tag = 1;
+  t.fid = 999;
+  Fcall r = server.Dispatch(t);
+  EXPECT_EQ(r.type, MsgType::kRerror);
+}
+
+TEST(NinepServer, VersionResetsSession) {
+  Vfs vfs;
+  NinepServer server(&vfs);
+  NinepClient client(&server);
+  ASSERT_TRUE(client.Connect().ok());
+  auto fid = client.WalkFid("/");
+  ASSERT_TRUE(fid.ok());
+  ASSERT_TRUE(client.Connect().ok());  // re-version
+  EXPECT_EQ(server.open_fids(), 1u);   // only the fresh root attach
+}
+
+TEST(NinepServer, GarbageBytesYieldRerror) {
+  Vfs vfs;
+  NinepServer server(&vfs);
+  std::string reply = server.HandleBytes("garbage");
+  auto r = DecodeFcall(reply);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().type, MsgType::kRerror);
+}
+
+}  // namespace
+}  // namespace help

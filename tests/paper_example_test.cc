@@ -1,0 +1,118 @@
+// The paper's remaining inline examples, run exactly as printed.
+#include <gtest/gtest.h>
+
+#include "src/base/strings.h"
+#include "src/tools/tools.h"
+
+namespace help {
+namespace {
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  PaperExampleTest() : h_(s_.help) {}
+
+  std::string Shell(std::string_view src, std::string cwd = "/") {
+    Env env;
+    std::string out;
+    std::string err;
+    Io io;
+    io.out = &out;
+    io.err = &err;
+    auto r = h_.shell().Run(src, &env, std::move(cwd), {}, io);
+    EXPECT_TRUE(r.ok()) << r.message();
+    last_err_ = err;
+    return out;
+  }
+
+  PaperSession s_;
+  Help& h_;
+  std::string last_err_;
+};
+
+// "if one selects with the middle button the text
+//      grep '^main' /sys/src/cmd/help/*.c
+//  the traditional command will be executed."
+TEST_F(PaperExampleTest, GrepMainOverSysSrcCmdHelp) {
+  ASSERT_TRUE(h_.ExecuteText("grep -n '^main' /sys/src/cmd/help/*.c", nullptr).ok());
+  std::string errs = h_.errors_window()->body().text->Utf8();
+  EXPECT_NE(errs.find("/sys/src/cmd/help/help.c:26: main(int argc, char *argv[])"),
+            std::string::npos)
+      << errs;
+}
+
+// "to copy the text in the body of window number 7 to a file, one may execute
+//      cp /mnt/help/7/body file"
+TEST_F(PaperExampleTest, CpWindowBodyToFile) {
+  Window* w = nullptr;
+  auto opened = h_.OpenFile("/usr/rob/src/help/errs.c", "/", nullptr);
+  ASSERT_TRUE(opened.ok());
+  w = opened.value();
+  Shell(StrFormat("cp /mnt/help/%d/body /tmp/file", w->id()));
+  EXPECT_EQ(h_.vfs().ReadFile("/tmp/file").value(), w->body().text->Utf8());
+}
+
+// "To search for a text pattern,
+//      grep pattern /mnt/help/7/body"
+TEST_F(PaperExampleTest, GrepWindowBody) {
+  auto opened = h_.OpenFile("/usr/rob/src/help/errs.c", "/", nullptr);
+  ASSERT_TRUE(opened.ok());
+  std::string out =
+      Shell(StrFormat("grep textinsert /mnt/help/%d/body", opened.value()->id()));
+  EXPECT_NE(out.find("textinsert(1, errtext, es, n, 1);"), std::string::npos);
+}
+
+// "An ASCII file /mnt/help/index may be examined to connect tag file names
+//  to window numbers. Each line of this file is a window number, a tab, and
+//  the first line of the tag."
+TEST_F(PaperExampleTest, IndexFormat) {
+  auto opened = h_.OpenFile("/usr/rob/src/help/errs.c", "/", nullptr);
+  ASSERT_TRUE(opened.ok());
+  std::string index = h_.vfs().ReadFile("/mnt/help/index").value();
+  bool found = false;
+  for (const std::string& line : Split(index, '\n')) {
+    if (line.empty()) {
+      continue;
+    }
+    std::vector<std::string> parts = Split(line, '\t');
+    ASSERT_EQ(parts.size(), 2u) << line;
+    EXPECT_GT(ParseInt(parts[0]), 0) << line;
+    if (parts[1].find("/usr/rob/src/help/errs.c") != std::string::npos) {
+      found = true;
+      EXPECT_EQ(ParseInt(parts[0]), opened.value()->id());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// "To create a new window, a process just opens /mnt/help/new/ctl ... and
+//  may then read from that file the name of the window created".
+TEST_F(PaperExampleTest, NewCtlProtocol) {
+  std::string id = Shell("cat /mnt/help/new/ctl");
+  long n = ParseInt(TrimSpace(id));
+  ASSERT_GT(n, 0);
+  EXPECT_NE(h_.page().FindById(static_cast<int>(n)), nullptr);
+}
+
+// The db tool: "People unfamiliar with adb can easily use help's interface
+// to it to examine broken processes." The whole flow through the script.
+TEST_F(PaperExampleTest, DbToolHidesAdbSyntax) {
+  Window* scratch = h_.CreateWindow("note Close!");
+  scratch->body().text->SetAll("crash: pid 176153\n");
+  scratch->Relayout();
+  size_t off = scratch->body().text->Utf8().find("176153") + 1;
+  scratch->body().sel = {off, off};
+  h_.SetCurrent(&scratch->body());
+  Window* db = h_.WindowForFile("/help/db/stf");
+  ASSERT_TRUE(h_.ExecuteText("regs", db).ok());
+  Window* out = nullptr;
+  for (Window* w : h_.AllWindows()) {
+    if (w->tag().text->Utf8().find("176153 regs") != std::string::npos) {
+      out = w;
+    }
+  }
+  ASSERT_NE(out, nullptr);
+  EXPECT_NE(out->body().text->Utf8().find("pc\t0x18df4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace help

@@ -1,0 +1,133 @@
+// Process-substrate tests: the table and the adb formatters, checked against
+// the exact Figure 7 trace.
+#include <gtest/gtest.h>
+
+#include "src/proc/env.h"
+#include "src/proc/proc.h"
+
+namespace help {
+namespace {
+
+TEST(Env, ListsAndStrings) {
+  Env e;
+  e.Set("tools", {"edit", "cbr", "db"});
+  EXPECT_EQ(e.Get("tools").size(), 3u);
+  EXPECT_EQ(e.GetString("tools"), "edit cbr db");
+  EXPECT_EQ(e.GetString("missing"), "");
+  EXPECT_FALSE(e.Has("missing"));
+  e.SetString("helpsel", "3 10 14");
+  EXPECT_EQ(e.Get("helpsel"), (std::vector<std::string>{"3 10 14"}));
+  e.Unset("helpsel");
+  EXPECT_FALSE(e.Has("helpsel"));
+}
+
+TEST(Env, CloneIsIndependent) {
+  Env e;
+  e.SetString("x", "parent");
+  Env child = e.Clone();
+  child.SetString("x", "child");
+  EXPECT_EQ(e.GetString("x"), "parent");
+}
+
+TEST(ProcTable, AddFindBroken) {
+  ProcTable t;
+  ProcImage running;
+  running.pid = 10;
+  running.program = "/bin/rc";
+  t.Add(running, nullptr);
+  t.Add(MakePaperCrashImage(), nullptr);
+  EXPECT_NE(t.Find(10), nullptr);
+  EXPECT_EQ(t.Find(999), nullptr);
+  ASSERT_EQ(t.Broken().size(), 1u);
+  EXPECT_EQ(t.Broken()[0]->pid, 176153);
+  EXPECT_EQ(t.All().size(), 2u);
+}
+
+TEST(ProcTable, PublishesProcFiles) {
+  Vfs vfs;
+  ProcTable t;
+  t.Add(MakePaperCrashImage(), &vfs);
+  auto status = vfs.ReadFile("/proc/176153/status");
+  ASSERT_TRUE(status.ok());
+  EXPECT_NE(status.value().find("Broken"), std::string::npos);
+  EXPECT_NE(vfs.ReadFile("/proc/176153/note").value().find("TLB miss"),
+            std::string::npos);
+}
+
+TEST(Adb, StackMatchesFigure7) {
+  ProcImage p = MakePaperCrashImage();
+  std::string stack = AdbStack(p);
+  // The trace, line by line, as the paper's Figure 7 shows it.
+  const char* expected[] = {
+      "last exception: TLB miss (load or fetch)",
+      "/sys/src/libc/mips/strchr.s:34 strchr+0x68?\tMOVW 0(R3),R5",
+      "strchr(c=0x3c, s=0x0) called from strlen+0x1c /sys/src/libc/port/strlen.c:7",
+      "strlen(s=0x0) called from textinsert+0x30 text.c:32",
+      "textinsert(sel=0x1, t=0x40e60, s=0x0, q0=0xd, full=0x1) called from errs+0xe8 "
+      "errs.c:34",
+      "\tn = 0x3d7cc",
+      "errs(s=0x0) called from Xdie2+0x14 exec.c:252",
+      "\tp = 0x40d88",
+      "Xdie2() called from lookup+0xc4 exec.c:101",
+      "lookup(s=0x40be8) called from execute+0x50 exec.c:207",
+      "\ti = 0x1f",
+      "\tn = 0xc5bf",
+      "execute(t=0x3ebbc, p0=0x2, p1=0x2) called from control+0x430 ctrl.c:331",
+      "control() called from control ctrl.c:320",
+  };
+  size_t pos = 0;
+  for (const char* line : expected) {
+    size_t found = stack.find(line, pos);
+    EXPECT_NE(found, std::string::npos) << "missing or out of order: " << line;
+    if (found != std::string::npos) {
+      pos = found;
+    }
+  }
+}
+
+TEST(Adb, StackEveryCoordinateIsOpenable) {
+  // Every file:line token in the trace must parse as a file address — that
+  // is what makes the trace "filled with text that points to new text".
+  ProcImage p = MakePaperCrashImage();
+  for (const StackFrame& f : p.stack) {
+    EXPECT_FALSE(f.file.empty());
+    EXPECT_GT(f.line, 0);
+  }
+}
+
+TEST(Adb, Regs) {
+  std::string regs = AdbRegs(MakePaperCrashImage());
+  EXPECT_NE(regs.find("pc\t0x18df4"), std::string::npos);
+  EXPECT_NE(regs.find("sp\t0x3f4e8"), std::string::npos);
+  EXPECT_NE(regs.find("status\t0xfb0c"), std::string::npos);
+  EXPECT_NE(regs.find("badvaddr\t0x0"), std::string::npos);
+}
+
+TEST(Adb, Pc) {
+  EXPECT_EQ(AdbPc(MakePaperCrashImage()),
+            "0x18df4 strchr+0x68 /sys/src/libc/mips/strchr.s:34\n");
+}
+
+TEST(Adb, PsAndBroke) {
+  ProcTable t;
+  t.Add(MakePaperCrashImage(), nullptr);
+  EXPECT_NE(AdbPs(t).find("176153"), std::string::npos);
+  EXPECT_EQ(AdbBroke(t), "176153 help\n");
+}
+
+TEST(Adb, Kstack) {
+  std::string k = AdbKstack(MakePaperCrashImage());
+  EXPECT_NE(k.find("syssleep+0x24"), std::string::npos);
+}
+
+TEST(Adb, EmptyStack) {
+  ProcImage p;
+  p.pid = 1;
+  p.note = "user note";
+  p.regs.pc = 0x1000;
+  EXPECT_EQ(AdbStack(p), "last exception: note\n");
+  EXPECT_EQ(AdbPc(p), "0x1000\n");
+}
+
+}  // namespace
+}  // namespace help

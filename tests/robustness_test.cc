@@ -1,0 +1,157 @@
+// Robustness / fuzz-ish tests: malformed protocol bytes, random shell
+// sources, random C text, and hostile ctl writes must produce clean errors —
+// never crashes, hangs, or corrupted state.
+#include <gtest/gtest.h>
+
+#include "src/cc/browser.h"
+#include "src/core/help.h"
+#include "src/fs/ninep.h"
+#include "src/regexp/regexp.h"
+#include "src/shell/shell.h"
+#include "src/text/address.h"
+
+namespace help {
+namespace {
+
+struct Rng {
+  uint32_t seed;
+  uint32_t Next() {
+    seed = seed * 1664525 + 1013904223;
+    return seed >> 8;
+  }
+};
+
+class NinepFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(NinepFuzz, RandomBytesNeverCrashServer) {
+  Rng rng{static_cast<uint32_t>(GetParam()) * 2654435761u};
+  Vfs vfs;
+  vfs.WriteFile("/f", "data");
+  NinepServer server(&vfs);
+  for (int round = 0; round < 200; round++) {
+    size_t len = rng.Next() % 64;
+    std::string packet;
+    if (rng.Next() % 2 == 0) {
+      // Length-consistent prefix so it gets past the size check sometimes.
+      std::string body;
+      for (size_t i = 0; i < len; i++) {
+        body.push_back(static_cast<char>(rng.Next()));
+      }
+      uint32_t total = static_cast<uint32_t>(body.size()) + 4;
+      packet.push_back(static_cast<char>(total & 0xFF));
+      packet.push_back(static_cast<char>((total >> 8) & 0xFF));
+      packet.push_back(static_cast<char>((total >> 16) & 0xFF));
+      packet.push_back(static_cast<char>((total >> 24) & 0xFF));
+      packet += body;
+    } else {
+      for (size_t i = 0; i < len; i++) {
+        packet.push_back(static_cast<char>(rng.Next()));
+      }
+    }
+    std::string reply = server.HandleBytes(packet);
+    auto decoded = DecodeFcall(reply);
+    ASSERT_TRUE(decoded.ok());  // the server always answers a valid message
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NinepFuzz, ::testing::Range(1, 9));
+
+class ShellFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShellFuzz, RandomSourceNeverCrashes) {
+  Rng rng{static_cast<uint32_t>(GetParam()) * 40503u};
+  Vfs vfs;
+  CommandRegistry reg;
+  ProcTable procs;
+  Shell shell(&vfs, &reg, &procs);
+  const char kChars[] = "abc $|{}`'<>^=;#\n\t*?[]/!";
+  for (int round = 0; round < 300; round++) {
+    std::string src;
+    size_t len = rng.Next() % 48;
+    for (size_t i = 0; i < len; i++) {
+      src.push_back(kChars[rng.Next() % (sizeof(kChars) - 1)]);
+    }
+    Env env;
+    std::string out;
+    std::string err;
+    Io io;
+    io.out = &out;
+    io.err = &err;
+    // Must terminate and either run or report a parse error.
+    shell.Run(src, &env, "/", {}, io);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShellFuzz, ::testing::Range(1, 9));
+
+class CFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CFuzz, RandomTokensNeverStallParser) {
+  Rng rng{static_cast<uint32_t>(GetParam()) * 69069u};
+  const char* kToks[] = {"int", "typedef", "struct", "x", "y", "(",  ")", "{",
+                        "}",   "[",       "]",      ";", ",", "*",  "=", "42",
+                        "\"s\"", "if",    "goto",   ":", "case", "enum"};
+  for (int round = 0; round < 100; round++) {
+    std::string src;
+    size_t len = rng.Next() % 120;
+    for (size_t i = 0; i < len; i++) {
+      src += kToks[rng.Next() % (sizeof(kToks) / sizeof(kToks[0]))];
+      src += (rng.Next() % 7 == 0) ? "\n" : " ";
+    }
+    CBrowser b;
+    b.AddTranslationUnit(src, "fuzz.c");  // must terminate
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CFuzz, ::testing::Range(1, 9));
+
+TEST(CtlRobustness, HostileWritesAreRejectedCleanly) {
+  Help h;
+  h.vfs().WriteFile("/f", "body\n");
+  auto w = h.OpenFile("/f", "/", nullptr);
+  std::string ctl = "/mnt/help/" + std::to_string(w.value()->id()) + "/ctl";
+  for (const char* bad :
+       {"select 99999999999999999999 3", "insert -1 x", "delete 1", "show",
+        "select a b", "delete 9 3", "insert notanumber text", "bogus op"}) {
+    Status s = h.vfs().WriteFile(ctl, bad);
+    EXPECT_FALSE(s.ok()) << bad;
+  }
+  // State untouched.
+  EXPECT_EQ(w.value()->body().text->Utf8(), "body\n");
+}
+
+TEST(CtlRobustness, HugeOffsetsClamp) {
+  Help h;
+  h.vfs().WriteFile("/f", "body\n");
+  auto w = h.OpenFile("/f", "/", nullptr);
+  std::string ctl = "/mnt/help/" + std::to_string(w.value()->id()) + "/ctl";
+  ASSERT_TRUE(h.vfs().WriteFile(ctl, "select 2 400").ok());
+  EXPECT_EQ(w.value()->body().sel, (Selection{2, 5}));
+  ASSERT_TRUE(h.vfs().WriteFile(ctl, "insert 400 tail").ok());
+  EXPECT_EQ(w.value()->body().text->Utf8(), "body\ntail");
+}
+
+TEST(AddressRobustness, JunkAddressesError) {
+  Text t("line\n");
+  for (const char* bad : {"-1", "1,,2", "#", "//", "$$", "1,2,3", "1,"}) {
+    EXPECT_FALSE(EvalAddress(t, bad).ok()) << bad;
+  }
+}
+
+TEST(RegexpRobustness, DeepNestingTerminates) {
+  std::string pattern;
+  for (int i = 0; i < 60; i++) {
+    pattern += "(a|";
+  }
+  pattern += "b";
+  for (int i = 0; i < 60; i++) {
+    pattern += ")";
+  }
+  auto re = Regexp::Compile(pattern);
+  ASSERT_TRUE(re.ok());
+  RuneString text = RunesFromUtf8("b");
+  EXPECT_TRUE(re.value().Search(text).has_value());
+}
+
+}  // namespace
+}  // namespace help

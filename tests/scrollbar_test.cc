@@ -1,0 +1,108 @@
+// Scroll bars: "an extremely spare [interface], consisting only of text,
+// scroll bars, one simple kind of window..." — geometry, gestures (B1 back,
+// B3 forward, B2 absolute), thumb rendering.
+#include <gtest/gtest.h>
+
+#include "src/core/help.h"
+
+namespace help {
+namespace {
+
+class ScrollbarTest : public ::testing::Test {
+ protected:
+  ScrollbarTest() {
+    std::string many;
+    for (int i = 1; i <= 200; i++) {
+      many += "line " + std::to_string(i) + "\n";
+    }
+    h_.vfs().MkdirAll("/f");
+    h_.vfs().WriteFile("/f/long", many);
+    auto w = h_.OpenFile("/f/long", "/", nullptr);
+    w_ = w.value();
+  }
+
+  Help h_;
+  Window* w_ = nullptr;
+};
+
+TEST_F(ScrollbarTest, GeometryLeftOfBody) {
+  Rect sb = w_->ScrollbarRect();
+  EXPECT_EQ(sb.x0, w_->rect().x0);
+  EXPECT_EQ(sb.width(), 1);
+  EXPECT_EQ(sb.y0, w_->rect().y0 + 1);  // below the tag
+  EXPECT_EQ(sb.y1, w_->rect().y1);
+  // The body starts one cell right of the bar.
+  EXPECT_EQ(w_->body().frame.rect().x0, sb.x1);
+}
+
+TEST_F(ScrollbarTest, HiddenWindowHasNoBar) {
+  w_->Hide();
+  EXPECT_TRUE(w_->ScrollbarRect().empty());
+}
+
+TEST_F(ScrollbarTest, Button3ScrollsForwardProportionally) {
+  Rect sb = w_->ScrollbarRect();
+  EXPECT_EQ(w_->body().frame.origin(), 0u);
+  // B3 near the top: scroll forward a little.
+  h_.MouseDrag({sb.x0, sb.y0}, {sb.x0, sb.y0});
+  size_t after_small = w_->body().frame.origin();
+  EXPECT_EQ(w_->body().text->LineAt(after_small), 2u);
+  // B3 at the bottom: scroll a whole page.
+  h_.MouseDrag({sb.x0, sb.y1 - 1}, {sb.x0, sb.y1 - 1});
+  EXPECT_EQ(w_->body().text->LineAt(w_->body().frame.origin()),
+            2u + static_cast<size_t>(sb.height()));
+}
+
+TEST_F(ScrollbarTest, Button1ScrollsBackward) {
+  Rect sb = w_->ScrollbarRect();
+  w_->ScrollTo(0.5);
+  size_t mid = w_->body().frame.origin();
+  h_.MouseClick({sb.x0, sb.y0 + 2});  // B1: back 3 lines
+  EXPECT_EQ(w_->body().text->LineAt(w_->body().frame.origin()),
+            w_->body().text->LineAt(mid) - 3);
+}
+
+TEST_F(ScrollbarTest, Button2JumpsAbsolute) {
+  Rect sb = w_->ScrollbarRect();
+  // Click 90% down the bar: land ~90% into the text.
+  int y = sb.y0 + (sb.height() * 9) / 10;
+  h_.MouseExec({sb.x0, y}, {sb.x0, y});
+  size_t line = w_->body().text->LineAt(w_->body().frame.origin());
+  EXPECT_GT(line, 150u);
+  EXPECT_LE(line, 200u);
+  // Top of the bar: back to the beginning.
+  h_.MouseExec({sb.x0, sb.y0}, {sb.x0, sb.y0});
+  EXPECT_EQ(w_->body().frame.origin(), 0u);
+}
+
+TEST_F(ScrollbarTest, ScrollClampsAtEnds) {
+  w_->ScrollLines(-100);
+  EXPECT_EQ(w_->body().frame.origin(), 0u);
+  w_->ScrollLines(100000);
+  EXPECT_EQ(w_->body().text->LineAt(w_->body().frame.origin()), 200u);
+}
+
+TEST_F(ScrollbarTest, ThumbTracksPosition) {
+  h_.Render();
+  const Screen& top_screen = h_.page().screen();
+  Rect sb = w_->ScrollbarRect();
+  // At the top, the thumb (█) starts at the first bar row.
+  EXPECT_EQ(top_screen.At(sb.x0, sb.y0).ch, 0x2588u);
+  // Near the bottom it does not.
+  w_->ScrollTo(0.9);
+  h_.Render();
+  EXPECT_NE(h_.page().screen().At(sb.x0, sb.y0).ch, 0x2588u);
+  EXPECT_EQ(h_.page().screen().At(sb.x0, sb.y0).ch, 0x2502u);  // │ track
+}
+
+TEST_F(ScrollbarTest, ScrollbarClicksAreNotSelections) {
+  Rect sb = w_->ScrollbarRect();
+  w_->body().sel = {3, 9};
+  h_.SetCurrent(&w_->body());
+  h_.MouseClick({sb.x0, sb.y0 + 1});
+  // Selection untouched; scrolling is not selecting.
+  EXPECT_EQ(w_->body().sel, (Selection{3, 9}));
+}
+
+}  // namespace
+}  // namespace help

@@ -1,0 +1,83 @@
+// Send: the traditional-shell-window extension. A New window + typing + Send
+// behaves like a typescript: command output appends to the same window, not
+// to Errors.
+#include <gtest/gtest.h>
+
+#include "src/core/help.h"
+
+namespace help {
+namespace {
+
+class SendTest : public ::testing::Test {
+ protected:
+  SendTest() {
+    h_.vfs().MkdirAll("/work");
+    h_.vfs().WriteFile("/work/notes", "alpha\nbeta\n");
+  }
+  Help h_;
+};
+
+TEST_F(SendTest, RunsLineUnderCaretAppendsOutput) {
+  Window* w = h_.CreateWindow("shell Close!");
+  h_.SetCurrent(&w->body());
+  h_.Type("echo hello shell window");
+  // Caret sits at the end of the typed line; Send runs that line.
+  ASSERT_TRUE(h_.ExecuteText("Send", w).ok());
+  std::string body = w->body().text->Utf8();
+  EXPECT_NE(body.find("echo hello shell window\nhello shell window\n"),
+            std::string::npos)
+      << body;
+  // Output stayed in the window; no Errors window appeared.
+  EXPECT_EQ(h_.errors_window(), nullptr);
+}
+
+TEST_F(SendTest, NonNullSelectionRunsExactly) {
+  Window* w = h_.CreateWindow("shell Close!");
+  w->body().text->SetAll("echo one\necho two\n");
+  w->Relayout();
+  // Select only "echo one".
+  w->body().sel = {0, 8};
+  h_.SetCurrent(&w->body());
+  ASSERT_TRUE(h_.ExecuteText("Send", w).ok());
+  std::string body = w->body().text->Utf8();
+  EXPECT_NE(body.find("one\n"), std::string::npos);
+  EXPECT_EQ(body.find("two\n\ntwo"), std::string::npos);
+}
+
+TEST_F(SendTest, RunsInWindowContextDir) {
+  Window* w = h_.CreateWindow("/work/notes Close!");
+  w->body().text->SetAll("cat notes\n");
+  w->Relayout();
+  w->body().sel = {0, 0};
+  h_.SetCurrent(&w->body());
+  ASSERT_TRUE(h_.ExecuteText("Send", w).ok());
+  EXPECT_NE(w->body().text->Utf8().find("alpha\nbeta\n"), std::string::npos);
+}
+
+TEST_F(SendTest, ErrorsAppendToWindowToo) {
+  Window* w = h_.CreateWindow("shell Close!");
+  h_.SetCurrent(&w->body());
+  h_.Type("nosuchcommand");
+  ASSERT_TRUE(h_.ExecuteText("Send", w).ok());
+  EXPECT_NE(w->body().text->Utf8().find("file does not exist"), std::string::npos);
+}
+
+TEST_F(SendTest, CaretMovesToEndForNextCommand) {
+  Window* w = h_.CreateWindow("shell Close!");
+  h_.SetCurrent(&w->body());
+  h_.Type("echo first");
+  h_.ExecuteText("Send", w);
+  h_.Type("echo second");
+  h_.ExecuteText("Send", w);
+  std::string body = w->body().text->Utf8();
+  EXPECT_NE(body.find("first\necho second\nsecond\n"), std::string::npos) << body;
+}
+
+TEST_F(SendTest, EmptySelectionOnEmptyLineErrors) {
+  Window* w = h_.CreateWindow("shell Close!");
+  h_.SetCurrent(&w->body());
+  EXPECT_FALSE(h_.ExecuteText("Send", w).ok());
+}
+
+}  // namespace
+}  // namespace help

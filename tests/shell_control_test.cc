@@ -1,0 +1,202 @@
+// rc control flow: if / if not / for / while / switch / fn / the ~ builtin —
+// enough of the language to run Rob's profile.
+#include <gtest/gtest.h>
+
+#include "src/shell/coreutils.h"
+#include "src/shell/shell.h"
+
+namespace help {
+namespace {
+
+class ShellControlTest : public ::testing::Test {
+ protected:
+  ShellControlTest() : shell_(&vfs_, &registry_, &procs_) {
+    RegisterCoreutils(&vfs_, &registry_);
+  }
+
+  std::string Run(std::string_view src, int* status = nullptr,
+                  std::vector<std::string> args = {}) {
+    std::string out;
+    std::string err;
+    Io io;
+    io.out = &out;
+    io.err = &err;
+    auto r = shell_.Run(src, &env_, "/", args, io);
+    EXPECT_TRUE(r.ok()) << r.message() << " running: " << src;
+    if (status != nullptr) {
+      *status = r.ok() ? r.value() : -1;
+    }
+    last_err_ = err;
+    return out;
+  }
+
+  Vfs vfs_;
+  CommandRegistry registry_;
+  ProcTable procs_;
+  Env env_;
+  Shell shell_;
+  std::string last_err_;
+};
+
+TEST_F(ShellControlTest, MatchBuiltin) {
+  int status;
+  Run("~ exec.c *.c", &status);
+  EXPECT_EQ(status, 0);
+  Run("~ exec.h *.c", &status);
+  EXPECT_EQ(status, 1);
+  Run("~ exec.h *.c *.h", &status);
+  EXPECT_EQ(status, 0);
+  Run("~ anything", &status);
+  EXPECT_EQ(status, 1);
+}
+
+TEST_F(ShellControlTest, IfRunsBodyOnSuccess) {
+  EXPECT_EQ(Run("if(true) echo yes"), "yes\n");
+  EXPECT_EQ(Run("if(false) echo yes"), "");
+  EXPECT_EQ(Run("if(~ a.c *.c) echo match"), "match\n");
+}
+
+TEST_F(ShellControlTest, IfNotPairsWithPrecedingIf) {
+  EXPECT_EQ(Run("if(false) echo yes\nif not echo no"), "no\n");
+  EXPECT_EQ(Run("if(true) echo yes\nif not echo no"), "yes\n");
+}
+
+TEST_F(ShellControlTest, IfConditionOutputIsDiscarded) {
+  // rc shows the condition's output; we route it to the same io — but the
+  // status decides. Here grep matches (status 0) and prints.
+  vfs_.WriteFile("/f", "needle\n");
+  EXPECT_EQ(Run("if(grep -c needle /f) echo found"), "1\nfound\n");
+}
+
+TEST_F(ShellControlTest, ForIteratesExplicitList) {
+  EXPECT_EQ(Run("for(i in a b c) echo item $i"), "item a\nitem b\nitem c\n");
+}
+
+TEST_F(ShellControlTest, ForIteratesGlob) {
+  vfs_.MkdirAll("/src");
+  vfs_.WriteFile("/src/x.c", "");
+  vfs_.WriteFile("/src/y.c", "");
+  EXPECT_EQ(Run("for(f in /src/*.c) basename $f"), "x.c\ny.c\n");
+}
+
+TEST_F(ShellControlTest, ForWithoutListUsesArgs) {
+  EXPECT_EQ(Run("for(a) echo got $a", nullptr, {"p", "q"}), "got p\ngot q\n");
+}
+
+TEST_F(ShellControlTest, WhileLoops) {
+  // Grow x until the negated match says it is long enough.
+  EXPECT_EQ(Run("x=a\nwhile(! ~ $x aaaa) x=$x^a\necho $x"), "aaaa\n");
+  EXPECT_EQ(Run("while(false) echo never\necho after"), "after\n");
+}
+
+TEST_F(ShellControlTest, SwitchSelectsMatchingCase) {
+  const char* script =
+      "switch($1){\n"
+      "case *.c\n"
+      "\techo c source\n"
+      "case *.h mkfile\n"
+      "\techo header or mkfile\n"
+      "case *\n"
+      "\techo other\n"
+      "}\n";
+  EXPECT_EQ(Run(script, nullptr, {"exec.c"}), "c source\n");
+  EXPECT_EQ(Run(script, nullptr, {"dat.h"}), "header or mkfile\n");
+  EXPECT_EQ(Run(script, nullptr, {"mkfile"}), "header or mkfile\n");
+  EXPECT_EQ(Run(script, nullptr, {"README"}), "other\n");
+}
+
+TEST_F(ShellControlTest, SwitchWithNoMatchDoesNothing) {
+  EXPECT_EQ(Run("switch(zzz){\ncase a\necho a\n}\necho after"), "after\n");
+}
+
+TEST_F(ShellControlTest, FunctionsDefineAndRun) {
+  EXPECT_EQ(Run("fn greet { echo hello $1 }\ngreet rob\ngreet sean"),
+            "hello rob\nhello sean\n");
+}
+
+TEST_F(ShellControlTest, FunctionArgsRestoreCallerArgs) {
+  EXPECT_EQ(Run("fn inner { echo in $1 }\ninner wrapped\necho out $1", nullptr,
+                {"original"}),
+            "in wrapped\nout original\n");
+}
+
+TEST_F(ShellControlTest, FunctionsSeeAndSetCallerVars) {
+  EXPECT_EQ(Run("fn bump { x=$x^! }\nx=start\nbump\necho $x"), "start!\n");
+}
+
+TEST_F(ShellControlTest, NegationBuiltin) {
+  int status;
+  Run("! true", &status);
+  EXPECT_EQ(status, 1);
+  Run("! false", &status);
+  EXPECT_EQ(status, 0);
+  Run("! ~ a b", &status);
+  EXPECT_EQ(status, 0);
+}
+
+TEST_F(ShellControlTest, ListAssignment) {
+  // rc's pairwise distribution: "[" ^ ('% ' '') ^ "]" -> ('[% ]' '[]').
+  EXPECT_EQ(Run("prompt=('% ' '')\necho $#prompt\necho [$prompt]"),
+            "2\n[% ] []\n");
+  EXPECT_EQ(Run("l=(a b c)\necho $l"), "a b c\n");
+}
+
+TEST_F(ShellControlTest, StatusVariable) {
+  EXPECT_EQ(Run("false\necho status $status\ntrue\necho status $status"),
+            "status 1\nstatus 0\n");
+}
+
+TEST_F(ShellControlTest, NestedControl) {
+  const char* script =
+      "for(f in a.c b.h c.c)\n"
+      "\tif(~ $f *.c) echo compile $f\n";
+  EXPECT_EQ(Run(script), "compile a.c\ncompile c.c\n");
+}
+
+TEST_F(ShellControlTest, ProfileRunsVerbatim) {
+  // The paper's profile (Figures 2-3), with bind as the Plan 9 no-op shim.
+  const char* profile =
+      "bind -c $home/tmp /tmp\n"
+      "bind -a $home/bin/rc /bin\n"
+      "bind -a $home/bin/$cputype /bin\n"
+      "fn x { if(! ~ $#* 0) $* }\n"
+      "switch($service){\n"
+      "case terminal\n"
+      "\tprompt=('% ' '')\n"
+      "\tsite=plan9\n"
+      "case cpu\n"
+      "\tnews\n"
+      "}\n"
+      "fortune\n";
+  env_.SetString("service", "cpu");
+  env_.SetString("home", "/usr/rob");
+  vfs_.WriteFile("/lib/news", "no news\n");
+  std::string out = Run(profile);
+  EXPECT_NE(out.find("no news"), std::string::npos) << out << last_err_;
+  EXPECT_FALSE(out.empty());
+}
+
+TEST_F(ShellControlTest, ControlKeywordsOnlyInCommandPosition) {
+  // `if` as an argument is just a word.
+  EXPECT_EQ(Run("echo if for while"), "if for while\n");
+  // And a word that merely starts with a keyword is not a keyword.
+  vfs_.WriteFile("/bin/iffy", "echo iffy ran\n");
+  EXPECT_EQ(Run("iffy"), "iffy ran\n");
+}
+
+TEST_F(ShellControlTest, ParseErrors) {
+  for (const char* bad :
+       {"if true) echo x", "if(true echo x", "for x in a) echo x",
+        "switch(x){ echo no case\n}", "fn { echo anon }", "while(true"}) {
+    std::string out;
+    std::string err;
+    Io io;
+    io.out = &out;
+    io.err = &err;
+    auto r = shell_.Run(bad, &env_, "/", {}, io);
+    EXPECT_FALSE(r.ok()) << "expected parse error: " << bad;
+  }
+}
+
+}  // namespace
+}  // namespace help

@@ -1,0 +1,240 @@
+// Shell parser + evaluator tests: words, quoting, variables, command
+// substitution, pipes, redirection, blocks, globbing, builtins, scripts.
+#include <gtest/gtest.h>
+
+#include "src/shell/coreutils.h"
+#include "src/shell/shell.h"
+
+namespace help {
+namespace {
+
+class ShellTest : public ::testing::Test {
+ protected:
+  ShellTest() : shell_(&vfs_, &registry_, &procs_) {
+    RegisterCoreutils(&vfs_, &registry_);
+  }
+
+  // Runs a script; returns stdout. Asserts no parse errors.
+  std::string Run(std::string_view src, int* status = nullptr,
+                  std::string cwd = "/", std::vector<std::string> args = {}) {
+    std::string out;
+    std::string err;
+    Io io;
+    io.out = &out;
+    io.err = &err;
+    auto r = shell_.Run(src, &env_, std::move(cwd), args, io);
+    EXPECT_TRUE(r.ok()) << r.message() << " running: " << src;
+    if (status != nullptr) {
+      *status = r.ok() ? r.value() : -1;
+    }
+    last_err_ = err;
+    return out;
+  }
+
+  Vfs vfs_;
+  CommandRegistry registry_;
+  ProcTable procs_;
+  Env env_;
+  Shell shell_;
+  std::string last_err_;
+};
+
+TEST_F(ShellTest, EchoAndQuoting) {
+  EXPECT_EQ(Run("echo hello world"), "hello world\n");
+  EXPECT_EQ(Run("echo 'single quoted  spaces'"), "single quoted  spaces\n");
+  EXPECT_EQ(Run("echo 'it''s'"), "it's\n");  // '' escapes a quote
+  EXPECT_EQ(Run("echo -n x"), "x");
+}
+
+TEST_F(ShellTest, CaretConcatenation) {
+  env_.SetString("dir", "/usr/rob");
+  EXPECT_EQ(Run("echo $dir/^'Close!'"), "/usr/rob/Close!\n");
+  EXPECT_EQ(Run("echo a^b"), "ab\n");
+}
+
+TEST_F(ShellTest, Variables) {
+  EXPECT_EQ(Run("x=hello; echo $x"), "hello\n");
+  EXPECT_EQ(Run("x=one two three"), "");  // scoped to command 'two'
+  EXPECT_EQ(Run("echo $undefined end"), "end\n");  // empty list vanishes
+}
+
+TEST_F(ShellTest, ListVariables) {
+  Run("echo a b c");
+  env_.Set("list", {"p", "q", "r"});
+  EXPECT_EQ(Run("echo $list"), "p q r\n");
+  EXPECT_EQ(Run("echo $#list"), "3\n");
+  EXPECT_EQ(Run("echo x$list"), "xp xq xr\n");  // scalar distributes
+}
+
+TEST_F(ShellTest, MultipleAssignmentsOneCommand) {
+  // This is what `eval `{help/parse -c}` produces.
+  EXPECT_EQ(Run("file=/a/b.c dir=/a id=n line=213\necho $file $id $line"),
+            "/a/b.c n 213\n");
+}
+
+TEST_F(ShellTest, ScopedAssignment) {
+  env_.SetString("v", "outer");
+  EXPECT_EQ(Run("v=inner echo $v"), "inner\n");
+  EXPECT_EQ(env_.GetString("v"), "outer");  // restored
+}
+
+TEST_F(ShellTest, CommandSubstitution) {
+  EXPECT_EQ(Run("x=`{echo deep}; echo got $x"), "got deep\n");
+  EXPECT_EQ(Run("echo `{echo a b; echo c}"), "a b c\n");  // tokenized
+}
+
+TEST_F(ShellTest, Pipeline) {
+  vfs_.WriteFile("/f", "banana\napple\ncherry\n");
+  EXPECT_EQ(Run("cat /f | sort | sed 1q"), "apple\n");
+}
+
+TEST_F(ShellTest, PipeContinuesAcrossNewline) {
+  vfs_.WriteFile("/f", "x\ny\n");
+  EXPECT_EQ(Run("cat /f |\nsed 1q"), "x\n");
+}
+
+TEST_F(ShellTest, Redirection) {
+  Run("echo stored > /out");
+  EXPECT_EQ(vfs_.ReadFile("/out").value(), "stored\n");
+  Run("echo more >> /out");
+  EXPECT_EQ(vfs_.ReadFile("/out").value(), "stored\nmore\n");
+  EXPECT_EQ(Run("cat < /out"), "stored\nmore\n");
+}
+
+TEST_F(ShellTest, BlockWithRedirection) {
+  Run("{\necho one\necho two\n} > /blk");
+  EXPECT_EQ(vfs_.ReadFile("/blk").value(), "one\ntwo\n");
+}
+
+TEST_F(ShellTest, BlockSharesEnvironment) {
+  Run("{ x=shared }\necho $x");
+  EXPECT_EQ(env_.GetString("x"), "shared");
+}
+
+TEST_F(ShellTest, Eval) {
+  EXPECT_EQ(Run("eval echo one two"), "one two\n");
+  EXPECT_EQ(Run("cmd='echo hi'; eval $cmd"), "hi\n");
+}
+
+TEST_F(ShellTest, ExitStopsScript) {
+  int status = 0;
+  EXPECT_EQ(Run("echo before\nexit 3\necho after", &status), "before\n");
+  EXPECT_EQ(status, 3);
+}
+
+TEST_F(ShellTest, CdChangesContext) {
+  vfs_.MkdirAll("/usr/rob");
+  vfs_.WriteFile("/usr/rob/f", "found\n");
+  EXPECT_EQ(Run("cd /usr/rob\ncat f"), "found\n");
+  int status;
+  Run("cd /nonexistent", &status);
+  EXPECT_EQ(status, 1);
+}
+
+TEST_F(ShellTest, PositionalArgs) {
+  EXPECT_EQ(Run("echo $1 $2 and $*", nullptr, "/", {"alpha", "beta"}),
+            "alpha beta and alpha beta\n");
+}
+
+TEST_F(ShellTest, CommentsIgnored) {
+  EXPECT_EQ(Run("# a comment\necho ok # trailing"), "ok\n");
+}
+
+TEST_F(ShellTest, Glob) {
+  vfs_.MkdirAll("/src");
+  vfs_.WriteFile("/src/a.c", "");
+  vfs_.WriteFile("/src/b.c", "");
+  vfs_.WriteFile("/src/a.h", "");
+  EXPECT_EQ(Run("echo *.c", nullptr, "/src"), "/src/a.c /src/b.c\n");
+  EXPECT_EQ(Run("echo /src/*.h"), "/src/a.h\n");
+  EXPECT_EQ(Run("echo *.zz", nullptr, "/src"), "*.zz\n");  // no match: literal
+  EXPECT_EQ(Run("echo '*.c'", nullptr, "/src"), "*.c\n");  // quoted: no glob
+}
+
+TEST_F(ShellTest, GlobIntermediateComponent) {
+  vfs_.MkdirAll("/a/one");
+  vfs_.MkdirAll("/a/two");
+  vfs_.WriteFile("/a/one/f", "");
+  vfs_.WriteFile("/a/two/f", "");
+  EXPECT_EQ(Run("echo /a/*/f"), "/a/one/f /a/two/f\n");
+}
+
+TEST_F(ShellTest, UnknownCommandReportsNotFound) {
+  int status;
+  Run("nosuchcmd", &status);
+  EXPECT_EQ(status, 127);
+  EXPECT_NE(last_err_.find("file does not exist"), std::string::npos);
+}
+
+TEST_F(ShellTest, ScriptsRunFromVfs) {
+  vfs_.WriteFile("/bin/greet", "echo hello $1\n");
+  EXPECT_EQ(Run("greet rob"), "hello rob\n");
+}
+
+TEST_F(ShellTest, ScriptsSeeTheirArgsNotParents) {
+  vfs_.WriteFile("/bin/inner", "echo inner $*\n");
+  vfs_.WriteFile("/bin/outer", "inner wrapped\n");
+  EXPECT_EQ(Run("outer a b"), "inner wrapped\n");
+}
+
+TEST_F(ShellTest, RelativeCommandResolution) {
+  vfs_.MkdirAll("/work");
+  vfs_.WriteFile("/work/tool", "echo local tool\n");
+  // cwd first…
+  EXPECT_EQ(Run("tool", nullptr, "/work"), "local tool\n");
+  // …then /bin, including multi-element names like help/rcc.
+  vfs_.MkdirAll("/bin/sub");
+  vfs_.WriteFile("/bin/sub/cmd", "echo from bin\n");
+  EXPECT_EQ(Run("sub/cmd", nullptr, "/work"), "from bin\n");
+}
+
+TEST_F(ShellTest, RecursionGuard) {
+  vfs_.WriteFile("/bin/loop", "loop\n");
+  int status;
+  Run("loop", &status);
+  EXPECT_NE(status, 0);
+}
+
+TEST_F(ShellTest, ParseErrors) {
+  for (const char* bad : {"echo 'unterminated", "cat |", "{ echo x", "echo `(x)",
+                          "echo $", "> onlyredir"}) {
+    std::string out;
+    std::string err;
+    Io io;
+    io.out = &out;
+    io.err = &err;
+    auto r = shell_.Run(bad, &env_, "/", {}, io);
+    EXPECT_FALSE(r.ok()) << "expected parse error: " << bad;
+  }
+}
+
+TEST_F(ShellTest, GlobMatchUnit) {
+  EXPECT_TRUE(GlobMatch("*.c", "exec.c"));
+  EXPECT_FALSE(GlobMatch("*.c", "exec.h"));
+  EXPECT_TRUE(GlobMatch("a?c", "abc"));
+  EXPECT_FALSE(GlobMatch("a?c", "ac"));
+  EXPECT_TRUE(GlobMatch("[a-c]x", "bx"));
+  EXPECT_FALSE(GlobMatch("[^a-c]x", "bx"));
+  EXPECT_TRUE(GlobMatch("*", ""));
+  EXPECT_TRUE(GlobMatch("a*b*c", "aXbYc"));
+  EXPECT_FALSE(GlobMatch("a*b*c", "aXbY"));
+}
+
+// The paper's decl script must parse (spelling adapted to this shell).
+TEST_F(ShellTest, DeclScriptParses) {
+  const char* decl =
+      "eval `{help/parse -c}\n"
+      "x=`{cat /mnt/help/new/ctl}\n"
+      "{\n"
+      "echo tag $dir/^' decl Close!'\n"
+      "} > /mnt/help/$x/ctl\n"
+      "cpp $cppflags $file |\n"
+      "help/rcc -w -g -i$id -n$line -f$file |\n"
+      "sed 1q > /mnt/help/$x/bodyapp\n";
+  auto parsed = ParseShell(decl);
+  EXPECT_TRUE(parsed.ok()) << parsed.message();
+  EXPECT_EQ(parsed.value()->lines.size(), 4u);
+}
+
+}  // namespace
+}  // namespace help

@@ -1,0 +1,86 @@
+#include "src/base/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/status.h"
+
+namespace help {
+namespace {
+
+TEST(Tokenize, BasicAndRuns) {
+  EXPECT_EQ(Tokenize("a b  c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Tokenize("  \t\n "), (std::vector<std::string>{}));
+  EXPECT_EQ(Tokenize("one"), (std::vector<std::string>{"one"}));
+  EXPECT_EQ(Tokenize("a:b:c", ":"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, PreservesEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x\n", '\n'), (std::vector<std::string>{"x", ""}));
+}
+
+TEST(Join, Inverse) {
+  std::vector<std::string> parts = {"tag", "body", "ctl"};
+  EXPECT_EQ(Join(parts, "/"), "tag/body/ctl");
+  EXPECT_EQ(Join({}, "/"), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(TrimSpace, AllSides) {
+  EXPECT_EQ(TrimSpace("  x y \t\n"), "x y");
+  EXPECT_EQ(TrimSpace(""), "");
+  EXPECT_EQ(TrimSpace(" \t "), "");
+}
+
+TEST(Prefixes, Suffixes) {
+  EXPECT_TRUE(HasPrefix("Close!", "Close"));
+  EXPECT_FALSE(HasPrefix("Close", "Close!"));
+  EXPECT_TRUE(HasSuffix("Close!", "!"));
+  EXPECT_TRUE(HasSuffix("", ""));
+  EXPECT_FALSE(HasSuffix("a", "ab"));
+}
+
+TEST(ParseInt, ValidAndInvalid) {
+  EXPECT_EQ(ParseInt("176153"), 176153);
+  EXPECT_EQ(ParseInt("0"), 0);
+  EXPECT_EQ(ParseInt(""), -1);
+  EXPECT_EQ(ParseInt("12x"), -1);
+  EXPECT_EQ(ParseInt("-3"), -1);
+  EXPECT_EQ(ParseInt("999999999999999999999999"), -1);  // overflow
+}
+
+TEST(StrFormat, Formats) {
+  EXPECT_EQ(StrFormat("%d\t%s", 7, "tag"), "7\ttag");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(Status, OkAndError) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.message(), "");
+  Status err = Status::Error("file does not exist");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.message(), "file does not exist");
+  EXPECT_EQ(ErrNotExist("x").message(), "x: file does not exist");
+  EXPECT_EQ(ErrNotDir("d").message(), "d: not a directory");
+}
+
+TEST(ResultT, ValueAndError) {
+  Result<int> v = 42;
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_TRUE(v.status().ok());
+  Result<int> e = Status::Error("nope");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.message(), "nope");
+}
+
+TEST(ResultT, TakeMoves) {
+  Result<std::string> r = std::string("abc");
+  std::string s = r.take();
+  EXPECT_EQ(s, "abc");
+}
+
+}  // namespace
+}  // namespace help

@@ -1,0 +1,256 @@
+// Tool-suite integration: the rc scripts in /help connecting programs to the
+// screen through /mnt/help — the decl/uses browsers, the db scripts, the
+// mail tool, and help/parse itself.
+#include <gtest/gtest.h>
+
+#include "src/base/strings.h"
+#include "src/tools/tools.h"
+
+namespace help {
+namespace {
+
+class ToolsTest : public ::testing::Test {
+ protected:
+  ToolsTest() : h_(s_.help) {}
+
+  // Selects rune range [q0,q1) in w's body and makes it current.
+  void Select(Window* w, size_t q0, size_t q1) {
+    w->body().sel = {q0, q1};
+    h_.SetCurrent(&w->body());
+  }
+  // Null-selection click at the first occurrence of `needle` in w's body.
+  void PointAt(Window* w, std::string_view needle, size_t skip = 0) {
+    size_t off = w->body().text->Utf8().find(needle);
+    ASSERT_NE(off, std::string::npos) << needle;
+    off += skip;
+    // Byte offset == rune offset for the ASCII corpus.
+    Select(w, off, off);
+  }
+  Window* Open(std::string_view path) {
+    auto w = h_.OpenFile(path, "/", nullptr);
+    EXPECT_TRUE(w.ok()) << w.message();
+    return w.ok() ? w.value() : nullptr;
+  }
+  // Runs `text` as if middle-clicked in the window tagged `tag_substr`.
+  void Exec(std::string_view text, std::string_view tag_substr) {
+    Window* host = nullptr;
+    for (Window* w : h_.AllWindows()) {
+      if (w->tag().text->Utf8().find(tag_substr) != std::string::npos) {
+        host = w;
+      }
+    }
+    ASSERT_NE(host, nullptr) << tag_substr;
+    ASSERT_TRUE(h_.ExecuteText(text, host).ok());
+  }
+  Window* Tagged(std::string_view substr) {
+    Window* found = nullptr;
+    for (Window* w : h_.AllWindows()) {
+      if (w->tag().text->Utf8().find(substr) != std::string::npos) {
+        found = w;
+      }
+    }
+    return found;
+  }
+
+  PaperSession s_;
+  Help& h_;
+};
+
+TEST_F(ToolsTest, HelpParseExtractsContext) {
+  Window* w = Open("/usr/rob/src/help/exec.c");
+  PointAt(w, "(uchar*)n", 8);  // the n in errs((uchar*)n)
+  h_.vfs().WriteFile("/bin/t", "eval `{help/parse -c}\necho $file $dir $id $line\n");
+  ASSERT_TRUE(h_.ExecuteText("t", w).ok());
+  EXPECT_NE(h_.errors_window()->body().text->Utf8().find(
+                "/usr/rob/src/help/exec.c /usr/rob/src/help n 252"),
+            std::string::npos)
+      << h_.errors_window()->body().text->Utf8();
+}
+
+TEST_F(ToolsTest, HelpParseWordAndLineFlags) {
+  Window* w = Open("/usr/rob/src/help/exec.c");
+  PointAt(w, "findopen1", 3);
+  h_.vfs().WriteFile("/bin/t", "help/parse -w\nhelp/parse -l\nhelp/parse -d\n");
+  ASSERT_TRUE(h_.ExecuteText("t", w).ok());
+  std::string out = h_.errors_window()->body().text->Utf8();
+  EXPECT_NE(out.find("findopen1\n"), std::string::npos);
+  EXPECT_NE(out.find("/usr/rob/src/help\n"), std::string::npos);
+}
+
+TEST_F(ToolsTest, HelpBufPrintsSnarf) {
+  h_.set_snarf("buffered text");
+  ASSERT_TRUE(h_.ExecuteText("help/buf", nullptr).ok());
+  EXPECT_NE(h_.errors_window()->body().text->Utf8().find("buffered text"),
+            std::string::npos);
+}
+
+TEST_F(ToolsTest, DeclFindsDeclarationOfGlobal) {
+  Window* w = Open("/usr/rob/src/help/exec.c");
+  PointAt(w, "(uchar*)n", 8);
+  Exec("decl", "/help/cbr/stf");
+  Window* out = Tagged(" decl Close!");
+  ASSERT_NE(out, nullptr);
+  EXPECT_NE(out->body().text->Utf8().find("dat.h:136"), std::string::npos)
+      << out->body().text->Utf8();
+}
+
+TEST_F(ToolsTest, DeclOfLocalFindsLocal) {
+  Window* w = Open("/usr/rob/src/help/exec.c");
+  // The n inside findopen1 (line 269) is the local declared at 262.
+  size_t off = w->body().text->Utf8().find("\tn = 0;\n\tif(s)");
+  ASSERT_NE(off, std::string::npos);
+  Select(w, off + 1, off + 1);
+  Exec("decl", "/help/cbr/stf");
+  Window* out = Tagged(" decl Close!");
+  ASSERT_NE(out, nullptr);
+  EXPECT_NE(out->body().text->Utf8().find("exec.c:262"), std::string::npos)
+      << out->body().text->Utf8();
+}
+
+TEST_F(ToolsTest, UsesReproducesFigure10) {
+  Window* w = Open("/usr/rob/src/help/exec.c");
+  PointAt(w, "(uchar*)n", 8);
+  Exec("uses *.c", "/help/cbr/stf");
+  Window* out = Tagged(" uses Close!");
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->body().text->Utf8(),
+            "./dat.h:136\n"
+            "exec.c:213\n"
+            "exec.c:252\n"
+            "help.c:35\n");
+}
+
+TEST_F(ToolsTest, SrcFindsFunctionDefinition) {
+  Window* w = Open("/usr/rob/src/help/errs.c");
+  PointAt(w, "textinsert", 4);
+  Exec("src", "/help/cbr/stf");
+  Window* out = Tagged(" src Close!");
+  ASSERT_NE(out, nullptr);
+  EXPECT_NE(out->body().text->Utf8().find("text.c:26"), std::string::npos)
+      << out->body().text->Utf8();
+}
+
+TEST_F(ToolsTest, DeclOCloseTheLoopExtension) {
+  Window* w = Open("/usr/rob/src/help/exec.c");
+  PointAt(w, "(uchar*)n", 8);
+  Exec("decl.o", "/help/cbr/stf");
+  // The declaration's window opened automatically, positioned at the line.
+  Window* dat = h_.WindowForFile("/usr/rob/src/help/dat.h");
+  ASSERT_NE(dat, nullptr);
+  Selection sel = dat->body().sel;
+  EXPECT_EQ(dat->body().text->Utf8Range(sel.q0, sel.q1), "uchar *n;\n");
+}
+
+TEST_F(ToolsTest, CbrMkRunsInSelectionContext) {
+  Window* w = Open("/usr/rob/src/help/exec.c");
+  PointAt(w, "lookup", 2);
+  // Make one source newer than its object.
+  h_.ExecuteText("touch exec.c", w);
+  Exec("mk", "/help/cbr/stf");
+  Window* out = Tagged("/usr/rob/src/help/mk");
+  ASSERT_NE(out, nullptr);
+  std::string body = out->body().text->Utf8();
+  EXPECT_NE(body.find("vc -w exec.c"), std::string::npos) << body;
+  EXPECT_NE(body.find("vl -o help"), std::string::npos);
+  EXPECT_EQ(body.find("vc -w errs.c"), std::string::npos);  // only the stale one
+}
+
+TEST_F(ToolsTest, DbStackScript) {
+  Window* scratch = h_.CreateWindow("scratch");
+  scratch->body().text->SetAll("crash in 176153 reported\n");
+  scratch->Relayout();
+  PointAt(scratch, "176153", 3);
+  Exec("stack", "/help/db/stf");
+  Window* out = Tagged("176153 stack");
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->ContextDir(), "/usr/rob/src/help");
+  EXPECT_NE(out->body().text->Utf8().find("strchr.s:34"), std::string::npos);
+}
+
+TEST_F(ToolsTest, DbPsAndBrokeScripts) {
+  Exec("broke", "/help/db/stf");
+  Window* broke = Tagged("broke Close!");
+  ASSERT_NE(broke, nullptr);
+  EXPECT_NE(broke->body().text->Utf8().find("176153"), std::string::npos);
+  Exec("ps", "/help/db/stf");
+  Window* ps = Tagged("ps Close!");
+  ASSERT_NE(ps, nullptr);
+  EXPECT_NE(ps->body().text->Utf8().find("Broken"), std::string::npos);
+}
+
+TEST_F(ToolsTest, DbRegsScript) {
+  Window* scratch = h_.CreateWindow("scratch");
+  scratch->body().text->SetAll("176153\n");
+  scratch->Relayout();
+  PointAt(scratch, "176153", 2);
+  Exec("regs", "/help/db/stf");
+  Window* out = Tagged("176153 regs");
+  ASSERT_NE(out, nullptr);
+  EXPECT_NE(out->body().text->Utf8().find("pc\t0x18df4"), std::string::npos);
+}
+
+TEST_F(ToolsTest, MailHeadersAndMessages) {
+  Exec("headers", "/help/mail/stf");
+  Window* headers = Tagged("/mail/box/rob/mbox");
+  ASSERT_NE(headers, nullptr);
+  std::string body = headers->body().text->Utf8();
+  EXPECT_NE(body.find("1 chk@alias.com"), std::string::npos);
+  EXPECT_NE(body.find("2 sean Tue Apr 16 19:26:14 EDT 1991"), std::string::npos);
+  EXPECT_NE(body.find("7 deutsch%PARCPLACE.COM@mitvma.mit.edu"), std::string::npos);
+
+  PointAt(headers, "2 sean", 4);  // anywhere in the header line
+  Exec("messages", "/help/mail/stf");
+  Window* msg = Tagged("From sean");
+  ASSERT_NE(msg, nullptr);
+  EXPECT_NE(msg->body().text->Utf8().find("user TLB miss (load or fetch)"),
+            std::string::npos);
+}
+
+TEST_F(ToolsTest, MailDeleteRewritesMbox) {
+  Exec("headers", "/help/mail/stf");
+  Window* headers = Tagged("/mail/box/rob/mbox");
+  PointAt(headers, "6 howard", 3);
+  Exec("delete", "/help/mail/stf");
+  std::string mbox = h_.vfs().ReadFile("/mail/box/rob/mbox").value();
+  EXPECT_EQ(mbox.find("howard"), std::string::npos);
+  EXPECT_NE(mbox.find("sean"), std::string::npos);
+}
+
+TEST_F(ToolsTest, MailSendAppends) {
+  h_.set_snarf("thanks, fixed!\n");
+  Exec("send", "/help/mail/stf");
+  std::string mbox = h_.vfs().ReadFile("/mail/box/rob/mbox").value();
+  EXPECT_NE(mbox.find("From rob"), std::string::npos);
+  EXPECT_NE(mbox.find("thanks, fixed!"), std::string::npos);
+}
+
+TEST_F(ToolsTest, BootLoadsToolsIntoRightColumn) {
+  for (const char* stf :
+       {"/help/edit/stf", "/help/cbr/stf", "/help/db/stf", "/help/mail/stf"}) {
+    Window* w = h_.WindowForFile(stf);
+    ASSERT_NE(w, nullptr) << stf;
+    EXPECT_EQ(h_.page().ColumnOf(w), 1) << stf;
+  }
+  EXPECT_NE(Tagged("help/Boot"), nullptr);
+  EXPECT_EQ(h_.page().ColumnOf(Tagged("help/Boot")), 0);
+}
+
+TEST_F(ToolsTest, ToolWindowIsJustAFile) {
+  // "A help window on such a file behaves much like a menu, but is really
+  // just a window on a plain file."
+  Window* stf = h_.WindowForFile("/help/mail/stf");
+  ASSERT_NE(stf, nullptr);
+  EXPECT_EQ(stf->body().text->Utf8(),
+            h_.vfs().ReadFile("/help/mail/stf").value());
+}
+
+TEST_F(ToolsTest, VcReportsRealSyntaxErrors) {
+  h_.vfs().WriteFile("/usr/rob/src/help/broken.c", "void f(void)\n{\n\tint x;\n");
+  Window* w = Open("/usr/rob/src/help/broken.c");
+  ASSERT_TRUE(h_.ExecuteText("vc -w broken.c", w).ok());
+  EXPECT_NE(h_.errors_window()->body().text->Utf8().find("unbalanced"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace help

@@ -1,0 +1,236 @@
+// Window-manager tests: the placement heuristic (the paper's three rules),
+// drag/drop rearrangement, tab reveal, and tiling invariants.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/wm/wm.h"
+
+namespace help {
+namespace {
+
+std::shared_ptr<Text> T(std::string_view s) { return std::make_shared<Text>(s); }
+
+// Invariant check: visible windows in a column are disjoint, in-bounds, and
+// every visible window keeps at least its tag row.
+void CheckColumnInvariants(const Column& col) {
+  Rect content = col.ContentRect();
+  std::vector<const Window*> visible;
+  for (const Window* w : col.windows()) {
+    if (w->hidden()) {
+      continue;
+    }
+    visible.push_back(w);
+    EXPECT_GE(w->rect().y0, content.y0);
+    EXPECT_LE(w->rect().y1, content.y1);
+    EXPECT_GE(w->rect().height(), 1) << "window lost its tag";
+    EXPECT_EQ(w->rect().x0, content.x0);
+    EXPECT_EQ(w->rect().x1, content.x1);
+  }
+  for (size_t i = 0; i < visible.size(); i++) {
+    for (size_t j = i + 1; j < visible.size(); j++) {
+      Rect a = visible[i]->rect();
+      Rect b = visible[j]->rect();
+      EXPECT_TRUE(a.y1 <= b.y0 || b.y1 <= a.y0)
+          << "overlap between windows " << visible[i]->id() << " and "
+          << visible[j]->id();
+    }
+  }
+}
+
+class WmTest : public ::testing::Test {
+ protected:
+  WmTest() : page_(80, 40, 2) {}
+
+  Window* Create(std::string_view body, int col = 0) {
+    return page_.Create(next_id_++, T("tag Close!"), T(body), col);
+  }
+
+  Page page_;
+  int next_id_ = 1;
+};
+
+TEST_F(WmTest, FirstWindowFillsColumn) {
+  Window* w = Create("hello\n");
+  Rect content = page_.col(0).ContentRect();
+  EXPECT_EQ(w->rect(), content);
+}
+
+TEST_F(WmTest, Rule1PlacesBelowLowestVisibleText) {
+  Window* a = Create("one\ntwo\nthree\n");
+  Window* b = Create("next\n");
+  // a shows 1 tag row + 3 text rows from the column top.
+  EXPECT_EQ(b->rect().y0, a->rect().y0 + 4);
+  EXPECT_EQ(a->rect().y1, b->rect().y0);  // a was truncated to its used space
+  EXPECT_EQ(b->rect().y1, page_.col(0).ContentRect().y1);
+  CheckColumnInvariants(page_.col(0));
+}
+
+TEST_F(WmTest, Rule2CoversHalfOfLowestWindow) {
+  // Fill the column with text so rule 1 has no room.
+  std::string big(2000, 'x');
+  Window* a = Create(big);
+  Window* b = Create("peek\n");
+  Rect content = page_.col(0).ContentRect();
+  // b covers the bottom half of a.
+  EXPECT_EQ(b->rect().y1, content.y1);
+  EXPECT_EQ(a->rect().y1, b->rect().y0);
+  EXPECT_NEAR(b->rect().y0, content.y0 + content.height() / 2, 1);
+  CheckColumnInvariants(page_.col(0));
+}
+
+TEST_F(WmTest, Rule3TakesBottomQuarterHidingCovered) {
+  std::string big(2000, 'x');
+  Create(big);
+  Create(big);
+  Create(big);
+  Window* d = Create(big);
+  Window* e = Create("last\n");
+  Rect content = page_.col(0).ContentRect();
+  EXPECT_EQ(e->rect().y1, content.y1);
+  EXPECT_GE(e->rect().height(), content.height() / 4);
+  // d (the former bottom quarter holder) was covered or truncated, never
+  // left overlapping.
+  CheckColumnInvariants(page_.col(0));
+  (void)d;
+}
+
+TEST_F(WmTest, ManyWindowsKeepInvariants) {
+  for (int i = 0; i < 12; i++) {
+    Create(std::string(static_cast<size_t>(40 * (i % 3 + 1)), 'y'));
+    CheckColumnInvariants(page_.col(0));
+  }
+  // All windows remain in the tab list even when covered.
+  EXPECT_EQ(page_.col(0).windows().size(), 12u);
+}
+
+TEST_F(WmTest, TabRevealRestoresWindow) {
+  std::string big(2000, 'x');
+  Window* a = Create(big);
+  for (int i = 0; i < 4; i++) {
+    Create(big);
+  }
+  // a may be covered now; reveal it via its tab.
+  page_.col(0).MakeVisible(a);
+  EXPECT_FALSE(a->hidden());
+  EXPECT_EQ(a->rect().y1, page_.col(0).ContentRect().y1);
+  CheckColumnInvariants(page_.col(0));
+}
+
+TEST_F(WmTest, RemoveGivesSpaceToNeighborAbove) {
+  Window* a = Create("aaa\n");
+  Window* b = Create("bbb\n");
+  int bottom = b->rect().y1;
+  page_.col(0).Remove(b);
+  page_.Remove(b);
+  EXPECT_EQ(a->rect().y1, bottom);
+  CheckColumnInvariants(page_.col(0));
+}
+
+TEST_F(WmTest, RemoveFirstGivesSpaceToNeighborBelow) {
+  Window* a = Create(std::string(2000, 'x'));
+  Window* b = Create("bbb\n");
+  int top = a->rect().y0;
+  page_.col(0).Remove(a);
+  page_.Remove(a);
+  EXPECT_EQ(b->rect().y0, top);
+  CheckColumnInvariants(page_.col(0));
+}
+
+TEST_F(WmTest, DragToOtherColumn) {
+  Window* a = Create("to move\n", 0);
+  Create("right side\n", 1);
+  Point dest{page_.col(1).ContentRect().x0 + 2, 12};
+  page_.Drag(a, dest);
+  EXPECT_EQ(page_.ColumnOf(a), 1);
+  EXPECT_FALSE(a->hidden());
+  CheckColumnInvariants(page_.col(0));
+  CheckColumnInvariants(page_.col(1));
+}
+
+TEST_F(WmTest, DragWithinColumnRearranges) {
+  Window* a = Create("aaaa\naaaa\n");
+  Window* b = Create("bbbb\nbbbb\n");
+  // Drag b up to the top; a must be pushed/truncated, tags visible.
+  page_.Drag(b, {page_.col(0).ContentRect().x0, page_.col(0).ContentRect().y0});
+  EXPECT_EQ(b->rect().y0, page_.col(0).ContentRect().y0);
+  CheckColumnInvariants(page_.col(0));
+  (void)a;
+}
+
+TEST_F(WmTest, HitTestFindsTagAndBody) {
+  Window* a = Create("body text\n");
+  Page::Hit tag_hit = page_.HitTest({a->rect().x0 + 1, a->rect().y0});
+  EXPECT_EQ(tag_hit.window, a);
+  EXPECT_EQ(tag_hit.sub, &a->tag());
+  Page::Hit body_hit = page_.HitTest({a->rect().x0 + 1, a->rect().y0 + 1});
+  EXPECT_EQ(body_hit.sub, &a->body());
+}
+
+TEST_F(WmTest, HitTestTabs) {
+  Create("x\n");
+  Create("y\n");
+  int tab_x = page_.col(0).rect().x0;
+  Page::Hit hit = page_.HitTest({tab_x, page_.col(0).rect().y0 + 1});
+  EXPECT_EQ(hit.tab_index, 1);
+  Page::Hit top = page_.HitTest({tab_x, 0});
+  EXPECT_TRUE(top.on_column_tab);
+  EXPECT_EQ(top.column, 0);
+}
+
+TEST_F(WmTest, ColumnExpansion) {
+  int w0 = page_.col(0).rect().width();
+  page_.ToggleExpand(0);
+  EXPECT_GT(page_.col(0).rect().width(), w0);
+  EXPECT_EQ(page_.col(0).rect().x1, page_.col(1).rect().x0);
+  page_.ToggleExpand(0);
+  EXPECT_EQ(page_.col(0).rect().width(), w0);
+}
+
+TEST_F(WmTest, WindowLookupAndColumnOf) {
+  Window* a = Create("x", 0);
+  Window* b = Create("y", 1);
+  EXPECT_EQ(page_.FindById(a->id()), a);
+  EXPECT_EQ(page_.FindById(999), nullptr);
+  EXPECT_EQ(page_.ColumnOf(a), 0);
+  EXPECT_EQ(page_.ColumnOf(b), 1);
+}
+
+TEST_F(WmTest, TagFilenameAndContextDir) {
+  Window* w = page_.Create(50, T("/usr/rob/src/help/errs.c Close! Get!"), T(""), 0);
+  EXPECT_EQ(w->TagFilename(), "/usr/rob/src/help/errs.c");
+  EXPECT_EQ(w->ContextDir(), "/usr/rob/src/help");
+  Window* d = page_.Create(51, T("/usr/rob/src/help/ Close! Get!"), T(""), 0);
+  EXPECT_EQ(d->ContextDir(), "/usr/rob/src/help");  // dir windows: the dir itself
+  Window* e = page_.Create(52, T(""), T(""), 0);
+  EXPECT_EQ(e->ContextDir(), "/");
+}
+
+TEST_F(WmTest, SubwindowShowOffsetScrolls) {
+  std::string many;
+  for (int i = 0; i < 200; i++) {
+    many += "line " + std::to_string(i) + "\n";
+  }
+  Window* w = Create(many);
+  size_t target = w->body().text->LineStart(150);
+  w->body().ShowOffset(target);
+  EXPECT_TRUE(w->body().frame.Visible(target));
+  // And the line sits in the upper third, not at the very bottom edge.
+  auto p = w->body().frame.OffsetToPoint(target);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_LT(p->y, w->rect().y0 + 1 + w->body().frame.rect().height() / 2);
+}
+
+TEST_F(WmTest, DrawPaintsTagsTabsAndBodies) {
+  Window* w = Create("visible body\n");
+  w->tag().text->SetAll("mytag Close!");
+  w->Relayout();
+  page_.Draw(nullptr);
+  std::string r = page_.screen().Render();
+  EXPECT_NE(r.find("mytag Close!"), std::string::npos);
+  EXPECT_NE(r.find("visible body"), std::string::npos);
+  EXPECT_NE(r.find("\xE2\x96\xA0"), std::string::npos);  // ■ tabs
+}
+
+}  // namespace
+}  // namespace help
