@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claims_baseline.dir/claims_baseline.cc.o"
+  "CMakeFiles/claims_baseline.dir/claims_baseline.cc.o.d"
+  "claims_baseline"
+  "claims_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claims_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claims_connectivity.dir/claims_connectivity.cc.o"
+  "CMakeFiles/claims_connectivity.dir/claims_connectivity.cc.o.d"
+  "claims_connectivity"
+  "claims_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claims_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claims_gestures.dir/claims_gestures.cc.o"
+  "CMakeFiles/claims_gestures.dir/claims_gestures.cc.o.d"
+  "claims_gestures"
+  "claims_gestures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claims_gestures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claims_loc.dir/claims_loc.cc.o"
+  "CMakeFiles/claims_loc.dir/claims_loc.cc.o.d"
+  "claims_loc"
+  "claims_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claims_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

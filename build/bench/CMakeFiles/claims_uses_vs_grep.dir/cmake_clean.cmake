@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claims_uses_vs_grep.dir/claims_uses_vs_grep.cc.o"
+  "CMakeFiles/claims_uses_vs_grep.dir/claims_uses_vs_grep.cc.o.d"
+  "claims_uses_vs_grep"
+  "claims_uses_vs_grep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claims_uses_vs_grep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

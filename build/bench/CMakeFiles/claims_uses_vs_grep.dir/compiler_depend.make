@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for claims_uses_vs_grep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for claims_uses_vs_grep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_screen.dir/fig01_screen.cc.o"
+  "CMakeFiles/fig01_screen.dir/fig01_screen.cc.o.d"
+  "fig01_screen"
+  "fig01_screen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_screen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

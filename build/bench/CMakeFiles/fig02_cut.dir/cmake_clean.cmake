@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_cut.dir/fig02_cut.cc.o"
+  "CMakeFiles/fig02_cut.dir/fig02_cut.cc.o.d"
+  "fig02_cut"
+  "fig02_cut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_cut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_open.dir/fig03_open.cc.o"
+  "CMakeFiles/fig03_open.dir/fig03_open.cc.o.d"
+  "fig03_open"
+  "fig03_open.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_open.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_boot.dir/fig04_boot.cc.o"
+  "CMakeFiles/fig04_boot.dir/fig04_boot.cc.o.d"
+  "fig04_boot"
+  "fig04_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_headers.dir/fig05_headers.cc.o"
+  "CMakeFiles/fig05_headers.dir/fig05_headers.cc.o.d"
+  "fig05_headers"
+  "fig05_headers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_headers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

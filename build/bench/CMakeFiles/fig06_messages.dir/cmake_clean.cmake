@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_messages.dir/fig06_messages.cc.o"
+  "CMakeFiles/fig06_messages.dir/fig06_messages.cc.o.d"
+  "fig06_messages"
+  "fig06_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

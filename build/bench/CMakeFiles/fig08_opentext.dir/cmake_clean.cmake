@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_opentext.dir/fig08_opentext.cc.o"
+  "CMakeFiles/fig08_opentext.dir/fig08_opentext.cc.o.d"
+  "fig08_opentext"
+  "fig08_opentext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_opentext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

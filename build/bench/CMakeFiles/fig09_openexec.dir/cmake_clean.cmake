@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_openexec.dir/fig09_openexec.cc.o"
+  "CMakeFiles/fig09_openexec.dir/fig09_openexec.cc.o.d"
+  "fig09_openexec"
+  "fig09_openexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_openexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_uses.dir/fig10_uses.cc.o"
+  "CMakeFiles/fig10_uses.dir/fig10_uses.cc.o.d"
+  "fig10_uses"
+  "fig10_uses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_uses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

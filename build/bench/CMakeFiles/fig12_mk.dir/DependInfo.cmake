@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_mk.cc" "bench/CMakeFiles/fig12_mk.dir/fig12_mk.cc.o" "gcc" "bench/CMakeFiles/fig12_mk.dir/fig12_mk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tools/CMakeFiles/help_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/help_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/help_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/shell/CMakeFiles/help_shell.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/help_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/wm/CMakeFiles/help_wm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/help_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/draw/CMakeFiles/help_draw.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/help_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/regexp/CMakeFiles/help_regexp.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/help_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

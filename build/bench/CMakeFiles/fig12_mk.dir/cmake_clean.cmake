@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_mk.dir/fig12_mk.cc.o"
+  "CMakeFiles/fig12_mk.dir/fig12_mk.cc.o.d"
+  "fig12_mk"
+  "fig12_mk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_mk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_cc.dir/perf_cc.cc.o"
+  "CMakeFiles/perf_cc.dir/perf_cc.cc.o.d"
+  "perf_cc"
+  "perf_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_fs.dir/perf_fs.cc.o"
+  "CMakeFiles/perf_fs.dir/perf_fs.cc.o.d"
+  "perf_fs"
+  "perf_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_regexp.dir/perf_regexp.cc.o"
+  "CMakeFiles/perf_regexp.dir/perf_regexp.cc.o.d"
+  "perf_regexp"
+  "perf_regexp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_regexp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

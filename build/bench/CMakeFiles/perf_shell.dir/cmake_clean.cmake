@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_shell.dir/perf_shell.cc.o"
+  "CMakeFiles/perf_shell.dir/perf_shell.cc.o.d"
+  "perf_shell"
+  "perf_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_text.dir/perf_text.cc.o"
+  "CMakeFiles/perf_text.dir/perf_text.cc.o.d"
+  "perf_text"
+  "perf_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

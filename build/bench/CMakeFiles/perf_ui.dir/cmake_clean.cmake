@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_ui.dir/perf_ui.cc.o"
+  "CMakeFiles/perf_ui.dir/perf_ui.cc.o.d"
+  "perf_ui"
+  "perf_ui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_ui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mail_browser.dir/mail_browser.cpp.o"
+  "CMakeFiles/mail_browser.dir/mail_browser.cpp.o.d"
+  "mail_browser"
+  "mail_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mail_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_tool.dir/script_tool.cpp.o"
+  "CMakeFiles/script_tool.dir/script_tool.cpp.o.d"
+  "script_tool"
+  "script_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

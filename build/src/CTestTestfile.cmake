@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("regexp")
+subdirs("text")
+subdirs("fs")
+subdirs("proc")
+subdirs("shell")
+subdirs("cc")
+subdirs("draw")
+subdirs("wm")
+subdirs("core")
+subdirs("tools")
+subdirs("baseline")

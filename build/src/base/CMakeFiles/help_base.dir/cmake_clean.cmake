@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/help_base.dir/rune.cc.o"
+  "CMakeFiles/help_base.dir/rune.cc.o.d"
+  "CMakeFiles/help_base.dir/strings.cc.o"
+  "CMakeFiles/help_base.dir/strings.cc.o.d"
+  "libhelp_base.a"
+  "libhelp_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/help_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/help_baseline.dir/baseline.cc.o"
+  "CMakeFiles/help_baseline.dir/baseline.cc.o.d"
+  "libhelp_baseline.a"
+  "libhelp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/help_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

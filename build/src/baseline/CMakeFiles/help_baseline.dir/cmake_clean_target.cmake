@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhelp_baseline.a"
+)

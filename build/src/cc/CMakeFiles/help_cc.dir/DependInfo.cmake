@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/browser.cc" "src/cc/CMakeFiles/help_cc.dir/browser.cc.o" "gcc" "src/cc/CMakeFiles/help_cc.dir/browser.cc.o.d"
+  "/root/repo/src/cc/clex.cc" "src/cc/CMakeFiles/help_cc.dir/clex.cc.o" "gcc" "src/cc/CMakeFiles/help_cc.dir/clex.cc.o.d"
+  "/root/repo/src/cc/cpp.cc" "src/cc/CMakeFiles/help_cc.dir/cpp.cc.o" "gcc" "src/cc/CMakeFiles/help_cc.dir/cpp.cc.o.d"
+  "/root/repo/src/cc/ctools.cc" "src/cc/CMakeFiles/help_cc.dir/ctools.cc.o" "gcc" "src/cc/CMakeFiles/help_cc.dir/ctools.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/help_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/help_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/shell/CMakeFiles/help_shell.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/help_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/regexp/CMakeFiles/help_regexp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

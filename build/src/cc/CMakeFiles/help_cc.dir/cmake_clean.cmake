@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/help_cc.dir/browser.cc.o"
+  "CMakeFiles/help_cc.dir/browser.cc.o.d"
+  "CMakeFiles/help_cc.dir/clex.cc.o"
+  "CMakeFiles/help_cc.dir/clex.cc.o.d"
+  "CMakeFiles/help_cc.dir/cpp.cc.o"
+  "CMakeFiles/help_cc.dir/cpp.cc.o.d"
+  "CMakeFiles/help_cc.dir/ctools.cc.o"
+  "CMakeFiles/help_cc.dir/ctools.cc.o.d"
+  "libhelp_cc.a"
+  "libhelp_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/help_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

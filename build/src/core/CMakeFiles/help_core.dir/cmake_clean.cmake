@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/help_core.dir/events.cc.o"
+  "CMakeFiles/help_core.dir/events.cc.o.d"
+  "CMakeFiles/help_core.dir/fileserver.cc.o"
+  "CMakeFiles/help_core.dir/fileserver.cc.o.d"
+  "CMakeFiles/help_core.dir/help.cc.o"
+  "CMakeFiles/help_core.dir/help.cc.o.d"
+  "libhelp_core.a"
+  "libhelp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/help_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/draw/frame.cc" "src/draw/CMakeFiles/help_draw.dir/frame.cc.o" "gcc" "src/draw/CMakeFiles/help_draw.dir/frame.cc.o.d"
+  "/root/repo/src/draw/screen.cc" "src/draw/CMakeFiles/help_draw.dir/screen.cc.o" "gcc" "src/draw/CMakeFiles/help_draw.dir/screen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/help_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/help_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/regexp/CMakeFiles/help_regexp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

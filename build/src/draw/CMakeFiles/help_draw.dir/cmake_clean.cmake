@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/help_draw.dir/frame.cc.o"
+  "CMakeFiles/help_draw.dir/frame.cc.o.d"
+  "CMakeFiles/help_draw.dir/screen.cc.o"
+  "CMakeFiles/help_draw.dir/screen.cc.o.d"
+  "libhelp_draw.a"
+  "libhelp_draw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/help_draw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/ninep.cc" "src/fs/CMakeFiles/help_fs.dir/ninep.cc.o" "gcc" "src/fs/CMakeFiles/help_fs.dir/ninep.cc.o.d"
+  "/root/repo/src/fs/path.cc" "src/fs/CMakeFiles/help_fs.dir/path.cc.o" "gcc" "src/fs/CMakeFiles/help_fs.dir/path.cc.o.d"
+  "/root/repo/src/fs/vfs.cc" "src/fs/CMakeFiles/help_fs.dir/vfs.cc.o" "gcc" "src/fs/CMakeFiles/help_fs.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/help_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/help_fs.dir/ninep.cc.o"
+  "CMakeFiles/help_fs.dir/ninep.cc.o.d"
+  "CMakeFiles/help_fs.dir/path.cc.o"
+  "CMakeFiles/help_fs.dir/path.cc.o.d"
+  "CMakeFiles/help_fs.dir/vfs.cc.o"
+  "CMakeFiles/help_fs.dir/vfs.cc.o.d"
+  "libhelp_fs.a"
+  "libhelp_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/help_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/help_proc.dir/env.cc.o"
+  "CMakeFiles/help_proc.dir/env.cc.o.d"
+  "CMakeFiles/help_proc.dir/proc.cc.o"
+  "CMakeFiles/help_proc.dir/proc.cc.o.d"
+  "libhelp_proc.a"
+  "libhelp_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/help_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/help_regexp.dir/regexp.cc.o"
+  "CMakeFiles/help_regexp.dir/regexp.cc.o.d"
+  "libhelp_regexp.a"
+  "libhelp_regexp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/help_regexp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

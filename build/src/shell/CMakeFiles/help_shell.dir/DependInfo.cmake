@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shell/coreutils.cc" "src/shell/CMakeFiles/help_shell.dir/coreutils.cc.o" "gcc" "src/shell/CMakeFiles/help_shell.dir/coreutils.cc.o.d"
+  "/root/repo/src/shell/eval.cc" "src/shell/CMakeFiles/help_shell.dir/eval.cc.o" "gcc" "src/shell/CMakeFiles/help_shell.dir/eval.cc.o.d"
+  "/root/repo/src/shell/mk.cc" "src/shell/CMakeFiles/help_shell.dir/mk.cc.o" "gcc" "src/shell/CMakeFiles/help_shell.dir/mk.cc.o.d"
+  "/root/repo/src/shell/parse.cc" "src/shell/CMakeFiles/help_shell.dir/parse.cc.o" "gcc" "src/shell/CMakeFiles/help_shell.dir/parse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/help_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/help_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/help_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/regexp/CMakeFiles/help_regexp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

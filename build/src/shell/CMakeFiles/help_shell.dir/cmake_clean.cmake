@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/help_shell.dir/coreutils.cc.o"
+  "CMakeFiles/help_shell.dir/coreutils.cc.o.d"
+  "CMakeFiles/help_shell.dir/eval.cc.o"
+  "CMakeFiles/help_shell.dir/eval.cc.o.d"
+  "CMakeFiles/help_shell.dir/mk.cc.o"
+  "CMakeFiles/help_shell.dir/mk.cc.o.d"
+  "CMakeFiles/help_shell.dir/parse.cc.o"
+  "CMakeFiles/help_shell.dir/parse.cc.o.d"
+  "libhelp_shell.a"
+  "libhelp_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/help_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/address.cc" "src/text/CMakeFiles/help_text.dir/address.cc.o" "gcc" "src/text/CMakeFiles/help_text.dir/address.cc.o.d"
+  "/root/repo/src/text/gapbuffer.cc" "src/text/CMakeFiles/help_text.dir/gapbuffer.cc.o" "gcc" "src/text/CMakeFiles/help_text.dir/gapbuffer.cc.o.d"
+  "/root/repo/src/text/text.cc" "src/text/CMakeFiles/help_text.dir/text.cc.o" "gcc" "src/text/CMakeFiles/help_text.dir/text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/help_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/regexp/CMakeFiles/help_regexp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/help_text.dir/address.cc.o"
+  "CMakeFiles/help_text.dir/address.cc.o.d"
+  "CMakeFiles/help_text.dir/gapbuffer.cc.o"
+  "CMakeFiles/help_text.dir/gapbuffer.cc.o.d"
+  "CMakeFiles/help_text.dir/text.cc.o"
+  "CMakeFiles/help_text.dir/text.cc.o.d"
+  "libhelp_text.a"
+  "libhelp_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/help_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/help_tools.dir/corpus.cc.o"
+  "CMakeFiles/help_tools.dir/corpus.cc.o.d"
+  "CMakeFiles/help_tools.dir/demo.cc.o"
+  "CMakeFiles/help_tools.dir/demo.cc.o.d"
+  "CMakeFiles/help_tools.dir/mail.cc.o"
+  "CMakeFiles/help_tools.dir/mail.cc.o.d"
+  "CMakeFiles/help_tools.dir/parsebuf.cc.o"
+  "CMakeFiles/help_tools.dir/parsebuf.cc.o.d"
+  "CMakeFiles/help_tools.dir/scripts.cc.o"
+  "CMakeFiles/help_tools.dir/scripts.cc.o.d"
+  "libhelp_tools.a"
+  "libhelp_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/help_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

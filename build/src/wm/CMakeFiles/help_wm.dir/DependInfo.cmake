@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wm/column.cc" "src/wm/CMakeFiles/help_wm.dir/column.cc.o" "gcc" "src/wm/CMakeFiles/help_wm.dir/column.cc.o.d"
+  "/root/repo/src/wm/page.cc" "src/wm/CMakeFiles/help_wm.dir/page.cc.o" "gcc" "src/wm/CMakeFiles/help_wm.dir/page.cc.o.d"
+  "/root/repo/src/wm/window.cc" "src/wm/CMakeFiles/help_wm.dir/window.cc.o" "gcc" "src/wm/CMakeFiles/help_wm.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/help_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/help_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/draw/CMakeFiles/help_draw.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/help_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/regexp/CMakeFiles/help_regexp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

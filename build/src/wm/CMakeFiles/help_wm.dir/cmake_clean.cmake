@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/help_wm.dir/column.cc.o"
+  "CMakeFiles/help_wm.dir/column.cc.o.d"
+  "CMakeFiles/help_wm.dir/page.cc.o"
+  "CMakeFiles/help_wm.dir/page.cc.o.d"
+  "CMakeFiles/help_wm.dir/window.cc.o"
+  "CMakeFiles/help_wm.dir/window.cc.o.d"
+  "libhelp_wm.a"
+  "libhelp_wm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/help_wm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coreutils_test.dir/coreutils_test.cc.o"
+  "CMakeFiles/coreutils_test.dir/coreutils_test.cc.o.d"
+  "coreutils_test"
+  "coreutils_test.pdb"
+  "coreutils_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coreutils_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draw_test.dir/draw_test.cc.o"
+  "CMakeFiles/draw_test.dir/draw_test.cc.o.d"
+  "draw_test"
+  "draw_test.pdb"
+  "draw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

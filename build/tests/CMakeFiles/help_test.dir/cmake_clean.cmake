@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/help_test.dir/help_test.cc.o"
+  "CMakeFiles/help_test.dir/help_test.cc.o.d"
+  "help_test"
+  "help_test.pdb"
+  "help_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/help_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

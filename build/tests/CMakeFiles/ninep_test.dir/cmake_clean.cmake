@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ninep_test.dir/ninep_test.cc.o"
+  "CMakeFiles/ninep_test.dir/ninep_test.cc.o.d"
+  "ninep_test"
+  "ninep_test.pdb"
+  "ninep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ninep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

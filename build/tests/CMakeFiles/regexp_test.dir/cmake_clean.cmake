@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regexp_test.dir/regexp_test.cc.o"
+  "CMakeFiles/regexp_test.dir/regexp_test.cc.o.d"
+  "regexp_test"
+  "regexp_test.pdb"
+  "regexp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regexp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rune_test.dir/rune_test.cc.o"
+  "CMakeFiles/rune_test.dir/rune_test.cc.o.d"
+  "rune_test"
+  "rune_test.pdb"
+  "rune_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rune_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrollbar_test.dir/scrollbar_test.cc.o"
+  "CMakeFiles/scrollbar_test.dir/scrollbar_test.cc.o.d"
+  "scrollbar_test"
+  "scrollbar_test.pdb"
+  "scrollbar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrollbar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/send_test.dir/send_test.cc.o"
+  "CMakeFiles/send_test.dir/send_test.cc.o.d"
+  "send_test"
+  "send_test.pdb"
+  "send_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/send_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shell_control_test.dir/shell_control_test.cc.o"
+  "CMakeFiles/shell_control_test.dir/shell_control_test.cc.o.d"
+  "shell_control_test"
+  "shell_control_test.pdb"
+  "shell_control_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shell_control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

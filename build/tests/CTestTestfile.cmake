@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/rune_test[1]_include.cmake")
+include("/root/repo/build/tests/strings_test[1]_include.cmake")
+include("/root/repo/build/tests/regexp_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_test[1]_include.cmake")
+include("/root/repo/build/tests/ninep_test[1]_include.cmake")
+include("/root/repo/build/tests/shell_test[1]_include.cmake")
+include("/root/repo/build/tests/coreutils_test[1]_include.cmake")
+include("/root/repo/build/tests/cc_test[1]_include.cmake")
+include("/root/repo/build/tests/proc_test[1]_include.cmake")
+include("/root/repo/build/tests/draw_test[1]_include.cmake")
+include("/root/repo/build/tests/wm_test[1]_include.cmake")
+include("/root/repo/build/tests/help_test[1]_include.cmake")
+include("/root/repo/build/tests/fileserver_test[1]_include.cmake")
+include("/root/repo/build/tests/tools_test[1]_include.cmake")
+include("/root/repo/build/tests/demo_test[1]_include.cmake")
+include("/root/repo/build/tests/scrollbar_test[1]_include.cmake")
+include("/root/repo/build/tests/send_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/clone_test[1]_include.cmake")
+include("/root/repo/build/tests/events_test[1]_include.cmake")
+include("/root/repo/build/tests/shell_control_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_example_test[1]_include.cmake")
