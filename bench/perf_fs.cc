@@ -1,7 +1,7 @@
 // P-3: file-system + protocol performance — VFS ops and full 9P round trips.
 #include <benchmark/benchmark.h>
 
-#include "src/fs/ninep.h"
+#include "src/fs/server.h"
 #include "src/fs/vfs.h"
 
 namespace help {
@@ -61,7 +61,7 @@ void BM_NinepReadFileRpc(benchmark::State& state) {
   Vfs vfs;
   vfs.WriteFile("/data", std::string(static_cast<size_t>(state.range(0)), 'z'));
   NinepServer server(&vfs);
-  NinepClient client(&server);
+  NinepClient client(server.Transport());
   client.Connect();
   for (auto _ : state) {
     benchmark::DoNotOptimize(client.ReadFile("/data"));
@@ -73,7 +73,7 @@ BENCHMARK(BM_NinepReadFileRpc)->Range(256, 262144);
 void BM_NinepWriteFileRpc(benchmark::State& state) {
   Vfs vfs;
   NinepServer server(&vfs);
-  NinepClient client(&server);
+  NinepClient client(server.Transport());
   client.Connect();
   std::string payload(static_cast<size_t>(state.range(0)), 'w');
   for (auto _ : state) {

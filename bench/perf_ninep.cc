@@ -1,0 +1,130 @@
+// P-7: multi-client 9P throughput. N concurrent client threads, each with
+// its own Session, hammer walk/open/read/write against one Help instance's
+// /mnt/help tree over the full encode → dispatch → decode byte path.
+// Reports ops/sec and p50/p99 latency straight from the server's own
+// metrics layer (the same numbers /mnt/help/stats serves).
+//
+//   usage: perf_ninep [threads] [ops-per-thread]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/strings.h"
+#include "src/core/help.h"
+#include "src/fs/server.h"
+
+namespace help {
+namespace {
+
+struct Totals {
+  std::atomic<uint64_t> ops{0};
+  std::atomic<uint64_t> failures{0};
+};
+
+void ClientLoop(Help* h, int id, int ops, Totals* totals) {
+  NinepServer& srv = h->ninep();
+  NinepServer::SessionId sid = srv.OpenSession();
+  NinepClient client(srv.TransportFor(sid));
+  if (!client.Connect(StrFormat("bench%d", id)).ok()) {
+    totals->failures++;
+    return;
+  }
+  // One window per client, built over the wire; then a steady mix of
+  // walks, opens, reads, and writes against it and the shared index.
+  auto ctl = client.ReadFile("/mnt/help/new/ctl");
+  if (!ctl.ok()) {
+    totals->failures++;
+    return;
+  }
+  std::string base = "/mnt/help/" + std::string(TrimSpace(ctl.value()));
+  uint64_t done = 0;
+  for (int i = 0; i < ops; i++) {
+    bool ok = true;
+    switch (i % 4) {
+      case 0:
+        ok = client.ReadFile("/mnt/help/index").ok();
+        break;
+      case 1:
+        ok = client.AppendFile(base + "/bodyapp", "line\n").ok();
+        break;
+      case 2:
+        ok = client.ReadFile(base + "/body").ok();
+        break;
+      case 3: {
+        auto fid = client.WalkFid(base + "/tag");
+        ok = fid.ok() && client.OpenFid(fid.value(), kOread).ok() &&
+             client.ReadFid(fid.value(), 0, 256).ok() &&
+             client.Clunk(fid.value()).ok();
+        break;
+      }
+    }
+    if (ok) {
+      done++;
+    } else {
+      totals->failures++;
+    }
+  }
+  totals->ops += done;
+  srv.CloseSession(sid);
+}
+
+int Main(int argc, char** argv) {
+  int threads = argc > 1 ? std::atoi(argv[1]) : 8;
+  int ops = argc > 2 ? std::atoi(argv[2]) : 2000;
+  if (threads < 1 || ops < 1) {
+    std::fprintf(stderr, "usage: perf_ninep [threads] [ops-per-thread]\n");
+    return 2;
+  }
+
+  Help::Options opt;
+  opt.install_userland = false;  // just the file service, no coreutils needed
+  Help h(opt);
+  Totals totals;
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; t++) {
+    workers.emplace_back(ClientLoop, &h, t, ops, &totals);
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                    .count();
+
+  const NinepMetrics& m = h.ninep().metrics();
+  uint64_t rpcs = m.total_ops();
+  std::printf("clients            %d\n", threads);
+  std::printf("client ops         %llu (%llu failed)\n",
+              static_cast<unsigned long long>(totals.ops.load()),
+              static_cast<unsigned long long>(totals.failures.load()));
+  std::printf("9P messages        %llu\n", static_cast<unsigned long long>(rpcs));
+  std::printf("elapsed            %.3f s\n", secs);
+  std::printf("throughput         %.0f client-ops/s, %.0f msgs/s\n",
+              static_cast<double>(totals.ops.load()) / secs,
+              static_cast<double>(rpcs) / secs);
+  std::printf("latency p50/p99    %llu us / %llu us (all ops)\n",
+              static_cast<unsigned long long>(m.OverallPercentileUs(50)),
+              static_cast<unsigned long long>(m.OverallPercentileUs(99)));
+  for (NinepOp op : {NinepOp::kWalk, NinepOp::kOpen, NinepOp::kRead, NinepOp::kWrite,
+                     NinepOp::kClunk}) {
+    std::printf("  %-7s %10llu ops   p50 %llu us   p99 %llu us\n", NinepOpName(op),
+                static_cast<unsigned long long>(m.count(op)),
+                static_cast<unsigned long long>(m.LatencyPercentileUs(op, 50)),
+                static_cast<unsigned long long>(m.LatencyPercentileUs(op, 99)));
+  }
+  std::printf("bytes in/out       %llu / %llu\n",
+              static_cast<unsigned long long>(m.bytes_in()),
+              static_cast<unsigned long long>(m.bytes_out()));
+  return totals.failures.load() == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace help
+
+int main(int argc, char** argv) { return help::Main(argc, argv); }

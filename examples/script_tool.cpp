@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "src/base/strings.h"
-#include "src/fs/ninep.h"
+#include "src/fs/server.h"
 #include "src/tools/demo.h"
 
 using namespace help;
@@ -49,7 +49,7 @@ int main() {
 
   // --- 3. The same interface, from an external process over 9P --------------
   NinepServer server(&h.vfs());
-  NinepClient client(&server);
+  NinepClient client(server.Transport());
   client.Connect("external-tool");
   // Create a window purely over the protocol...
   auto ctl = client.ReadFile("/mnt/help/new/ctl");

@@ -4,11 +4,54 @@
 
 #include "src/base/strings.h"
 #include "src/core/help.h"
+#include "src/fs/server.h"
 #include "src/text/address.h"
 
 namespace help {
 
 namespace {
+
+// Every /mnt/help handler is wrapped in this decorator: each operation runs
+// under the Help instance's 9P dispatch lock, so handlers keep their
+// single-threaded invariants no matter which thread calls — a 9P worker
+// (which already holds the lock; it is recursive) or the UI/shell thread
+// touching the same files directly through the Vfs. In particular, index and
+// new/ctl snapshot their contents at Open time *under this lock*, so a
+// listing never tears against concurrent window creation.
+class SerializedHandler : public FileHandler {
+ public:
+  SerializedHandler(Help* h, std::shared_ptr<FileHandler> inner)
+      : h_(h), inner_(std::move(inner)) {}
+
+  Status Open(OpenFile& f, uint8_t mode) override {
+    auto lock = h_->ninep().LockDispatch();
+    return inner_->Open(f, mode);
+  }
+  Result<std::string> Read(OpenFile& f, uint64_t offset, uint32_t count) override {
+    auto lock = h_->ninep().LockDispatch();
+    return inner_->Read(f, offset, count);
+  }
+  Result<uint32_t> Write(OpenFile& f, uint64_t offset, std::string_view data) override {
+    auto lock = h_->ninep().LockDispatch();
+    return inner_->Write(f, offset, data);
+  }
+  void Clunk(OpenFile& f) override {
+    auto lock = h_->ninep().LockDispatch();
+    inner_->Clunk(f);
+  }
+  uint64_t Length(const Node& n) const override {
+    auto lock = h_->ninep().LockDispatch();
+    return inner_->Length(n);
+  }
+
+ private:
+  Help* h_;
+  std::shared_ptr<FileHandler> inner_;
+};
+
+std::shared_ptr<FileHandler> Serialized(Help* h, std::shared_ptr<FileHandler> inner) {
+  return std::make_shared<SerializedHandler>(h, std::move(inner));
+}
 
 // Serves a snapshot string computed at open time.
 class SnapshotHandler : public FileHandler {
@@ -242,21 +285,28 @@ class OpenRequestHandler : public FileHandler {
 void InstallHelpFs(Help* h) {
   Vfs& vfs = h->vfs();
   vfs.MkdirAll("/mnt/help/new");
-  vfs.AttachHandler("/mnt/help/index", std::make_shared<SnapshotHandler>([h] {
-    std::string out;
-    for (Window* w : h->AllWindows()) {
-      std::string tagline = w->tag().text->Utf8();
-      size_t nl = tagline.find('\n');
-      if (nl != std::string::npos) {
-        tagline = tagline.substr(0, nl);
-      }
-      out += StrFormat("%d\t%s\n", w->id(), tagline.c_str());
-    }
-    return out;
-  }));
-  vfs.AttachHandler("/mnt/help/new/ctl", std::make_shared<NewCtlHandler>(h));
-  vfs.AttachHandler("/mnt/help/snarf", std::make_shared<SnarfHandler>(h));
-  vfs.AttachHandler("/mnt/help/open", std::make_shared<OpenRequestHandler>(h));
+  vfs.AttachHandler("/mnt/help/index",
+                    Serialized(h, std::make_shared<SnapshotHandler>([h] {
+                      std::string out;
+                      for (Window* w : h->AllWindows()) {
+                        std::string tagline = w->tag().text->Utf8();
+                        size_t nl = tagline.find('\n');
+                        if (nl != std::string::npos) {
+                          tagline = tagline.substr(0, nl);
+                        }
+                        out += StrFormat("%d\t%s\n", w->id(), tagline.c_str());
+                      }
+                      return out;
+                    })));
+  vfs.AttachHandler("/mnt/help/new/ctl", Serialized(h, std::make_shared<NewCtlHandler>(h)));
+  vfs.AttachHandler("/mnt/help/snarf", Serialized(h, std::make_shared<SnarfHandler>(h)));
+  vfs.AttachHandler("/mnt/help/open",
+                    Serialized(h, std::make_shared<OpenRequestHandler>(h)));
+  // The observability surface, served the paper's own way: per-op counters
+  // and latency percentiles from the 9P service, as a file you can cat.
+  vfs.AttachHandler("/mnt/help/stats",
+                    Serialized(h, std::make_shared<SnapshotHandler>(
+                                      [h] { return h->ninep().metrics().Render(); })));
 }
 
 // --- Help member functions that form the file-server surface ----------------
@@ -265,12 +315,18 @@ void Help::RegisterWindowFiles(Window* w) {
   std::string dir = StrFormat("/mnt/help/%d", w->id());
   vfs_.MkdirAll(dir);
   using K = WindowFileHandler::Kind;
-  vfs_.AttachHandler(dir + "/tag", std::make_shared<WindowFileHandler>(this, w->id(), K::kTag));
-  vfs_.AttachHandler(dir + "/body",
-                     std::make_shared<WindowFileHandler>(this, w->id(), K::kBody));
-  vfs_.AttachHandler(dir + "/bodyapp",
-                     std::make_shared<WindowFileHandler>(this, w->id(), K::kBodyApp));
-  vfs_.AttachHandler(dir + "/ctl", std::make_shared<WindowFileHandler>(this, w->id(), K::kCtl));
+  vfs_.AttachHandler(
+      dir + "/tag",
+      Serialized(this, std::make_shared<WindowFileHandler>(this, w->id(), K::kTag)));
+  vfs_.AttachHandler(
+      dir + "/body",
+      Serialized(this, std::make_shared<WindowFileHandler>(this, w->id(), K::kBody)));
+  vfs_.AttachHandler(
+      dir + "/bodyapp",
+      Serialized(this, std::make_shared<WindowFileHandler>(this, w->id(), K::kBodyApp)));
+  vfs_.AttachHandler(
+      dir + "/ctl",
+      Serialized(this, std::make_shared<WindowFileHandler>(this, w->id(), K::kCtl)));
 }
 
 void Help::UnregisterWindowFiles(Window* w) {

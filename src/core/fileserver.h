@@ -6,6 +6,9 @@
 //                        near the current selection); reading it back yields
 //                        the new window's number
 //   /mnt/help/snarf      the cut buffer (what help/buf prints)
+//   /mnt/help/stats      9P service metrics: per-op counters and latency
+//                        percentiles, bytes in/out, in-flight depth
+//   /mnt/help/open       write "<dir> <name[:addr]>" to open a file
 //   /mnt/help/N/tag      the tag line
 //   /mnt/help/N/body     the body text (writes replace; reads see UTF-8)
 //   /mnt/help/N/bodyapp  append-only view of the body
@@ -13,6 +16,11 @@
 //
 // Because these are ordinary VFS files, shell scripts get the entire GUI
 // with cat/echo redirection — the paper's decl browser is ten lines of rc.
+//
+// Every handler installed here runs under the owning Help instance's 9P
+// dispatch lock (NinepServer::LockDispatch), so concurrent protocol workers
+// and the UI thread cannot interleave inside Help; index and new/ctl
+// snapshot their contents at Open time under that lock.
 #ifndef SRC_CORE_FILESERVER_H_
 #define SRC_CORE_FILESERVER_H_
 
@@ -23,7 +31,8 @@ namespace help {
 class Help;
 class Window;
 
-// Installs /mnt/help/{index,new/ctl,snarf}. Called from Help's constructor.
+// Installs /mnt/help/{index,new/ctl,snarf,open,stats}. Called from Help's
+// constructor.
 void InstallHelpFs(Help* h);
 
 }  // namespace help

@@ -5,6 +5,7 @@
 #include "src/base/strings.h"
 #include "src/cc/ctools.h"
 #include "src/core/fileserver.h"
+#include "src/fs/server.h"
 #include "src/regexp/regexp.h"
 #include "src/shell/coreutils.h"
 #include "src/shell/mk.h"
@@ -13,6 +14,7 @@
 namespace help {
 
 Help::Help(const Options& options) {
+  ninep_ = std::make_unique<NinepServer>(&vfs_);
   shell_ = std::make_unique<Shell>(&vfs_, &registry_, &procs_);
   page_ = std::make_unique<Page>(options.width, options.height, 2);
   vfs_.MkdirAll("/mnt/help");

@@ -37,6 +37,8 @@
 
 namespace help {
 
+class NinepServer;
+
 class Help {
  public:
   struct Options {
@@ -54,6 +56,10 @@ class Help {
 
   // --- the world --------------------------------------------------------------
   Vfs& vfs() { return vfs_; }
+  // The 9P service for this instance's tree. External clients open sessions
+  // here; the /mnt/help handlers serialize through its dispatch lock, and
+  // /mnt/help/stats renders its metrics.
+  NinepServer& ninep() { return *ninep_; }
   Shell& shell() { return *shell_; }
   CommandRegistry& registry() { return registry_; }
   ProcTable& procs() { return procs_; }
@@ -217,6 +223,7 @@ class Help {
   std::shared_ptr<Text> BodyForFile(const std::string& fullpath);
 
   Vfs vfs_;
+  std::unique_ptr<NinepServer> ninep_;
   CommandRegistry registry_;
   ProcTable procs_;
   Env env_;

@@ -1,0 +1,179 @@
+#include "src/fs/metrics.h"
+
+#include <cstdio>
+
+#include "src/fs/ninep.h"
+
+namespace help {
+
+NinepOp OpOfMsgType(MsgType t) {
+  switch (t) {
+    case MsgType::kTversion:
+      return NinepOp::kVersion;
+    case MsgType::kTattach:
+      return NinepOp::kAttach;
+    case MsgType::kTflush:
+      return NinepOp::kFlush;
+    case MsgType::kTwalk:
+      return NinepOp::kWalk;
+    case MsgType::kTopen:
+      return NinepOp::kOpen;
+    case MsgType::kTcreate:
+      return NinepOp::kCreate;
+    case MsgType::kTread:
+      return NinepOp::kRead;
+    case MsgType::kTwrite:
+      return NinepOp::kWrite;
+    case MsgType::kTclunk:
+      return NinepOp::kClunk;
+    case MsgType::kTremove:
+      return NinepOp::kRemove;
+    case MsgType::kTstat:
+      return NinepOp::kStat;
+    default:
+      return NinepOp::kBad;
+  }
+}
+
+const char* NinepOpName(NinepOp op) {
+  switch (op) {
+    case NinepOp::kVersion:
+      return "version";
+    case NinepOp::kAttach:
+      return "attach";
+    case NinepOp::kFlush:
+      return "flush";
+    case NinepOp::kWalk:
+      return "walk";
+    case NinepOp::kOpen:
+      return "open";
+    case NinepOp::kCreate:
+      return "create";
+    case NinepOp::kRead:
+      return "read";
+    case NinepOp::kWrite:
+      return "write";
+    case NinepOp::kClunk:
+      return "clunk";
+    case NinepOp::kRemove:
+      return "remove";
+    case NinepOp::kStat:
+      return "stat";
+    case NinepOp::kBad:
+      return "bad";
+  }
+  return "?";
+}
+
+size_t NinepMetrics::BucketOf(uint64_t latency_us) {
+  size_t b = 0;
+  while (latency_us > 0 && b < kBuckets - 1) {
+    latency_us >>= 1;
+    b++;
+  }
+  return b;
+}
+
+void NinepMetrics::RecordOp(NinepOp op, uint64_t latency_us, bool error) {
+  PerOp& p = ops_[Idx(op)];
+  p.count++;
+  if (error) {
+    p.errors++;
+  }
+  p.latency[BucketOf(latency_us)]++;
+}
+
+uint64_t NinepMetrics::total_ops() const {
+  uint64_t total = 0;
+  for (const PerOp& p : ops_) {
+    total += p.count.load();
+  }
+  return total;
+}
+
+namespace {
+
+// The p-th sample's bucket upper bound, given a bucket histogram.
+uint64_t PercentileOf(const std::array<uint64_t, NinepMetrics::kBuckets>& h, double p) {
+  uint64_t total = 0;
+  for (uint64_t c : h) {
+    total += c;
+  }
+  if (total == 0) {
+    return 0;
+  }
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(total));
+  if (rank >= total) {
+    rank = total - 1;
+  }
+  uint64_t seen = 0;
+  for (size_t b = 0; b < NinepMetrics::kBuckets; b++) {
+    seen += h[b];
+    if (seen > rank) {
+      return b == 0 ? 0 : (1ull << b) - 1;  // bucket upper bound in us
+    }
+  }
+  return (1ull << (NinepMetrics::kBuckets - 1)) - 1;
+}
+
+}  // namespace
+
+uint64_t NinepMetrics::LatencyPercentileUs(NinepOp op, double p) const {
+  std::array<uint64_t, kBuckets> h{};
+  for (size_t b = 0; b < kBuckets; b++) {
+    h[b] = ops_[Idx(op)].latency[b].load();
+  }
+  return PercentileOf(h, p);
+}
+
+uint64_t NinepMetrics::OverallPercentileUs(double p) const {
+  std::array<uint64_t, kBuckets> h{};
+  for (const PerOp& per : ops_) {
+    for (size_t b = 0; b < kBuckets; b++) {
+      h[b] += per.latency[b].load();
+    }
+  }
+  return PercentileOf(h, p);
+}
+
+std::string NinepMetrics::Render() const {
+  char line[160];
+  std::string out = "op count errs p50us p99us\n";
+  for (size_t i = 0; i < kNinepOpCount; i++) {
+    NinepOp op = static_cast<NinepOp>(i);
+    uint64_t n = count(op);
+    if (n == 0) {
+      continue;
+    }
+    std::snprintf(line, sizeof(line), "%s %llu %llu %llu %llu\n", NinepOpName(op),
+                  static_cast<unsigned long long>(n),
+                  static_cast<unsigned long long>(errors(op)),
+                  static_cast<unsigned long long>(LatencyPercentileUs(op, 50)),
+                  static_cast<unsigned long long>(LatencyPercentileUs(op, 99)));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "bytes_in %llu\nbytes_out %llu\nin_flight %llu\nflush_cancels %llu\n",
+                static_cast<unsigned long long>(bytes_in()),
+                static_cast<unsigned long long>(bytes_out()),
+                static_cast<unsigned long long>(in_flight()),
+                static_cast<unsigned long long>(flush_cancels()));
+  out += line;
+  return out;
+}
+
+void NinepMetrics::Reset() {
+  for (PerOp& p : ops_) {
+    p.count = 0;
+    p.errors = 0;
+    for (auto& b : p.latency) {
+      b = 0;
+    }
+  }
+  bytes_in_ = 0;
+  bytes_out_ = 0;
+  flush_cancels_ = 0;
+  // in_flight_ is a live gauge; leave it alone.
+}
+
+}  // namespace help

@@ -1,0 +1,92 @@
+// Observability for the 9P service: per-op counters, error counts, byte
+// totals, an in-flight gauge, and log2-bucketed latency histograms. All
+// counters are atomics so worker threads record without taking the dispatch
+// lock; Render() produces the text served by the paper's own mechanism —
+// the synthetic /mnt/help/stats file, readable with cat.
+#ifndef SRC_FS_METRICS_H_
+#define SRC_FS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace help {
+
+enum class MsgType : uint8_t;
+
+// The operations the service counts. kBad collects undecodable packets and
+// non-T messages.
+enum class NinepOp : uint8_t {
+  kVersion,
+  kAttach,
+  kFlush,
+  kWalk,
+  kOpen,
+  kCreate,
+  kRead,
+  kWrite,
+  kClunk,
+  kRemove,
+  kStat,
+  kBad,
+};
+inline constexpr size_t kNinepOpCount = static_cast<size_t>(NinepOp::kBad) + 1;
+
+NinepOp OpOfMsgType(MsgType t);
+const char* NinepOpName(NinepOp op);
+
+class NinepMetrics {
+ public:
+  // Latency buckets: bucket i holds samples with floor(log2(us)) == i-1,
+  // bucket 0 holds sub-microsecond samples. 2^31 us ≈ 36 min caps the top.
+  static constexpr size_t kBuckets = 32;
+
+  void RecordOp(NinepOp op, uint64_t latency_us, bool error);
+  void AddBytesIn(uint64_t n) { bytes_in_ += n; }
+  void AddBytesOut(uint64_t n) { bytes_out_ += n; }
+  void BeginRequest() { in_flight_++; }
+  void EndRequest() { in_flight_--; }
+  void RecordFlushCancel() { flush_cancels_++; }
+
+  uint64_t count(NinepOp op) const { return ops_[Idx(op)].count.load(); }
+  uint64_t errors(NinepOp op) const { return ops_[Idx(op)].errors.load(); }
+  uint64_t bytes_in() const { return bytes_in_.load(); }
+  uint64_t bytes_out() const { return bytes_out_.load(); }
+  uint64_t in_flight() const { return in_flight_.load(); }
+  uint64_t flush_cancels() const { return flush_cancels_.load(); }
+  uint64_t total_ops() const;
+
+  // Approximate percentile (0 < p <= 100) of one op's latency, in
+  // microseconds: the upper bound of the bucket holding the p-th sample.
+  // Returns 0 when the op has no samples.
+  uint64_t LatencyPercentileUs(NinepOp op, double p) const;
+  // Percentile over all ops combined (used by the benchmarks).
+  uint64_t OverallPercentileUs(double p) const;
+
+  // The /mnt/help/stats payload: one "op count errs p50us p99us" line per
+  // op that has traffic, then the scalar totals.
+  std::string Render() const;
+
+  void Reset();
+
+ private:
+  struct PerOp {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> errors{0};
+    std::array<std::atomic<uint64_t>, kBuckets> latency{};
+  };
+
+  static size_t Idx(NinepOp op) { return static_cast<size_t>(op); }
+  static size_t BucketOf(uint64_t latency_us);
+
+  std::array<PerOp, kNinepOpCount> ops_{};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<uint64_t> in_flight_{0};
+  std::atomic<uint64_t> flush_cancels_{0};
+};
+
+}  // namespace help
+
+#endif  // SRC_FS_METRICS_H_

@@ -118,6 +118,11 @@ std::string EncodeFcall(const Fcall& f) {
     case MsgType::kRerror:
       PutStr(&body, f.ename);
       break;
+    case MsgType::kTflush:
+      PutU16(&body, f.oldtag);
+      break;
+    case MsgType::kRflush:
+      break;
     case MsgType::kTwalk:
       PutU32(&body, f.fid);
       PutU32(&body, f.newfid);
@@ -211,6 +216,11 @@ Result<Fcall> DecodeFcall(std::string_view bytes) {
       break;
     case MsgType::kRerror:
       f.ename = r.Str();
+      break;
+    case MsgType::kTflush:
+      f.oldtag = r.U16();
+      break;
+    case MsgType::kRflush:
       break;
     case MsgType::kTwalk: {
       f.fid = r.U32();
@@ -319,9 +329,9 @@ Result<std::vector<StatInfo>> DecodeDirEntries(std::string_view data) {
 }
 
 // ---------------------------------------------------------------------------
-// Server.
+// Session.
 
-Fcall NinepServer::Error(uint16_t tag, std::string_view msg) const {
+Fcall ErrorFcall(uint16_t tag, std::string_view msg) {
   Fcall r;
   r.type = MsgType::kRerror;
   r.tag = tag;
@@ -329,24 +339,49 @@ Fcall NinepServer::Error(uint16_t tag, std::string_view msg) const {
   return r;
 }
 
-std::string NinepServer::HandleBytes(std::string_view packet) {
-  auto t = DecodeFcall(packet);
-  if (!t.ok()) {
-    return EncodeFcall(Error(kNoTag, t.message()));
+namespace {
+Fcall Error(uint16_t tag, std::string_view msg) { return ErrorFcall(tag, msg); }
+}  // namespace
+
+bool Session::BeginTag(uint16_t tag) {
+  if (tag == kNoTag) {
+    return true;  // kNoTag is never tracked (Tversion convention)
   }
-  return EncodeFcall(Dispatch(t.value()));
+  return inflight_.insert(tag).second;
 }
 
-Fcall NinepServer::Dispatch(const Fcall& t) {
+void Session::EndTag(uint16_t tag) {
+  inflight_.erase(tag);
+  flushed_.erase(tag);
+}
+
+bool Session::FlushTag(uint16_t oldtag) {
+  if (inflight_.count(oldtag) == 0) {
+    return false;  // already completed (or never sent): flush is a no-op
+  }
+  flushed_.insert(oldtag);
+  return true;
+}
+
+bool Session::ConsumeFlushed(uint16_t tag) { return flushed_.erase(tag) != 0; }
+
+Fcall Session::Dispatch(const Fcall& t) {
   Fcall r;
   r.tag = t.tag;
   switch (t.type) {
     case MsgType::kTversion:
       r.type = MsgType::kRversion;
-      msize_ = std::min(t.msize, kDefaultMsize);
+      msize_ = std::min(std::max(t.msize, kIoHeader + 1), kDefaultMsize);
       r.msize = msize_;
       r.version = "9P.help";
       fids_.clear();  // version resets the session
+      attached_ = false;
+      return r;
+
+    case MsgType::kTflush:
+      // Normally answered by the server front end without entering the
+      // serialized dispatch path; kept here so a bare Session is complete.
+      r.type = MsgType::kRflush;
       return r;
 
     case MsgType::kTattach: {
@@ -356,6 +391,8 @@ Fcall NinepServer::Dispatch(const Fcall& t) {
       FidState st;
       st.node = vfs_->root();
       fids_[t.fid] = st;
+      attached_ = true;
+      uname_ = t.uname;
       r.type = MsgType::kRattach;
       r.qid = vfs_->root()->qid();
       return r;
@@ -421,7 +458,7 @@ Fcall NinepServer::Dispatch(const Fcall& t) {
       }
       r.type = MsgType::kRopen;
       r.qid = st.node->qid();
-      r.iounit = msize_ - 24;
+      r.iounit = msize_ - kIoHeader;
       return r;
     }
 
@@ -450,7 +487,7 @@ Fcall NinepServer::Dispatch(const Fcall& t) {
       }
       r.type = MsgType::kRcreate;
       r.qid = st.node->qid();
-      r.iounit = msize_ - 24;
+      r.iounit = msize_ - kIoHeader;
       return r;
     }
 
@@ -460,12 +497,12 @@ Fcall NinepServer::Dispatch(const Fcall& t) {
         return Error(t.tag, "unknown fid");
       }
       FidState& st = it->second;
-      uint32_t count = std::min(t.count, msize_ - 24);
+      uint32_t count = std::min(t.count, msize_ - kIoHeader);
       if (st.node->dir()) {
         if (!st.dirbuf_valid) {
           st.dirbuf.clear();
-          for (const auto& [name, child] : st.node->children()) {
-            st.dirbuf += EncodeDirEntry(Vfs::StatOf(*child));
+          for (const StatInfo& s : Vfs::ListDir(*st.node)) {
+            st.dirbuf += EncodeDirEntry(s);
           }
           st.dirbuf_valid = true;
         }
@@ -641,6 +678,13 @@ Status NinepClient::Clunk(uint32_t fid) {
   Fcall t;
   t.type = MsgType::kTclunk;
   t.fid = fid;
+  return Rpc(t).status();
+}
+
+Status NinepClient::Flush(uint16_t oldtag) {
+  Fcall t;
+  t.type = MsgType::kTflush;
+  t.oldtag = oldtag;
   return Rpc(t).status();
 }
 

@@ -2,17 +2,36 @@
 // its structure by presenting a file service"; this module is the wire level
 // of that service. Messages are length-prefixed little-endian packets —
 // T-messages from clients, R-messages from the server — covering version,
-// attach, walk, open, create, read, write, clunk, remove, and stat, with
-// Rerror carrying Plan 9-style error strings.
+// attach, flush, walk, open, create, read, write, clunk, remove, and stat,
+// with Rerror carrying Plan 9-style error strings.
 //
 // The transport is pluggable; tests and examples use the in-process byte
 // transport, which still exercises the full encode → dispatch → decode path.
+//
+// Concurrency model (see also DESIGN.md §Concurrency model):
+//   * This header holds the codec, the per-connection Session, and the
+//     synchronous NinepClient. The multi-client front end lives in
+//     src/fs/server.h (NinepServer).
+//   * A Session owns one connection's protocol state: its fid table, its
+//     negotiated msize, and its attach identity. N concurrent clients each
+//     hold an independent Session against the same Vfs tree, so fid 7 in one
+//     session and fid 7 in another never collide.
+//   * Session::Dispatch is NOT thread-safe and touches the (single-threaded)
+//     Vfs; NinepServer serializes every Dispatch across all sessions through
+//     one dispatch lock. Encode/decode of packets is pure and runs outside
+//     that lock, in parallel.
+//   * Tflush lets a client cancel an in-flight tagged request: a request
+//     still waiting for the dispatch lock when its tag is flushed is answered
+//     with Rerror "interrupted" instead of running (the byte transport is
+//     one-reply-per-request, so a cancelled request still gets a reply).
+//     Duplicate in-flight tags on one session are rejected, per the protocol.
 #ifndef SRC_FS_NINEP_H_
 #define SRC_FS_NINEP_H_
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -27,6 +46,8 @@ enum class MsgType : uint8_t {
   kTattach = 104,
   kRattach = 105,
   kRerror = 107,
+  kTflush = 108,
+  kRflush = 109,
   kTwalk = 110,
   kRwalk = 111,
   kTopen = 112,
@@ -48,6 +69,8 @@ enum class MsgType : uint8_t {
 inline constexpr uint16_t kNoTag = 0xFFFF;
 inline constexpr uint32_t kNoFid = 0xFFFFFFFF;
 inline constexpr uint32_t kDefaultMsize = 64 * 1024;
+// Per-message overhead reserved out of msize for read/write payloads.
+inline constexpr uint32_t kIoHeader = 24;
 
 // One protocol message, T or R; unused fields are ignored per type.
 struct Fcall {
@@ -55,6 +78,7 @@ struct Fcall {
   uint16_t tag = kNoTag;
   uint32_t fid = kNoFid;
   uint32_t newfid = kNoFid;   // Twalk
+  uint16_t oldtag = kNoTag;   // Tflush
   uint32_t msize = 0;         // Tversion/Rversion
   std::string version;        // Tversion/Rversion
   std::string uname;          // Tattach
@@ -85,20 +109,42 @@ Result<Fcall> DecodeFcall(std::string_view bytes);
 std::string EncodeDirEntry(const StatInfo& s);
 Result<std::vector<StatInfo>> DecodeDirEntries(std::string_view data);
 
+// Makes an Rerror reply for `tag`.
+Fcall ErrorFcall(uint16_t tag, std::string_view msg);
+
 // ---------------------------------------------------------------------------
 
-// Serves a Vfs over the protocol. Byte-in, byte-out; one message per call.
-class NinepServer {
+// One client connection's protocol state: fid table, negotiated msize,
+// auth/attach identity, and in-flight tag bookkeeping. Dispatch mutates the
+// shared Vfs and is NOT thread-safe — NinepServer (src/fs/server.h)
+// serializes all Dispatch calls; the tag methods are driven by the server
+// under its own state lock.
+class Session {
  public:
-  explicit NinepServer(Vfs* vfs) : vfs_(vfs) {}
+  Session(Vfs* vfs, uint64_t id) : vfs_(vfs), id_(id) {}
 
-  // Full byte path: decode, dispatch, encode.
-  std::string HandleBytes(std::string_view packet);
-
-  // Structured dispatch (used by HandleBytes; also directly testable).
+  // Handles one T-message (everything except Tflush, which the server
+  // answers without entering the serialized dispatch path).
   Fcall Dispatch(const Fcall& t);
 
+  uint64_t id() const { return id_; }
+  uint32_t msize() const { return msize_; }
+  bool attached() const { return attached_; }
+  const std::string& uname() const { return uname_; }
   size_t open_fids() const { return fids_.size(); }
+
+  // --- In-flight tag bookkeeping (called by NinepServer, under its lock) ---
+  // Registers `tag` as in flight; false if that tag is already in flight
+  // (the protocol forbids duplicate in-flight tags per connection).
+  bool BeginTag(uint16_t tag);
+  void EndTag(uint16_t tag);
+  bool TagInFlight(uint16_t tag) const { return inflight_.count(tag) != 0; }
+  // Tflush(oldtag): marks a still-queued request cancelled. Returns whether
+  // the tag was in flight at all (Rflush is sent either way).
+  bool FlushTag(uint16_t oldtag);
+  // A queued request checks (and clears) its cancellation mark right before
+  // dispatching; true means it was flushed and must not run.
+  bool ConsumeFlushed(uint16_t tag);
 
  private:
   struct FidState {
@@ -108,22 +154,25 @@ class NinepServer {
     bool dirbuf_valid = false;
   };
 
-  Fcall Error(uint16_t tag, std::string_view msg) const;
-
   Vfs* vfs_;
+  uint64_t id_;
+  std::string uname_;
+  bool attached_ = false;
   std::map<uint32_t, FidState> fids_;
   uint32_t msize_ = kDefaultMsize;
+  std::set<uint16_t> inflight_;
+  std::set<uint16_t> flushed_;
 };
 
-// Client API over a byte transport (defaults to an in-process server).
+// ---------------------------------------------------------------------------
+
+// Client API over a byte transport (typically a NinepServer session; see
+// server.h for the convenience constructor wiring).
 class NinepClient {
  public:
   using Transport = std::function<std::string(std::string_view)>;
 
   explicit NinepClient(Transport transport) : transport_(std::move(transport)) {}
-  // Convenience: client wired straight to a server instance.
-  explicit NinepClient(NinepServer* server)
-      : transport_([server](std::string_view b) { return server->HandleBytes(b); }) {}
 
   Status Connect(std::string_view uname = "user");
 
@@ -135,6 +184,10 @@ class NinepClient {
   Status Clunk(uint32_t fid);
   Status RemoveFid(uint32_t fid);
   Result<StatInfo> StatFid(uint32_t fid);
+  // Cancels the in-flight request carrying `oldtag` (no-op if it already
+  // completed). The synchronous client never has its own request in flight;
+  // this exists for callers sharing a session across threads.
+  Status Flush(uint16_t oldtag);
 
   // High-level conveniences (walk + open + transfer + clunk).
   Result<std::string> ReadFile(std::string_view path);

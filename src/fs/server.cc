@@ -1,0 +1,177 @@
+#include "src/fs/server.h"
+
+#include <chrono>
+
+namespace help {
+
+NinepServer::NinepServer(Vfs* vfs) : vfs_(vfs) {}
+
+NinepServer::~NinepServer() = default;
+
+Session* NinepServer::Find(SessionId id) {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+const Session* NinepServer::Find(SessionId id) const {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+NinepServer::SessionId NinepServer::OpenSession() {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  SessionId id = next_session_++;
+  sessions_[id] = std::make_unique<Session>(vfs_, id);
+  return id;
+}
+
+void NinepServer::CloseSession(SessionId id) {
+  // Take the dispatch lock so a session is never destroyed while a worker
+  // is mid-dispatch on it (workers hold dispatch_mu_ around Dispatch).
+  std::lock_guard<std::recursive_mutex> dl(dispatch_mu_);
+  std::lock_guard<std::mutex> lk(state_mu_);
+  sessions_.erase(id);
+  if (default_session_ == id) {
+    default_session_ = 0;
+  }
+}
+
+size_t NinepServer::session_count() const {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  return sessions_.size();
+}
+
+size_t NinepServer::open_fids(SessionId id) const {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  const Session* s = Find(id);
+  return s == nullptr ? 0 : s->open_fids();
+}
+
+size_t NinepServer::open_fids() const {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  const Session* s = Find(default_session_);
+  return s == nullptr ? 0 : s->open_fids();
+}
+
+bool NinepServer::TagInFlight(SessionId id, uint16_t tag) const {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  const Session* s = Find(id);
+  return s != nullptr && s->TagInFlight(tag);
+}
+
+std::unique_lock<std::recursive_mutex> NinepServer::LockDispatch() {
+  return std::unique_lock<std::recursive_mutex>(dispatch_mu_);
+}
+
+Fcall NinepServer::Process(SessionId id, const Fcall& t) {
+  // Tag bookkeeping and Tflush run against the session state only — never
+  // under the dispatch lock — so a client can cancel or be rejected while
+  // another request is executing.
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    Session* s = Find(id);
+    if (s == nullptr) {
+      return ErrorFcall(t.tag, "unknown session");
+    }
+    if (t.type == MsgType::kTflush) {
+      s->FlushTag(t.oldtag);
+      Fcall r;
+      r.type = MsgType::kRflush;
+      r.tag = t.tag;
+      return r;
+    }
+    if (!s->BeginTag(t.tag)) {
+      return ErrorFcall(t.tag, "duplicate tag");
+    }
+  }
+
+  Fcall r;
+  {
+    std::unique_lock<std::recursive_mutex> dl(dispatch_mu_);
+    Session* s;
+    bool flushed;
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      s = Find(id);  // may have been closed while queued
+      flushed = s != nullptr && s->ConsumeFlushed(t.tag);
+    }
+    if (s == nullptr) {
+      return ErrorFcall(t.tag, "unknown session");
+    }
+    if (flushed) {
+      metrics_.RecordFlushCancel();
+      r = ErrorFcall(t.tag, "interrupted");
+    } else {
+      r = s->Dispatch(t);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    Session* s = Find(id);
+    if (s != nullptr) {
+      s->EndTag(t.tag);
+    }
+  }
+  return r;
+}
+
+NinepServer::SessionId NinepServer::EnsureDefaultSession() {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  if (default_session_ == 0) {
+    default_session_ = next_session_++;
+    sessions_[default_session_] = std::make_unique<Session>(vfs_, default_session_);
+  }
+  return default_session_;
+}
+
+Fcall NinepServer::Dispatch(const Fcall& t) {
+  SessionId id = EnsureDefaultSession();
+  metrics_.BeginRequest();
+  auto start = std::chrono::steady_clock::now();
+  Fcall r = Process(id, t);
+  auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+  metrics_.RecordOp(OpOfMsgType(t.type), static_cast<uint64_t>(us),
+                    r.type == MsgType::kRerror);
+  metrics_.EndRequest();
+  return r;
+}
+
+std::string NinepServer::HandleBytes(SessionId id, std::string_view packet) {
+  metrics_.AddBytesIn(packet.size());
+  metrics_.BeginRequest();
+  auto start = std::chrono::steady_clock::now();
+  Fcall r;
+  NinepOp op = NinepOp::kBad;
+  auto t = DecodeFcall(packet);
+  if (!t.ok()) {
+    r = ErrorFcall(kNoTag, t.message());
+  } else {
+    op = OpOfMsgType(t.value().type);
+    r = Process(id, t.value());
+  }
+  auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+  metrics_.RecordOp(op, static_cast<uint64_t>(us), r.type == MsgType::kRerror);
+  metrics_.EndRequest();
+  std::string out = EncodeFcall(r);
+  metrics_.AddBytesOut(out.size());
+  return out;
+}
+
+std::string NinepServer::HandleBytes(std::string_view packet) {
+  return HandleBytes(EnsureDefaultSession(), packet);
+}
+
+NinepClient::Transport NinepServer::TransportFor(SessionId id) {
+  return [this, id](std::string_view bytes) { return HandleBytes(id, bytes); };
+}
+
+NinepClient::Transport NinepServer::Transport() {
+  return [this](std::string_view bytes) { return HandleBytes(bytes); };
+}
+
+}  // namespace help

@@ -1,0 +1,100 @@
+// The multi-client 9P service front end. A NinepServer accepts any number of
+// transports — each client connection is a Session (see ninep.h) — and may be
+// driven from many threads at once: workers decode T-messages and encode
+// replies in parallel, while every tree-touching dispatch is funnelled
+// through one serialized dispatch lock. That keeps the Vfs and Help's
+// synthetic-file handlers on their single-threaded invariants without giving
+// up concurrent clients.
+//
+//   client thread:  bytes in ─ decode ─┐
+//   client thread:  bytes in ─ decode ─┼─ [dispatch lock] ─ Session::Dispatch
+//   client thread:  bytes in ─ decode ─┘        │
+//                                        encode + bytes out (parallel again)
+//
+// Tflush and duplicate-tag rejection happen before the lock, against the
+// session's in-flight tag table, so a client can cancel a queued request even
+// while another request holds the dispatch lock. Per-op counters and latency
+// histograms are recorded into a NinepMetrics, which /mnt/help/stats serves.
+#ifndef SRC_FS_SERVER_H_
+#define SRC_FS_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string_view>
+
+#include "src/fs/metrics.h"
+#include "src/fs/ninep.h"
+
+namespace help {
+
+class NinepServer {
+ public:
+  using SessionId = uint64_t;
+
+  explicit NinepServer(Vfs* vfs);
+  ~NinepServer();
+
+  NinepServer(const NinepServer&) = delete;
+  NinepServer& operator=(const NinepServer&) = delete;
+
+  // --- Sessions (one per client connection/transport) -----------------------
+  SessionId OpenSession();
+  void CloseSession(SessionId id);
+  size_t session_count() const;
+
+  // Full byte path for one client: decode, dispatch (serialized), encode.
+  // Thread-safe; any thread may drive any session, but one session's
+  // requests should come from one logical client.
+  std::string HandleBytes(SessionId id, std::string_view packet);
+
+  // A Transport for NinepClient bound to one session of this server.
+  NinepClient::Transport TransportFor(SessionId id);
+
+  // --- Single-session convenience (the original in-process transport) ------
+  // These drive an implicit default session, so `NinepServer server(&vfs);
+  // NinepClient client(server.Transport());` keeps working.
+  std::string HandleBytes(std::string_view packet);
+  NinepClient::Transport Transport();
+  Fcall Dispatch(const Fcall& t);
+  size_t open_fids() const;
+
+  // Per-session fid count (0 for unknown sessions).
+  size_t open_fids(SessionId id) const;
+
+  // Serializes arbitrary work with protocol dispatch. The /mnt/help handlers
+  // take this lock so UI-thread file access and 9P workers cannot interleave
+  // inside Help. Recursive: a handler invoked from a dispatch already holding
+  // the lock re-enters without deadlock.
+  std::unique_lock<std::recursive_mutex> LockDispatch();
+
+  NinepMetrics& metrics() { return metrics_; }
+  const NinepMetrics& metrics() const { return metrics_; }
+
+  // Test hook: is `tag` currently in flight on `id`?
+  bool TagInFlight(SessionId id, uint16_t tag) const;
+
+ private:
+  Session* Find(SessionId id);                // state_mu_ must be held
+  const Session* Find(SessionId id) const;    // state_mu_ must be held
+  SessionId EnsureDefaultSession();
+  Fcall Process(SessionId id, const Fcall& t);
+
+  Vfs* vfs_;
+  NinepMetrics metrics_;
+
+  // state_mu_ guards the session table and each session's tag bookkeeping;
+  // dispatch_mu_ is the serialized dispatch queue. Lock order: a thread never
+  // acquires state_mu_ while holding dispatch_mu_ waiting for new state —
+  // tag bookkeeping under state_mu_ happens strictly before/after dispatch.
+  mutable std::mutex state_mu_;
+  std::recursive_mutex dispatch_mu_;
+  std::map<SessionId, std::unique_ptr<Session>> sessions_;
+  SessionId next_session_ = 1;
+  SessionId default_session_ = 0;  // 0 = not yet created
+};
+
+}  // namespace help
+
+#endif  // SRC_FS_SERVER_H_

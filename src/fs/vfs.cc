@@ -173,6 +173,14 @@ Result<StatInfo> Vfs::Stat(std::string_view path) const {
   return StatOf(*node.value());
 }
 
+std::vector<StatInfo> Vfs::ListDir(const Node& n) {
+  std::vector<StatInfo> out;
+  for (const auto& [name, child] : n.children()) {
+    out.push_back(StatOf(*child));
+  }
+  return out;
+}
+
 Result<std::vector<StatInfo>> Vfs::ReadDir(std::string_view path) const {
   auto node = Walk(path);
   if (!node.ok()) {
@@ -181,11 +189,7 @@ Result<std::vector<StatInfo>> Vfs::ReadDir(std::string_view path) const {
   if (!node.value()->dir()) {
     return ErrNotDir(CleanPath(path));
   }
-  std::vector<StatInfo> out;
-  for (const auto& [name, child] : node.value()->children()) {
-    out.push_back(StatOf(*child));
-  }
-  return out;
+  return ListDir(*node.value());
 }
 
 Result<OpenFilePtr> Vfs::Open(std::string_view path, uint8_t mode) {

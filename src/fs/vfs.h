@@ -7,6 +7,12 @@
 // The VFS is the single source of truth. The shell's coreutils call it
 // directly; external clients go through the 9P-style protocol in ninep.h,
 // which serves this same tree.
+//
+// Threading: the VFS is deliberately single-threaded — nodes, handlers, and
+// the clock carry no locks. Concurrent 9P clients are safe because
+// NinepServer (src/fs/server.h) funnels every tree-touching dispatch through
+// one serialized dispatch lock; anything else that shares a Vfs with a live
+// NinepServer must serialize through NinepServer::LockDispatch().
 #ifndef SRC_FS_VFS_H_
 #define SRC_FS_VFS_H_
 
@@ -165,6 +171,12 @@ class Vfs {
   static std::string FullPath(const Node& n);
 
   static StatInfo StatOf(const Node& n);
+
+  // Consistent point-in-time listing of a directory node: the stats of all
+  // children, in name order. Callers (e.g. a 9P session's directory-read
+  // buffer) take this snapshot once and serve reads from it, so a listing
+  // never tears while entries are created or removed.
+  static std::vector<StatInfo> ListDir(const Node& n);
 
  private:
   Result<NodePtr> WalkParent(std::string_view path, std::string* base) const;

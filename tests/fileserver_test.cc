@@ -5,7 +5,7 @@
 
 #include "src/base/strings.h"
 #include "src/core/help.h"
-#include "src/fs/ninep.h"
+#include "src/fs/server.h"
 
 namespace help {
 namespace {
@@ -143,7 +143,7 @@ TEST_F(FileServerTest, ClosedWindowFilesReportGone) {
 TEST_F(FileServerTest, WorksOverNinep) {
   auto w = h_.OpenFile("/usr/rob/f.c", "/", nullptr);
   NinepServer server(&h_.vfs());
-  NinepClient client(&server);
+  NinepClient client(server.Transport());
   ASSERT_TRUE(client.Connect().ok());
   std::string body_path = StrFormat("/mnt/help/%d/body", w.value()->id());
   auto body = client.ReadFile(body_path);

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/base/strings.h"
-#include "src/fs/ninep.h"
+#include "src/fs/server.h"
 #include "src/tools/demo.h"
 
 namespace help {
@@ -15,7 +15,7 @@ TEST(Integration, RemoteProcessBuildsAWindowOver9P) {
   PaperSession s;
   Help& h = s.help;
   NinepServer server(&h.vfs());
-  NinepClient client(&server);
+  NinepClient client(server.Transport());
   ASSERT_TRUE(client.Connect("remote").ok());
 
   // Create a window, read back its number.

@@ -1,7 +1,7 @@
 // Protocol tests: codec round-trips, server dispatch, client conveniences.
 #include <gtest/gtest.h>
 
-#include "src/fs/ninep.h"
+#include "src/fs/server.h"
 
 namespace help {
 namespace {
@@ -59,6 +59,20 @@ TEST(NinepCodec, ReadWriteWithBinaryData) {
   EXPECT_EQ(g.data, f.data);
 }
 
+TEST(NinepCodec, FlushRoundTrip) {
+  Fcall f;
+  f.type = MsgType::kTflush;
+  f.tag = 9;
+  f.oldtag = 4;
+  Fcall g = RoundTrip(f);
+  EXPECT_EQ(g.type, MsgType::kTflush);
+  EXPECT_EQ(g.oldtag, 4u);
+  Fcall r;
+  r.type = MsgType::kRflush;
+  r.tag = 9;
+  EXPECT_EQ(RoundTrip(r).type, MsgType::kRflush);
+}
+
 TEST(NinepCodec, ErrorString) {
   Fcall f;
   f.type = MsgType::kRerror;
@@ -106,7 +120,7 @@ TEST(NinepCodec, DirEntries) {
 
 class NinepSession : public ::testing::Test {
  protected:
-  NinepSession() : server_(&vfs_), client_(&server_) {
+  NinepSession() : server_(&vfs_), client_(server_.Transport()) {
     vfs_.MkdirAll("/usr/rob");
     vfs_.WriteFile("/usr/rob/x", "contents of x");
     EXPECT_TRUE(client_.Connect().ok());
@@ -189,6 +203,143 @@ TEST_F(NinepSession, ErrorsCarryPlan9Text) {
   EXPECT_NE(data.message().find("does not exist"), std::string::npos);
 }
 
+// --- Protocol edge cases, each against its own session ------------------------
+
+class NinepEdgeCases : public ::testing::Test {
+ protected:
+  NinepEdgeCases() : server_(&vfs_) {
+    vfs_.MkdirAll("/usr/rob");
+    vfs_.WriteFile("/usr/rob/x", "contents of x");
+    sid_ = server_.OpenSession();
+  }
+
+  // Raw structured round trip through the byte path on this session.
+  Fcall Send(const Fcall& t) {
+    auto r = DecodeFcall(server_.HandleBytes(sid_, EncodeFcall(t)));
+    EXPECT_TRUE(r.ok()) << r.message();
+    return r.ok() ? r.value() : Fcall{};
+  }
+
+  void Attach() {
+    Fcall tv;
+    tv.type = MsgType::kTversion;
+    tv.msize = kDefaultMsize;
+    tv.version = "9P.help";
+    EXPECT_EQ(Send(tv).type, MsgType::kRversion);
+    Fcall ta;
+    ta.type = MsgType::kTattach;
+    ta.tag = 1;
+    ta.fid = 0;
+    ta.uname = "edge";
+    EXPECT_EQ(Send(ta).type, MsgType::kRattach);
+  }
+
+  Fcall Walk(uint32_t fid, uint32_t newfid, std::vector<std::string> names,
+             uint16_t tag = 2) {
+    Fcall t;
+    t.type = MsgType::kTwalk;
+    t.tag = tag;
+    t.fid = fid;
+    t.newfid = newfid;
+    t.wname = std::move(names);
+    return Send(t);
+  }
+
+  Vfs vfs_;
+  NinepServer server_;
+  NinepServer::SessionId sid_ = 0;
+};
+
+TEST_F(NinepEdgeCases, ZeroElementWalkClonesFid) {
+  Attach();
+  Fcall r = Walk(0, 7, {});
+  ASSERT_EQ(r.type, MsgType::kRwalk);
+  EXPECT_TRUE(r.wqid.empty());
+  EXPECT_EQ(server_.open_fids(sid_), 2u);  // root fid + its clone
+  // The clone is usable: stat it and get the root directory back.
+  Fcall ts;
+  ts.type = MsgType::kTstat;
+  ts.tag = 3;
+  ts.fid = 7;
+  Fcall rs = Send(ts);
+  ASSERT_EQ(rs.type, MsgType::kRstat);
+  EXPECT_TRUE(rs.stat.dir);
+}
+
+TEST_F(NinepEdgeCases, WalkToMissingComponentIsRerror) {
+  Attach();
+  Fcall r = Walk(0, 7, {"usr", "rob", "ghost"});
+  // The first component resolves, so this is a partial walk: Rwalk with
+  // fewer qids than names, and no new fid.
+  ASSERT_EQ(r.type, MsgType::kRwalk);
+  EXPECT_EQ(r.wqid.size(), 2u);
+  EXPECT_EQ(server_.open_fids(sid_), 1u);
+  // A walk whose *first* element fails is a flat Rerror.
+  Fcall r2 = Walk(0, 8, {"nonesuch"});
+  ASSERT_EQ(r2.type, MsgType::kRerror);
+  EXPECT_NE(r2.ename.find("does not exist"), std::string::npos);
+}
+
+TEST_F(NinepEdgeCases, ReadPastEofReturnsEmptyRread) {
+  Attach();
+  ASSERT_EQ(Walk(0, 1, {"usr", "rob", "x"}).type, MsgType::kRwalk);
+  Fcall to;
+  to.type = MsgType::kTopen;
+  to.tag = 3;
+  to.fid = 1;
+  to.mode = kOread;
+  ASSERT_EQ(Send(to).type, MsgType::kRopen);
+  Fcall tr;
+  tr.type = MsgType::kTread;
+  tr.tag = 4;
+  tr.fid = 1;
+  tr.offset = 1 << 20;  // far past EOF
+  tr.count = 512;
+  Fcall r = Send(tr);
+  ASSERT_EQ(r.type, MsgType::kRread);
+  EXPECT_TRUE(r.data.empty());
+}
+
+TEST_F(NinepEdgeCases, WriteToReadOnlyOpenIsRerror) {
+  Attach();
+  ASSERT_EQ(Walk(0, 1, {"usr", "rob", "x"}).type, MsgType::kRwalk);
+  Fcall to;
+  to.type = MsgType::kTopen;
+  to.tag = 3;
+  to.fid = 1;
+  to.mode = kOread;
+  ASSERT_EQ(Send(to).type, MsgType::kRopen);
+  Fcall tw;
+  tw.type = MsgType::kTwrite;
+  tw.tag = 4;
+  tw.fid = 1;
+  tw.offset = 0;
+  tw.data = "scribble";
+  Fcall r = Send(tw);
+  ASSERT_EQ(r.type, MsgType::kRerror);
+  EXPECT_NE(r.ename.find("permission denied"), std::string::npos);
+  // The file is untouched.
+  EXPECT_EQ(vfs_.ReadFile("/usr/rob/x").value(), "contents of x");
+}
+
+TEST_F(NinepEdgeCases, ClunkOfUnknownFidIsRerror) {
+  Attach();
+  Fcall tc;
+  tc.type = MsgType::kTclunk;
+  tc.tag = 2;
+  tc.fid = 4242;
+  Fcall r = Send(tc);
+  ASSERT_EQ(r.type, MsgType::kRerror);
+  EXPECT_EQ(r.ename, "unknown fid");
+  // Double clunk: the second one errors too.
+  ASSERT_EQ(Walk(0, 1, {"usr"}).type, MsgType::kRwalk);
+  tc.fid = 1;
+  tc.tag = 3;
+  EXPECT_EQ(Send(tc).type, MsgType::kRclunk);
+  tc.tag = 4;
+  EXPECT_EQ(Send(tc).type, MsgType::kRerror);
+}
+
 TEST(NinepServer, DispatchRejectsUnknownFid) {
   Vfs vfs;
   NinepServer server(&vfs);
@@ -203,7 +354,7 @@ TEST(NinepServer, DispatchRejectsUnknownFid) {
 TEST(NinepServer, VersionResetsSession) {
   Vfs vfs;
   NinepServer server(&vfs);
-  NinepClient client(&server);
+  NinepClient client(server.Transport());
   ASSERT_TRUE(client.Connect().ok());
   auto fid = client.WalkFid("/");
   ASSERT_TRUE(fid.ok());

@@ -5,7 +5,7 @@
 
 #include "src/cc/browser.h"
 #include "src/core/help.h"
-#include "src/fs/ninep.h"
+#include "src/fs/server.h"
 #include "src/regexp/regexp.h"
 #include "src/shell/shell.h"
 #include "src/text/address.h"
