@@ -1,6 +1,10 @@
-// P-1: text-substrate performance — gap buffer edits, line bookkeeping, undo.
+// P-1: text-substrate performance — gap buffer edits, line bookkeeping, undo,
+// and the 1M-line before/after comparison for the incremental line index.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "src/text/address.h"
 #include "src/text/gapbuffer.h"
 #include "src/text/text.h"
 
@@ -59,6 +63,158 @@ void BM_TextLineStart(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TextLineStart)->Range(64, 4096);
+
+// --- 1M-line document: indexed queries vs the pre-index scan -----------------
+//
+// The *_Scan benchmarks preserve the pre-LineIndex implementation verbatim
+// (an O(n) rune walk per query); the *_Indexed ones go through Text's line
+// index. Running the binary prints both, so the before/after ratio for the
+// production-scale case is always visible in the same report.
+
+constexpr int kBigLines = 1'000'000;
+
+std::string MakeShortLines(int n) {
+  std::string s;
+  s.reserve(static_cast<size_t>(n) * 10);
+  for (int i = 0; i < n; i++) {
+    s += "line text\n";
+  }
+  return s;
+}
+
+const Text& BigText() {
+  static const Text* t = new Text(MakeShortLines(kBigLines));
+  return *t;
+}
+
+// Pre-index implementations (what Text::LineAt / Text::LineStart used to do).
+size_t ScanLineAt(const Text& t, size_t pos) {
+  size_t sz = t.size();
+  pos = std::min(pos, sz);
+  size_t line = 1;
+  for (size_t i = 0; i < pos; i++) {
+    if (t.At(i) == '\n') {
+      line++;
+    }
+  }
+  return line;
+}
+
+size_t ScanLineStart(const Text& t, size_t line) {
+  if (line <= 1) {
+    return 0;
+  }
+  size_t sz = t.size();
+  size_t cur = 1;
+  for (size_t i = 0; i < sz; i++) {
+    if (t.At(i) == '\n') {
+      cur++;
+      if (cur == line) {
+        return i + 1;
+      }
+    }
+  }
+  size_t i = sz;
+  while (i > 0 && t.At(i - 1) != '\n') {
+    i--;
+  }
+  return i;
+}
+
+struct Lcg {
+  uint32_t state = 12345;
+  uint32_t Next() {
+    state = state * 1664525 + 1013904223;
+    return state >> 8;
+  }
+};
+
+void BM_BigLineAtRandom_Scan(benchmark::State& state) {
+  const Text& t = BigText();
+  Lcg rng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScanLineAt(t, rng.Next() % t.size()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BigLineAtRandom_Scan);
+
+void BM_BigLineAtRandom_Indexed(benchmark::State& state) {
+  const Text& t = BigText();
+  Lcg rng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.LineAt(rng.Next() % t.size()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BigLineAtRandom_Indexed);
+
+void BM_BigLineStartRandom_Scan(benchmark::State& state) {
+  const Text& t = BigText();
+  Lcg rng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScanLineStart(t, 1 + rng.Next() % kBigLines));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BigLineStartRandom_Scan);
+
+void BM_BigLineStartRandom_Indexed(benchmark::State& state) {
+  const Text& t = BigText();
+  Lcg rng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.LineStart(1 + rng.Next() % kBigLines));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BigLineStartRandom_Indexed);
+
+// `name:line` address resolution on the big body (the Open errs.c:27 path).
+void BM_BigAddressResolve(benchmark::State& state) {
+  const Text& t = BigText();
+  Lcg rng;
+  for (auto _ : state) {
+    std::string addr = std::to_string(1 + rng.Next() % kBigLines);
+    auto s = EvalAddress(t, addr);
+    benchmark::DoNotOptimize(s.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BigAddressResolve);
+
+// Appending to a 1M-line body (the Errors-window / bodyapp path): the index
+// must keep per-append cost independent of document size.
+void BM_BigAppendLine(benchmark::State& state) {
+  static Text* t = new Text(MakeShortLines(kBigLines));
+  for (auto _ : state) {
+    t->InsertNoUndo(t->size(), U"appended error line\n");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BigAppendLine);
+
+// The 9P body-read window: indexed byte-range read vs encode-everything.
+void BM_BigBodyReadWindow_Scan(benchmark::State& state) {
+  const Text& t = BigText();
+  Lcg rng;
+  for (auto _ : state) {
+    std::string all = t.Utf8();
+    benchmark::DoNotOptimize(all.substr(rng.Next() % all.size(), 8192));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BigBodyReadWindow_Scan);
+
+void BM_BigBodyReadWindow_Indexed(benchmark::State& state) {
+  const Text& t = BigText();
+  Lcg rng;
+  uint64_t total = t.Utf8Bytes();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.Utf8Substr(rng.Next() % total, 8192));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BigBodyReadWindow_Indexed);
 
 void BM_TextUndoRedoCycle(benchmark::State& state) {
   Text t(MakeLines(100));

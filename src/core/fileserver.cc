@@ -172,24 +172,24 @@ class WindowFileHandler : public FileHandler {
     if (w == nullptr) {
       return Status::Error("window is gone");
     }
-    std::string data;
     switch (kind_) {
       case Kind::kTag:
-        data = w->tag().text->Utf8();
-        break;
+        // Indexed range read: a client paging through a big body costs
+        // O(log n + count) per read, not a full UTF-8 encode per packet.
+        return w->tag().text->Utf8Substr(offset, count);
       case Kind::kBody:
-        data = w->body().text->Utf8();
-        break;
+        return w->body().text->Utf8Substr(offset, count);
       case Kind::kBodyApp:
         return std::string();  // write-only
-      case Kind::kCtl:
-        data = StrFormat("%d\n", id_);
-        break;
+      case Kind::kCtl: {
+        std::string data = StrFormat("%d\n", id_);
+        if (offset >= data.size()) {
+          return std::string();
+        }
+        return data.substr(offset, count);
+      }
     }
-    if (offset >= data.size()) {
-      return std::string();
-    }
-    return data.substr(offset, count);
+    return std::string();
   }
 
   Result<uint32_t> Write(OpenFile& f, uint64_t offset, std::string_view data) override {
@@ -225,9 +225,9 @@ class WindowFileHandler : public FileHandler {
     }
     switch (kind_) {
       case Kind::kTag:
-        return w->tag().text->Utf8().size();
+        return w->tag().text->Utf8Bytes();  // O(1): stat never encodes the body
       case Kind::kBody:
-        return w->body().text->Utf8().size();
+        return w->body().text->Utf8Bytes();
       default:
         return 0;
     }
@@ -339,8 +339,18 @@ void Help::UnregisterWindowFiles(Window* w) {
 
 namespace {
 
-// Byte-level patch of a Text (program writes arrive as bytes).
+// Byte-level patch of a Text (program writes arrive as bytes). Writes that
+// land exactly at the end — the overwhelmingly common shape: loggers and
+// typescript-style clients stream sequential writes — append incrementally
+// instead of re-encoding and re-decoding the whole document. Stored text is
+// always whole runes, so an append can never complete a partial encoding
+// left by earlier bytes; decoding the new data alone is byte-equivalent to
+// the rewrite path.
 void PatchText(Text* t, uint64_t offset, std::string_view data, bool truncate) {
+  if (!truncate && offset == t->Utf8Bytes()) {
+    t->InsertNoUndo(t->size(), RunesFromUtf8(data));
+    return;
+  }
   std::string cur = truncate ? std::string() : t->Utf8();
   if (offset > cur.size()) {
     cur.resize(offset, ' ');

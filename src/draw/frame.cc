@@ -13,6 +13,13 @@ void Frame::Fill(const Text& t, size_t origin) {
   int width = rect_.width();
   size_t pos = origin_;
   size_t n = t.size();
+  // One bulk read covers everything the frame can consume: every rune takes
+  // at least one cell except the newline ending a row, so maxrows rows use at
+  // most maxrows * (width + 1) runes. This keeps layout cost proportional to
+  // the window, not the document, and avoids a gap-buffer branch per rune.
+  size_t window =
+      static_cast<size_t>(maxrows) * (static_cast<size_t>(width) + 1) + 1;
+  RuneString visible = t.Read(origin_, window);
   Row row;
   row.start_off = pos;
   int x = 0;
@@ -24,7 +31,7 @@ void Frame::Fill(const Text& t, size_t origin) {
     x = 0;
   };
   while (pos < n && static_cast<int>(rows_.size()) < maxrows) {
-    Rune r = t.At(pos);
+    Rune r = visible[pos - origin_];
     if (r == '\n') {
       flush(pos + 1);
       pos++;

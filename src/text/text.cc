@@ -4,12 +4,23 @@
 
 namespace help {
 
+void Text::DoInsert(size_t pos, RuneStringView s) {
+  buf_.Insert(pos, s);
+  lines_.OnInsert(buf_, pos, s);
+}
+
+RuneString Text::DoDelete(size_t pos, size_t n) {
+  RuneString removed = buf_.Delete(pos, n);
+  lines_.OnDelete(pos, removed);
+  return removed;
+}
+
 void Text::Insert(size_t pos, RuneStringView s) {
   if (s.empty()) {
     return;
   }
   pos = std::min(pos, size());
-  buf_.Insert(pos, s);
+  DoInsert(pos, s);
   undo_.push_back({true, pos, RuneString(s), change_id_});
   redo_.clear();
   dirty_ = true;
@@ -20,7 +31,7 @@ void Text::Delete(size_t pos, size_t n) {
   if (n == 0 || pos >= size()) {
     return;
   }
-  RuneString removed = buf_.Delete(pos, n);
+  RuneString removed = DoDelete(pos, n);
   if (removed.empty()) {
     return;
   }
@@ -41,18 +52,19 @@ void Text::InsertNoUndo(size_t pos, RuneStringView s) {
   if (s.empty()) {
     return;
   }
-  buf_.Insert(std::min(pos, size()), s);
+  DoInsert(std::min(pos, size()), s);
   version_++;
 }
 
 void Text::DeleteNoUndo(size_t pos, size_t n) {
-  buf_.Delete(pos, n);
+  DoDelete(pos, n);
   version_++;
 }
 
 void Text::SetAll(std::string_view utf8) {
   buf_.Delete(0, size());
   buf_.Insert(0, RunesFromUtf8(utf8));
+  lines_.Reset(buf_);  // wholesale replacement: rebuild instead of two diffs
   undo_.clear();
   redo_.clear();
   dirty_ = false;
@@ -65,9 +77,9 @@ Text::Change Text::Invert(const Change& c) const {
 
 void Text::Apply(const Change& c, size_t* touched) {
   if (c.insert) {
-    buf_.Insert(c.pos, c.s);
+    DoInsert(c.pos, c.s);
   } else {
-    buf_.Delete(c.pos, c.s.size());
+    DoDelete(c.pos, c.s.size());
   }
   if (touched != nullptr) {
     *touched = std::min(*touched, c.pos);
@@ -113,13 +125,23 @@ bool Text::Redo(size_t* touched) {
   return true;
 }
 
+// --- Line bookkeeping, answered by the index ---------------------------------
+//
+// The invariants these preserve (and the property suite locks in):
+//   LineCount("") == 1; a trailing newline does not start a countable line
+//   (LineCount("a\n") == 1).
+//   LineStart(line) == offset just past the (line-1)th newline, clamped to
+//   the start of the final physical line (the position after the last
+//   newline) when line runs past the end.
+
 size_t Text::LineCount() const {
-  size_t n = 1;
   size_t sz = size();
-  for (size_t i = 0; i < sz; i++) {
-    if (buf_.At(i) == '\n' && i + 1 < sz) {
-      n++;
-    }
+  if (sz == 0) {
+    return 1;
+  }
+  size_t n = 1 + lines_.newlines();
+  if (buf_.At(sz - 1) == '\n') {
+    n--;  // trailing newline ends the last line rather than starting one
   }
   return n;
 }
@@ -128,43 +150,17 @@ size_t Text::LineStart(size_t line) const {
   if (line <= 1) {
     return 0;
   }
-  size_t sz = size();
-  size_t cur = 1;
-  for (size_t i = 0; i < sz; i++) {
-    if (buf_.At(i) == '\n') {
-      cur++;
-      if (cur == line) {
-        return i + 1;
-      }
-    }
-  }
   // Past the last line: clamp to the start of the final line.
-  size_t i = sz;
-  while (i > 0 && buf_.At(i - 1) != '\n') {
-    i--;
-  }
-  return i;
+  size_t k = std::min(line - 1, lines_.newlines());
+  return lines_.PosAfterNewline(buf_, k);
 }
 
 size_t Text::LineEndAt(size_t pos) const {
-  size_t sz = size();
-  pos = std::min(pos, sz);
-  while (pos < sz && buf_.At(pos) != '\n') {
-    pos++;
-  }
-  return pos;
+  return lines_.NextNewline(buf_, std::min(pos, size()));
 }
 
 size_t Text::LineAt(size_t pos) const {
-  size_t sz = size();
-  pos = std::min(pos, sz);
-  size_t line = 1;
-  for (size_t i = 0; i < pos; i++) {
-    if (buf_.At(i) == '\n') {
-      line++;
-    }
-  }
-  return line;
+  return 1 + lines_.NewlinesBefore(buf_, std::min(pos, size()));
 }
 
 Selection Text::LineRange(size_t line) const {

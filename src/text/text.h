@@ -11,6 +11,7 @@
 
 #include "src/base/rune.h"
 #include "src/text/gapbuffer.h"
+#include "src/text/lineindex.h"
 
 namespace help {
 
@@ -38,6 +39,17 @@ class Text {
     return q1 > q0 ? Utf8FromRunes(buf_.Read(q0, q1 - q0)) : std::string();
   }
 
+  // --- Byte-offset views (the file-server read path) ------------------------
+
+  // Total UTF-8 encoded size, O(1) from the line index (a 9P stat never
+  // encodes the document).
+  uint64_t Utf8Bytes() const { return lines_.utf8_bytes(); }
+  // Bytes [byte_off, byte_off+count) of the UTF-8 encoding, O(log n + count);
+  // byte-exact even when the window splits a multi-byte rune.
+  std::string Utf8Substr(uint64_t byte_off, size_t count) const {
+    return lines_.Utf8Substr(buf_, byte_off, count);
+  }
+
   // --- Editing (undoable) ---------------------------------------------------
 
   // Starts a new undo group; all edits until the next BeginChange undo as one.
@@ -62,6 +74,9 @@ class Text {
   bool CanRedo() const { return !redo_.empty(); }
 
   // --- Line bookkeeping ------------------------------------------------------
+  //
+  // All of these answer from the incremental LineIndex in O(log n + C) where
+  // C is the fixed chunk span — never a document scan.
 
   // Number of lines; an empty text has 1 (empty) line, and a trailing
   // newline does not start a new countable line.
@@ -93,6 +108,10 @@ class Text {
   // whether to re-layout.
   uint64_t version() const { return version_; }
 
+  // Test hook: verifies the line index against a full recount of the buffer.
+  // O(n); the differential property suite calls it periodically.
+  bool CheckLineIndex() const { return lines_.CheckConsistent(buf_); }
+
  private:
   struct Change {
     bool insert;  // true: `s` was inserted at pos; false: `s` was deleted from pos
@@ -104,7 +123,13 @@ class Text {
   void Apply(const Change& c, size_t* touched);
   Change Invert(const Change& c) const;
 
+  // Every mutation funnels through these two so the line index can never
+  // drift from the buffer.
+  void DoInsert(size_t pos, RuneStringView s);
+  RuneString DoDelete(size_t pos, size_t n);
+
   GapBuffer buf_;
+  LineIndex lines_;
   std::vector<Change> undo_;
   std::vector<Change> redo_;
   uint64_t change_id_ = 0;

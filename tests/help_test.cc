@@ -64,6 +64,41 @@ TEST_F(HelpTest, OpenWithAddressSelectsLine) {
   EXPECT_EQ(h_.current_sub(), &w.value()->body());
 }
 
+// name:line clamping edge cases through the Open path (the errs.c body is
+// "errs content\nline two\n", 22 bytes, 2 lines).
+
+TEST_F(HelpTest, OpenWithLinePastEofClampsToEnd) {
+  auto w = h_.OpenFile("/usr/rob/src/help/errs.c:99", "/", nullptr);
+  ASSERT_TRUE(w.ok());
+  // Trailing newline: line 99 clamps past the last newline — a caret at EOF.
+  size_t eof = w.value()->body().text->size();
+  EXPECT_EQ(w.value()->body().sel, (Selection{eof, eof}));
+  EXPECT_EQ(h_.current_sub(), &w.value()->body());
+}
+
+TEST_F(HelpTest, OpenWithZeroLineReportsAddressError) {
+  auto w = h_.OpenFile("/usr/rob/src/help/errs.c:0", "/", nullptr);
+  ASSERT_TRUE(w.ok());  // the window still opens; the address fails
+  ASSERT_NE(h_.errors_window(), nullptr);
+  EXPECT_NE(h_.errors_window()->body().text->Utf8().find("bad line number"),
+            std::string::npos);
+}
+
+TEST_F(HelpTest, OpenWithDollarAddressSelectsEof) {
+  auto w = h_.OpenFile("/usr/rob/src/help/errs.c:$", "/", nullptr);
+  ASSERT_TRUE(w.ok());
+  size_t eof = w.value()->body().text->size();
+  EXPECT_EQ(w.value()->body().sel, (Selection{eof, eof}));
+}
+
+TEST_F(HelpTest, OpenAddressIntoEmptyBody) {
+  h_.vfs().WriteFile("/usr/rob/src/help/empty.c", "");
+  auto w = h_.OpenFile("/usr/rob/src/help/empty.c:7", "/", nullptr);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.value()->body().text->size(), 0u);
+  EXPECT_EQ(w.value()->body().sel, (Selection{0, 0}));
+}
+
 TEST_F(HelpTest, OpenDefaultsToFilenameAroundSelection) {
   // Point (null selection) inside a file name; Open with no argument.
   auto dir = h_.OpenFile("/usr/rob/src/help", "/", nullptr);

@@ -179,9 +179,28 @@ TEST(Text, LineBookkeeping) {
   EXPECT_EQ(t.LineEndAt(5), 7u);
 }
 
+// The trailing-newline invariant the line index must reproduce exactly: a
+// trailing newline ends the last line, it does not start a countable one
+// (text.h's header comment). Locked in before and across edits.
 TEST(Text, TrailingNewlineDoesNotAddLine) {
   Text t("a\nb\n");
   EXPECT_EQ(t.LineCount(), 2u);
+}
+
+TEST(Text, TrailingNewlineInvariant) {
+  EXPECT_EQ(Text("a\n").LineCount(), 1u);
+  EXPECT_EQ(Text("").LineCount(), 1u);
+  EXPECT_EQ(Text("\n").LineCount(), 1u);
+  EXPECT_EQ(Text("a\n\n").LineCount(), 2u);  // empty middle line counts
+  EXPECT_EQ(Text("a").LineCount(), 1u);
+  // The invariant holds across incremental edits, not just construction.
+  Text t("a");
+  t.InsertNoUndo(1, U"\n");
+  EXPECT_EQ(t.LineCount(), 1u);
+  t.InsertNoUndo(2, U"b");
+  EXPECT_EQ(t.LineCount(), 2u);
+  t.DeleteNoUndo(2, 1);
+  EXPECT_EQ(t.LineCount(), 1u);
 }
 
 TEST(Text, LineRangeIncludesNewline) {
@@ -301,6 +320,75 @@ TEST(Address, Errors) {
   EXPECT_FALSE(EvalAddress(t, "1junk").ok());
   EXPECT_FALSE(EvalAddress(t, "/nomatch/").ok());
   EXPECT_FALSE(EvalAddress(t, "0").ok());
+}
+
+// Edge-case clamping semantics, locked in so the index rewrite cannot drift.
+
+TEST(Address, ZeroLineIsAnError) {
+  Text t("aa\nbb\n");
+  auto s = EvalAddress(t, "0");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("bad line number"), std::string::npos);
+}
+
+TEST(Address, LinePastEofClampsToLastLine) {
+  // Without a trailing newline the last line has content: select it whole.
+  Text t("aa\nbb\ncc");
+  auto s = EvalAddress(t, "99");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(t.Utf8Range(s.value().q0, s.value().q1), "cc");
+  // With a trailing newline the clamp lands after it: a caret at EOF.
+  Text nl("aa\nbb\n");
+  s = EvalAddress(nl, "99");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value(), (Selection{6, 6}));
+}
+
+TEST(Address, DollarIsEndOfBody) {
+  Text t("aa\nbb\n");
+  auto s = EvalAddress(t, "$");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value(), (Selection{6, 6}));
+}
+
+TEST(Address, EmptyBody) {
+  Text t;
+  auto s = EvalAddress(t, "1");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value(), (Selection{0, 0}));
+  s = EvalAddress(t, "5");  // any line clamps to the single empty line
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value(), (Selection{0, 0}));
+  s = EvalAddress(t, "$");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value(), (Selection{0, 0}));
+  EXPECT_FALSE(EvalAddress(t, "/x/").ok());
+}
+
+// --- Byte-offset views ---------------------------------------------------------
+
+TEST(Text, Utf8BytesTracksEncodedSize) {
+  Text t;
+  EXPECT_EQ(t.Utf8Bytes(), 0u);
+  t.InsertNoUndo(0, U"abc");
+  EXPECT_EQ(t.Utf8Bytes(), 3u);
+  t.InsertNoUndo(3, RunesFromUtf8("é你😀"));  // 2 + 3 + 4 bytes
+  EXPECT_EQ(t.Utf8Bytes(), t.Utf8().size());
+  EXPECT_EQ(t.Utf8Bytes(), 12u);
+  t.DeleteNoUndo(3, 1);  // é
+  EXPECT_EQ(t.Utf8Bytes(), 10u);
+}
+
+TEST(Text, Utf8SubstrMatchesFullEncode) {
+  Text t("héllo wörld\nsecond line\n");
+  std::string full = t.Utf8();
+  for (size_t off = 0; off <= full.size() + 1; off++) {
+    EXPECT_EQ(t.Utf8Substr(off, 5), off < full.size() ? full.substr(off, 5) : "")
+        << "off " << off;
+  }
+  // A window that splits a multi-byte rune is still byte-exact.
+  size_t e_acute = full.find("h") + 1;
+  EXPECT_EQ(t.Utf8Substr(e_acute + 1, 3), full.substr(e_acute + 1, 3));
 }
 
 }  // namespace
