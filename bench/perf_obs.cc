@@ -1,0 +1,176 @@
+// P-3: observability cost — what the tracing subsystem charges the hot paths.
+//
+// Three groups:
+//   1. Primitive costs: a Span / instant / counter with tracing disabled
+//      (the price every instrumented call site pays, always) and enabled
+//      (the price of actually capturing).
+//   2. The perf_text hot path (big-document appends, the BM_BigAppendLine
+//      shape) with tracing off vs on — the acceptance gate is that the
+//      *off* variant stays within 3% of the uninstrumented baseline, which
+//      is visible by comparing BM_TextAppend_TracingOff here against
+//      BM_BigAppendLine in perf_text on the same machine.
+//   3. The perf_ninep hot path (full byte path: walk/open/read/clunk over
+//      the wire) off vs on.
+//
+// Run: ./build/bench/perf_obs  — compare *_TracingOff vs *_TracingOn rows.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/core/help.h"
+#include "src/fs/ninep.h"
+#include "src/fs/server.h"
+#include "src/obs/trace.h"
+#include "src/text/text.h"
+
+namespace help {
+namespace {
+
+using obs::EventKind;
+using obs::Registry;
+using obs::Tracer;
+
+// --- 1. Primitive costs ------------------------------------------------------
+
+void BM_SpanDisabled(benchmark::State& state) {
+  Tracer::Global().Disable();
+  for (auto _ : state) {
+    OBS_SPAN("perfobs.span");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  Tracer::Global().Enable();
+  for (auto _ : state) {
+    OBS_SPAN("perfobs.span");
+    benchmark::ClobberMemory();
+  }
+  Tracer::Global().Disable();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_InstantDisabled(benchmark::State& state) {
+  Tracer::Global().Disable();
+  for (auto _ : state) {
+    OBS_INSTANT("perfobs.instant", 1);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InstantDisabled);
+
+void BM_InstantEnabled(benchmark::State& state) {
+  Tracer::Global().Enable();
+  for (auto _ : state) {
+    OBS_INSTANT("perfobs.instant", 1);
+    benchmark::ClobberMemory();
+  }
+  Tracer::Global().Disable();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InstantEnabled);
+
+void BM_CounterAdd(benchmark::State& state) {
+  for (auto _ : state) {
+    OBS_COUNT("perfobs.counter", 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram* h = Registry::Global().GetHistogram("perfobs.hist");
+  uint64_t v = 0;
+  for (auto _ : state) {
+    h->Record(v++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+// --- 2. The text hot path, off vs on -----------------------------------------
+
+std::string MakeShortLines(int n) {
+  std::string s;
+  s.reserve(static_cast<size_t>(n) * 10);
+  for (int i = 0; i < n; i++) {
+    s += "line text\n";
+  }
+  return s;
+}
+
+constexpr int kBigLines = 1'000'000;
+
+// Same shape as perf_text's BM_BigAppendLine: appends to a 1M-line document
+// through Text::InsertNoUndo — the instrumented DoInsert funnel.
+void BM_TextAppend_TracingOff(benchmark::State& state) {
+  Tracer::Global().Disable();
+  static Text* t = new Text(MakeShortLines(kBigLines));
+  for (auto _ : state) {
+    t->InsertNoUndo(t->size(), U"appended error line\n");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TextAppend_TracingOff);
+
+void BM_TextAppend_TracingOn(benchmark::State& state) {
+  Tracer::Global().Enable();
+  static Text* t = new Text(MakeShortLines(kBigLines));
+  for (auto _ : state) {
+    t->InsertNoUndo(t->size(), U"appended error line\n");
+  }
+  Tracer::Global().Disable();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TextAppend_TracingOn);
+
+// --- 3. The 9P byte path, off vs on ------------------------------------------
+
+// One full wire round: walk + open + read + clunk of /mnt/help/index, through
+// decode/dispatch/encode with all their spans.
+void NinepRound(NinepClient& client) {
+  auto r = client.ReadFile("/mnt/help/index");
+  benchmark::DoNotOptimize(r.ok());
+}
+
+void BM_NinepReadFile_TracingOff(benchmark::State& state) {
+  Tracer::Global().Disable();
+  Help h(Help::Options{.install_userland = false});
+  NinepServer::SessionId sid = h.ninep().OpenSession();
+  NinepClient client(h.ninep().TransportFor(sid));
+  if (!client.Connect("perf").ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  for (auto _ : state) {
+    NinepRound(client);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NinepReadFile_TracingOff);
+
+void BM_NinepReadFile_TracingOn(benchmark::State& state) {
+  Help h(Help::Options{.install_userland = false});
+  NinepServer::SessionId sid = h.ninep().OpenSession();
+  NinepClient client(h.ninep().TransportFor(sid));
+  if (!client.Connect("perf").ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  Tracer::Global().Enable();
+  for (auto _ : state) {
+    NinepRound(client);
+  }
+  Tracer::Global().Disable();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NinepReadFile_TracingOn);
+
+}  // namespace
+}  // namespace help
+
+BENCHMARK_MAIN();

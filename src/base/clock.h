@@ -4,21 +4,25 @@
 #ifndef SRC_BASE_CLOCK_H_
 #define SRC_BASE_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace help {
 
 class Clock {
  public:
-  // Returns the current logical time without advancing it.
-  uint64_t Now() const { return now_; }
+  // Returns the current logical time without advancing it. Internally a
+  // relaxed atomic: trace events are stamped with the tick from worker
+  // threads while the owning thread advances it, and no ordering beyond the
+  // tick value itself is implied (trace readers order by sequence number).
+  uint64_t Now() const { return now_.load(std::memory_order_relaxed); }
   // Advances the clock and returns the new time. Every mutating file
   // operation calls Tick() so that "modified after" relations are total.
-  uint64_t Tick() { return ++now_; }
-  void Set(uint64_t t) { now_ = t; }
+  uint64_t Tick() { return now_.fetch_add(1, std::memory_order_relaxed) + 1; }
+  void Set(uint64_t t) { now_.store(t, std::memory_order_relaxed); }
 
  private:
-  uint64_t now_ = 671803200;  // Tue Apr 16 1991, the day of Sean's mail
+  std::atomic<uint64_t> now_{671803200};  // Tue Apr 16 1991, Sean's mail
 };
 
 }  // namespace help

@@ -1,8 +1,14 @@
 #include "src/core/events.h"
 
+#include "src/obs/trace.h"
+
 namespace help {
 
 void MouseMachine::Feed(const MouseEvent& e) {
+  // Event delivery: a span per raw event (press/move/release), so a trace
+  // shows the gesture machine's time against the commands it triggers.
+  OBS_SPAN("events.mouse");
+  OBS_INSTANT("events.mouse.kind", static_cast<int>(e.kind) * 10 + static_cast<int>(e.button));
   switch (e.kind) {
     case MouseEvent::Kind::kPress:
       Press(e.button, e.p);
@@ -88,6 +94,7 @@ void MouseMachine::Release(Button b, Point p) {
       }
       break;
     case Button::kMiddle:
+      OBS_COUNT("events.exec_gestures", 1);
       h_->MouseExec(press_at_, p);
       break;
     case Button::kRight:

@@ -5,6 +5,7 @@
 #include "src/base/strings.h"
 #include "src/core/help.h"
 #include "src/fs/server.h"
+#include "src/obs/trace.h"
 #include "src/text/address.h"
 
 namespace help {
@@ -280,6 +281,55 @@ class OpenRequestHandler : public FileHandler {
   Help* h_;
 };
 
+// Control file for the global tracer. Writes accept newline-separated
+// commands: on / off / clear / json / text. Reads snapshot at open time:
+// normally a short status, or — after a `json` write — the whole ring as
+// Chrome trace-event JSON (loadable in chrome://tracing or Perfetto);
+// `text` switches the read payload back. Deliberately *not* serialized
+// through the dispatch lock: the tracer and registry are internally
+// thread-safe, so the trace stays readable even while a dispatch is stuck.
+class TraceCtlHandler : public FileHandler {
+ public:
+  Status Open(OpenFile& f, uint8_t mode) override {
+    obs::Tracer& t = obs::Tracer::Global();
+    f.state = json_mode_.load(std::memory_order_relaxed) ? t.RenderChromeJson()
+                                                         : t.RenderStatus();
+    return Status::Ok();
+  }
+  Result<std::string> Read(OpenFile& f, uint64_t offset, uint32_t count) override {
+    if (offset >= f.state.size()) {
+      return std::string();
+    }
+    return f.state.substr(offset, count);
+  }
+  Result<uint32_t> Write(OpenFile& f, uint64_t offset, std::string_view data) override {
+    obs::Tracer& t = obs::Tracer::Global();
+    for (const std::string& line : Split(data, '\n')) {
+      std::string_view cmd = TrimSpace(line);
+      if (cmd.empty()) {
+        continue;
+      }
+      if (cmd == "on") {
+        t.Enable();
+      } else if (cmd == "off") {
+        t.Disable();
+      } else if (cmd == "clear") {
+        t.Clear();
+      } else if (cmd == "json") {
+        json_mode_.store(true, std::memory_order_relaxed);
+      } else if (cmd == "text") {
+        json_mode_.store(false, std::memory_order_relaxed);
+      } else {
+        return Status::Error("tracectl: unknown command '" + std::string(cmd) + "'");
+      }
+    }
+    return static_cast<uint32_t>(data.size());
+  }
+
+ private:
+  std::atomic<bool> json_mode_{false};
+};
+
 }  // namespace
 
 void InstallHelpFs(Help* h) {
@@ -302,11 +352,21 @@ void InstallHelpFs(Help* h) {
   vfs.AttachHandler("/mnt/help/snarf", Serialized(h, std::make_shared<SnarfHandler>(h)));
   vfs.AttachHandler("/mnt/help/open",
                     Serialized(h, std::make_shared<OpenRequestHandler>(h)));
-  // The observability surface, served the paper's own way: per-op counters
-  // and latency percentiles from the 9P service, as a file you can cat.
+  // The observability surface, served the paper's own way: as files you can
+  // cat. stats keeps PR 1's 9P-only byte format; metrics is every counter and
+  // histogram in the process-wide registry; trace/tracectl expose the event
+  // ring. The new three skip the dispatch lock — the tracer and registry are
+  // internally thread-safe, so they stay readable under load (or deadlock).
   vfs.AttachHandler("/mnt/help/stats",
                     Serialized(h, std::make_shared<SnapshotHandler>(
                                       [h] { return h->ninep().metrics().Render(); })));
+  vfs.AttachHandler("/mnt/help/metrics", std::make_shared<SnapshotHandler>([] {
+                      return obs::Registry::Global().RenderText();
+                    }));
+  vfs.AttachHandler("/mnt/help/trace", std::make_shared<SnapshotHandler>([] {
+                      return obs::Tracer::Global().RenderText();
+                    }));
+  vfs.AttachHandler("/mnt/help/tracectl", std::make_shared<TraceCtlHandler>());
 }
 
 // --- Help member functions that form the file-server surface ----------------

@@ -6,6 +6,7 @@
 #include "src/cc/ctools.h"
 #include "src/core/fileserver.h"
 #include "src/fs/server.h"
+#include "src/obs/trace.h"
 #include "src/regexp/regexp.h"
 #include "src/shell/coreutils.h"
 #include "src/shell/mk.h"
@@ -25,9 +26,12 @@ Help::Help(const Options& options) {
     RegisterMk(&vfs_, &registry_);
   }
   InstallHelpFs(this);
+  // Trace events carry the logical tick of this instance's clock; the last
+  // Help constructed wins (tests build several; only one is ever "the" UI).
+  obs::Tracer::Global().BindClock(vfs_.clock());
 }
 
-Help::~Help() = default;
+Help::~Help() { obs::Tracer::Global().UnbindClock(vfs_.clock()); }
 
 // ---------------------------------------------------------------------------
 // Gesture plumbing.
@@ -165,6 +169,7 @@ void Help::ClickColumnTab(int column) {
 void Help::Type(std::string_view utf8) {
   RuneString runes = RunesFromUtf8(utf8);
   counters_.keystrokes += static_cast<int>(runes.size());
+  OBS_INSTANT("events.type", runes.size());
   Subwindow* sub = current_;
   if (sub == nullptr) {
     return;
@@ -197,16 +202,19 @@ bool Help::IsBuiltin(std::string_view word) const {
 }
 
 Status Help::ExecuteText(std::string_view text, Window* window) {
+  OBS_SPAN("help.exec");
   std::vector<std::string> words = Tokenize(text);
   if (words.empty()) {
     return Status::Ok();
   }
   const std::string& cmd = words[0];
   if (IsBuiltin(cmd)) {
+    OBS_COUNT("help.exec.builtin", 1);
     std::vector<std::string> args(words.begin() + 1, words.end());
     return ExecBuiltin(cmd, args, window);
   }
   if (HasSuffix(cmd, "!")) {
+    OBS_COUNT("help.exec.window_op", 1);
     // Window operations: no arguments, apply to the window they are
     // executed in.
     if (window == nullptr) {
@@ -229,6 +237,7 @@ Status Help::ExecuteText(std::string_view text, Window* window) {
     }
     return Status::Error(cmd + ": unknown window command");
   }
+  OBS_COUNT("help.exec.external", 1);
   return ExecExternal(text, window);
 }
 
@@ -275,6 +284,7 @@ Status Help::ExecBuiltin(const std::string& cmd, const std::vector<std::string>&
 }
 
 Status Help::ExecExternal(std::string_view text, Window* exec_win) {
+  OBS_SPAN("help.exec.external");
   // The directory context comes from the tag of the window the command was
   // executed in; commands with no leading slash resolve there first, then in
   // /bin (the shell implements that search order).
@@ -572,6 +582,7 @@ Window* Help::WindowForFile(std::string_view fullpath) {
 
 Result<Window*> Help::OpenFile(std::string_view name, std::string_view context_dir,
                                Window* near, int col_hint) {
+  OBS_SPAN("help.open");
   FileAddress fa = SplitFileAddress(name);
   if (fa.file.empty()) {
     return Status::Error("Open: empty file name");
@@ -631,6 +642,8 @@ Result<Window*> Help::OpenFile(std::string_view name, std::string_view context_d
 }
 
 void Help::SelectAddress(Window* w, std::string_view addr) {
+  OBS_SPAN("help.address");
+  OBS_COUNT("help.address.resolves", 1);
   auto sel = EvalAddress(*w->body().text, addr);
   if (!sel.ok()) {
     AppendErrors(sel.message() + "\n");
@@ -726,6 +739,7 @@ void Help::AppendErrors(std::string_view text) {
   if (text.empty()) {
     return;
   }
+  OBS_COUNT("help.errors.appends", 1);
   if (errors_ == nullptr) {
     int id = NextWindowId();
     auto tag = std::make_shared<Text>("Errors Close!");

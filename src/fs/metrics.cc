@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "src/base/strings.h"
 #include "src/fs/ninep.h"
 
 namespace help {
@@ -65,75 +66,55 @@ const char* NinepOpName(NinepOp op) {
   return "?";
 }
 
-size_t NinepMetrics::BucketOf(uint64_t latency_us) {
-  size_t b = 0;
-  while (latency_us > 0 && b < kBuckets - 1) {
-    latency_us >>= 1;
-    b++;
+NinepMetrics::NinepMetrics() {
+  // All NinepServer instances in a process share the registry entries:
+  // /mnt/help/metrics and /mnt/help/stats agree by construction, and the
+  // counters survive server teardown (they describe the process, not one
+  // server). Handles are cached once here so the hot path never takes the
+  // registry lock.
+  obs::Registry& reg = obs::Registry::Global();
+  for (size_t i = 0; i < kNinepOpCount; i++) {
+    const char* op = NinepOpName(static_cast<NinepOp>(i));
+    ops_[i].count = reg.GetCounter(StrFormat("ninep.%s.count", op));
+    ops_[i].errors = reg.GetCounter(StrFormat("ninep.%s.errors", op));
+    ops_[i].latency = reg.GetHistogram(StrFormat("ninep.%s.latency_us", op));
   }
-  return b;
+  bytes_in_ = reg.GetCounter("ninep.bytes_in");
+  bytes_out_ = reg.GetCounter("ninep.bytes_out");
+  in_flight_ = reg.GetCounter("ninep.in_flight");
+  flush_cancels_ = reg.GetCounter("ninep.flush_cancels");
 }
 
 void NinepMetrics::RecordOp(NinepOp op, uint64_t latency_us, bool error) {
   PerOp& p = ops_[Idx(op)];
-  p.count++;
+  p.count->Add();
   if (error) {
-    p.errors++;
+    p.errors->Add();
   }
-  p.latency[BucketOf(latency_us)]++;
+  p.latency->Record(latency_us);
 }
 
 uint64_t NinepMetrics::total_ops() const {
   uint64_t total = 0;
   for (const PerOp& p : ops_) {
-    total += p.count.load();
+    total += p.count->value();
   }
   return total;
 }
 
-namespace {
-
-// The p-th sample's bucket upper bound, given a bucket histogram.
-uint64_t PercentileOf(const std::array<uint64_t, NinepMetrics::kBuckets>& h, double p) {
-  uint64_t total = 0;
-  for (uint64_t c : h) {
-    total += c;
-  }
-  if (total == 0) {
-    return 0;
-  }
-  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(total));
-  if (rank >= total) {
-    rank = total - 1;
-  }
-  uint64_t seen = 0;
-  for (size_t b = 0; b < NinepMetrics::kBuckets; b++) {
-    seen += h[b];
-    if (seen > rank) {
-      return b == 0 ? 0 : (1ull << b) - 1;  // bucket upper bound in us
-    }
-  }
-  return (1ull << (NinepMetrics::kBuckets - 1)) - 1;
-}
-
-}  // namespace
-
 uint64_t NinepMetrics::LatencyPercentileUs(NinepOp op, double p) const {
-  std::array<uint64_t, kBuckets> h{};
-  for (size_t b = 0; b < kBuckets; b++) {
-    h[b] = ops_[Idx(op)].latency[b].load();
-  }
-  return PercentileOf(h, p);
+  return ops_[Idx(op)].latency->Percentile(p);
 }
 
 uint64_t NinepMetrics::OverallPercentileUs(double p) const {
   std::array<uint64_t, kBuckets> h{};
   for (const PerOp& per : ops_) {
+    std::array<uint64_t, kBuckets> s = per.latency->Snapshot();
     for (size_t b = 0; b < kBuckets; b++) {
-      h[b] += per.latency[b].load();
+      h[b] += s[b];
     }
   }
-  return PercentileOf(h, p);
+  return obs::Histogram::PercentileOf(h, p);
 }
 
 std::string NinepMetrics::Render() const {
@@ -164,15 +145,13 @@ std::string NinepMetrics::Render() const {
 
 void NinepMetrics::Reset() {
   for (PerOp& p : ops_) {
-    p.count = 0;
-    p.errors = 0;
-    for (auto& b : p.latency) {
-      b = 0;
-    }
+    p.count->Store(0);
+    p.errors->Store(0);
+    p.latency->Reset();
   }
-  bytes_in_ = 0;
-  bytes_out_ = 0;
-  flush_cancels_ = 0;
+  bytes_in_->Store(0);
+  bytes_out_->Store(0);
+  flush_cancels_->Store(0);
   // in_flight_ is a live gauge; leave it alone.
 }
 

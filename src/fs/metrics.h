@@ -1,15 +1,18 @@
 // Observability for the 9P service: per-op counters, error counts, byte
-// totals, an in-flight gauge, and log2-bucketed latency histograms. All
-// counters are atomics so worker threads record without taking the dispatch
-// lock; Render() produces the text served by the paper's own mechanism —
-// the synthetic /mnt/help/stats file, readable with cat.
+// totals, an in-flight gauge, and log2-bucketed latency histograms. Since
+// PR 3 this is a *view* over the process-wide obs::Registry (src/obs/trace.h)
+// — the values live in named registry entries ("ninep.walk.count",
+// "ninep.walk.latency_us", "ninep.bytes_in", ...) so /mnt/help/metrics sees
+// the same numbers — but the public API and the byte format Render() produces
+// for /mnt/help/stats are unchanged from PR 1.
 #ifndef SRC_FS_METRICS_H_
 #define SRC_FS_METRICS_H_
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
+
+#include "src/obs/trace.h"
 
 namespace help {
 
@@ -40,21 +43,23 @@ class NinepMetrics {
  public:
   // Latency buckets: bucket i holds samples with floor(log2(us)) == i-1,
   // bucket 0 holds sub-microsecond samples. 2^31 us ≈ 36 min caps the top.
-  static constexpr size_t kBuckets = 32;
+  static constexpr size_t kBuckets = obs::Histogram::kBuckets;
+
+  NinepMetrics();
 
   void RecordOp(NinepOp op, uint64_t latency_us, bool error);
-  void AddBytesIn(uint64_t n) { bytes_in_ += n; }
-  void AddBytesOut(uint64_t n) { bytes_out_ += n; }
-  void BeginRequest() { in_flight_++; }
-  void EndRequest() { in_flight_--; }
-  void RecordFlushCancel() { flush_cancels_++; }
+  void AddBytesIn(uint64_t n) { bytes_in_->Add(n); }
+  void AddBytesOut(uint64_t n) { bytes_out_->Add(n); }
+  void BeginRequest() { in_flight_->Add(); }
+  void EndRequest() { in_flight_->Sub(); }
+  void RecordFlushCancel() { flush_cancels_->Add(); }
 
-  uint64_t count(NinepOp op) const { return ops_[Idx(op)].count.load(); }
-  uint64_t errors(NinepOp op) const { return ops_[Idx(op)].errors.load(); }
-  uint64_t bytes_in() const { return bytes_in_.load(); }
-  uint64_t bytes_out() const { return bytes_out_.load(); }
-  uint64_t in_flight() const { return in_flight_.load(); }
-  uint64_t flush_cancels() const { return flush_cancels_.load(); }
+  uint64_t count(NinepOp op) const { return ops_[Idx(op)].count->value(); }
+  uint64_t errors(NinepOp op) const { return ops_[Idx(op)].errors->value(); }
+  uint64_t bytes_in() const { return bytes_in_->value(); }
+  uint64_t bytes_out() const { return bytes_out_->value(); }
+  uint64_t in_flight() const { return in_flight_->value(); }
+  uint64_t flush_cancels() const { return flush_cancels_->value(); }
   uint64_t total_ops() const;
 
   // Approximate percentile (0 < p <= 100) of one op's latency, in
@@ -65,26 +70,25 @@ class NinepMetrics {
   uint64_t OverallPercentileUs(double p) const;
 
   // The /mnt/help/stats payload: one "op count errs p50us p99us" line per
-  // op that has traffic, then the scalar totals.
+  // op that has traffic, then the scalar totals. Byte-compatible with PR 1.
   std::string Render() const;
 
   void Reset();
 
  private:
   struct PerOp {
-    std::atomic<uint64_t> count{0};
-    std::atomic<uint64_t> errors{0};
-    std::array<std::atomic<uint64_t>, kBuckets> latency{};
+    obs::Counter* count = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Histogram* latency = nullptr;
   };
 
   static size_t Idx(NinepOp op) { return static_cast<size_t>(op); }
-  static size_t BucketOf(uint64_t latency_us);
 
   std::array<PerOp, kNinepOpCount> ops_{};
-  std::atomic<uint64_t> bytes_in_{0};
-  std::atomic<uint64_t> bytes_out_{0};
-  std::atomic<uint64_t> in_flight_{0};
-  std::atomic<uint64_t> flush_cancels_{0};
+  obs::Counter* bytes_in_;
+  obs::Counter* bytes_out_;
+  obs::Counter* in_flight_;
+  obs::Counter* flush_cancels_;
 };
 
 }  // namespace help

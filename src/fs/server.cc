@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "src/obs/trace.h"
+
 namespace help {
 
 NinepServer::NinepServer(Vfs* vfs) : vfs_(vfs) {}
@@ -100,8 +102,10 @@ Fcall NinepServer::Process(SessionId id, const Fcall& t) {
     }
     if (flushed) {
       metrics_.RecordFlushCancel();
+      OBS_INSTANT("ninep.flush_cancel", t.tag);
       r = ErrorFcall(t.tag, "interrupted");
     } else {
+      OBS_SPAN("ninep.dispatch");
       r = s->Dispatch(t);
     }
   }
@@ -145,7 +149,10 @@ std::string NinepServer::HandleBytes(SessionId id, std::string_view packet) {
   auto start = std::chrono::steady_clock::now();
   Fcall r;
   NinepOp op = NinepOp::kBad;
-  auto t = DecodeFcall(packet);
+  auto t = [&] {
+    OBS_SPAN("ninep.decode");
+    return DecodeFcall(packet);
+  }();
   if (!t.ok()) {
     r = ErrorFcall(kNoTag, t.message());
   } else {
@@ -157,7 +164,10 @@ std::string NinepServer::HandleBytes(SessionId id, std::string_view packet) {
                 .count();
   metrics_.RecordOp(op, static_cast<uint64_t>(us), r.type == MsgType::kRerror);
   metrics_.EndRequest();
-  std::string out = EncodeFcall(r);
+  std::string out = [&] {
+    OBS_SPAN("ninep.encode");
+    return EncodeFcall(r);
+  }();
   metrics_.AddBytesOut(out.size());
   return out;
 }

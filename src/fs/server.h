@@ -14,7 +14,9 @@
 // Tflush and duplicate-tag rejection happen before the lock, against the
 // session's in-flight tag table, so a client can cancel a queued request even
 // while another request holds the dispatch lock. Per-op counters and latency
-// histograms are recorded into a NinepMetrics, which /mnt/help/stats serves.
+// histograms are recorded into a NinepMetrics — since PR 3 a view over the
+// process-wide obs::Registry — which /mnt/help/stats serves; decode, dispatch
+// and encode are also traced as obs spans visible in /mnt/help/trace.
 #ifndef SRC_FS_SERVER_H_
 #define SRC_FS_SERVER_H_
 

@@ -1,6 +1,7 @@
 #include "src/proc/proc.h"
 
 #include "src/base/strings.h"
+#include "src/obs/trace.h"
 
 namespace help {
 
@@ -33,6 +34,8 @@ std::string FormatValues(const std::vector<NamedValue>& vals) {
 }  // namespace
 
 void ProcTable::Add(ProcImage image, Vfs* vfs) {
+  OBS_SPAN("proc.add");
+  OBS_COUNT("proc.images", 1);
   int pid = image.pid;
   if (vfs != nullptr) {
     std::string dir = StrFormat("/proc/%d", pid);

@@ -1,5 +1,7 @@
 #include "src/text/lineindex.h"
 
+#include "src/obs/trace.h"
+
 #include <algorithm>
 #include <bit>
 
@@ -18,6 +20,7 @@ LineIndex::Counts LineIndex::CountsOf(RuneStringView s) {
 }
 
 void LineIndex::Reset(const GapBuffer& buf) {
+  OBS_COUNT("text.lineindex.resets", 1);
   chunks_.clear();
   size_t n = buf.size();
   for (size_t start = 0; start < n; start += kTargetChunkRunes) {
@@ -37,6 +40,10 @@ void LineIndex::Reset(const GapBuffer& buf) {
 }
 
 void LineIndex::RebuildFenwick() {
+  // Structural events are rare (amortized over kTargetChunkRunes edits), so
+  // an always-on counter is affordable and /mnt/help/metrics can report how
+  // often the index reshapes under load.
+  OBS_COUNT("text.lineindex.rebuilds", 1);
   size_t m = chunks_.size();
   fen_.assign(m + 1, Counts{});
   total_ = Counts{};
@@ -102,6 +109,7 @@ size_t LineIndex::DescendBytes(uint64_t target, Counts* before) const {
 }
 
 void LineIndex::SplitChunk(const GapBuffer& buf, size_t i, size_t start) {
+  OBS_COUNT("text.lineindex.splits", 1);
   size_t n = static_cast<size_t>(chunks_[i].runes);
   size_t pieces = (n + kTargetChunkRunes - 1) / kTargetChunkRunes;
   std::vector<Counts> out;

@@ -2,14 +2,21 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.h"
+
 namespace help {
 
+// Every edit funnels through DoInsert/DoDelete, the editor's hottest path:
+// instrumentation here is capture-gated instants only (a relaxed load and a
+// branch when tracing is off), never unconditional counters.
 void Text::DoInsert(size_t pos, RuneStringView s) {
+  OBS_INSTANT("text.insert", s.size());
   buf_.Insert(pos, s);
   lines_.OnInsert(buf_, pos, s);
 }
 
 RuneString Text::DoDelete(size_t pos, size_t n) {
+  OBS_INSTANT("text.delete", n);
   RuneString removed = buf_.Delete(pos, n);
   lines_.OnDelete(pos, removed);
   return removed;
@@ -62,6 +69,7 @@ void Text::DeleteNoUndo(size_t pos, size_t n) {
 }
 
 void Text::SetAll(std::string_view utf8) {
+  OBS_SPAN("text.setall");
   buf_.Delete(0, size());
   buf_.Insert(0, RunesFromUtf8(utf8));
   lines_.Reset(buf_);  // wholesale replacement: rebuild instead of two diffs

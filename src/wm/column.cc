@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "src/obs/trace.h"
 #include "src/wm/wm.h"
 
 namespace help {
@@ -40,6 +41,9 @@ void Column::SortByDesiredY() {
 }
 
 void Column::Place(Window* w) {
+  // Which of the paper's three placement rules fires is itself an
+  // experimental result — counted so /mnt/help/metrics reports the mix.
+  OBS_SPAN("wm.place");
   Rect content = ContentRect();
   if (!Contains(w)) {
     wins_.push_back(w);
@@ -47,6 +51,7 @@ void Column::Place(Window* w) {
   // Rule 1: immediately below the lowest visible text already in the column.
   int y0 = LowestVisibleText();
   if (content.y1 - y0 >= kMinUseful) {
+    OBS_COUNT("wm.place.below_text", 1);
     // Truncate any window whose rect extends below the text it shows — the
     // new window takes over that blank space.
     for (Window* v : wins_) {
@@ -61,6 +66,7 @@ void Column::Place(Window* w) {
   // Rule 2: cover the bottom half of the lowest window.
   Window* lowest = LowestVisibleWindow();
   if (lowest != nullptr && lowest != w && lowest->rect().height() / 2 >= kMinUseful) {
+    OBS_COUNT("wm.place.split_lowest", 1);
     int mid = lowest->rect().y0 + lowest->rect().height() / 2;
     lowest->SetRect({content.x0, lowest->rect().y0, content.x1, mid});
     w->SetRect({content.x0, mid, content.x1, content.y1});
@@ -68,6 +74,7 @@ void Column::Place(Window* w) {
     return;
   }
   // Rule 3: the bottom 25% of the column, hiding what it covers entirely.
+  OBS_COUNT("wm.place.bottom", 1);
   int h = std::max(kMinUseful, content.height() / 4);
   y0 = std::max(content.y0, content.y1 - h);
   for (Window* v : wins_) {

@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "src/obs/trace.h"
 #include "src/wm/wm.h"
 
 namespace help {
@@ -43,6 +44,7 @@ void Page::LayoutColumns() {
 
 Window* Page::Create(int id, std::shared_ptr<Text> tag, std::shared_ptr<Text> body,
                      int col_index, const Window* near) {
+  OBS_COUNT("wm.windows_created", 1);
   auto w = std::make_unique<Window>(id, std::move(tag), std::move(body));
   Window* raw = w.get();
   windows_.push_back(std::move(w));

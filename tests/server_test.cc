@@ -226,6 +226,9 @@ struct GateRig {
 // flushed request is answered "interrupted" instead of running.
 TEST(NinepServerConcurrent, FlushCancelsQueuedRequest) {
   GateRig rig;
+  // The metrics registry is process-global now, so the counter may carry
+  // traffic from earlier tests: assert the delta, not the absolute value.
+  uint64_t cancels_before = rig.srv.metrics().flush_cancels();
   // Thread A enters the gate read and parks inside dispatch.
   std::thread blocker([&] {
     Fcall r = rig.Send(TreadOf(rig.gate_fid, 50));
@@ -253,11 +256,11 @@ TEST(NinepServerConcurrent, FlushCancelsQueuedRequest) {
   queued.join();
   EXPECT_EQ(queued_reply.type, MsgType::kRerror);
   EXPECT_EQ(queued_reply.ename, "interrupted");
-  EXPECT_EQ(rig.srv.metrics().flush_cancels(), 1u);
+  EXPECT_EQ(rig.srv.metrics().flush_cancels(), cancels_before + 1);
   // Flushing a tag that is no longer in flight is a clean no-op.
   flush.tag = 62;
   EXPECT_EQ(rig.Send(flush).type, MsgType::kRflush);
-  EXPECT_EQ(rig.srv.metrics().flush_cancels(), 1u);
+  EXPECT_EQ(rig.srv.metrics().flush_cancels(), cancels_before + 1);
 }
 
 // The protocol forbids two in-flight requests with the same tag on one
@@ -349,6 +352,87 @@ TEST(NinepServerConcurrent, RequestsAfterCloseSessionFailCleanly) {
   ASSERT_FALSE(r.ok());
   EXPECT_NE(r.message().find("unknown session"), std::string::npos);
   EXPECT_EQ(srv.session_count(), 0u);
+}
+
+// --- The observability files over the 9P wire --------------------------------
+
+// /mnt/help/tracectl controls capture, /mnt/help/trace serves the event ring,
+// /mnt/help/metrics serves the whole registry — all over the same protocol
+// the windows use, so a shell script can profile the server that serves it.
+TEST(Observability, TraceAndMetricsReadableOverTheWire) {
+  Help h;
+  NinepServer& srv = h.ninep();
+  NinepServer::SessionId sid = srv.OpenSession();
+  NinepClient client(srv.TransportFor(sid));
+  ASSERT_TRUE(client.Connect("obs").ok());
+
+  ASSERT_TRUE(client.WriteFile("/mnt/help/tracectl", "clear\non\n").ok());
+  // Traffic to trace: window creation, a ctl write, an index read.
+  auto ctl = client.ReadFile("/mnt/help/new/ctl");
+  ASSERT_TRUE(ctl.ok());
+  std::string base = "/mnt/help/" + std::string(TrimSpace(ctl.value()));
+  ASSERT_TRUE(client.WriteFile(base + "/ctl", "tag traced").ok());
+  ASSERT_TRUE(client.ReadFile("/mnt/help/index").ok());
+  ASSERT_TRUE(client.WriteFile("/mnt/help/tracectl", "off").ok());
+
+  // The trace: one event per line, "seq ns tick tid kind name arg", ordered
+  // by the leading sequence number (strictly increasing).
+  auto trace = client.ReadFile("/mnt/help/trace");
+  ASSERT_TRUE(trace.ok());
+  EXPECT_NE(trace.value().find("ninep.dispatch"), std::string::npos) << trace.value();
+  long long prev = -1;
+  int lines = 0;
+  for (const std::string& line : Split(trace.value(), '\n')) {
+    if (TrimSpace(line).empty()) {
+      continue;
+    }
+    long long seq = std::stoll(line.substr(0, line.find(' ')));
+    EXPECT_GT(seq, prev) << trace.value();
+    prev = seq;
+    lines++;
+  }
+  EXPECT_GT(lines, 0);
+
+  // The registry: 9P op counters and the trace's own bookkeeping, as text.
+  auto metrics = client.ReadFile("/mnt/help/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics.value().find("ninep.read.count "), std::string::npos);
+  EXPECT_NE(metrics.value().find("ninep.walk.count "), std::string::npos);
+  EXPECT_NE(metrics.value().find("trace.events "), std::string::npos);
+  EXPECT_NE(metrics.value().find("ninep.dispatch.ns "), std::string::npos);
+
+  // tracectl reads: status by default, Chrome trace-event JSON after `json`.
+  auto status = client.ReadFile("/mnt/help/tracectl");
+  ASSERT_TRUE(status.ok());
+  EXPECT_NE(status.value().find("tracing off"), std::string::npos);
+  ASSERT_TRUE(client.WriteFile("/mnt/help/tracectl", "json").ok());
+  auto json = client.ReadFile("/mnt/help/tracectl");
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json.value().rfind("{\"displayTimeUnit\"", 0), 0u) << json.value();
+  EXPECT_NE(json.value().find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.value().find("\"ph\":\"B\""), std::string::npos);
+  ASSERT_TRUE(client.WriteFile("/mnt/help/tracectl", "text").ok());
+
+  // Unknown commands are rejected with a clean 9P error.
+  EXPECT_FALSE(client.WriteFile("/mnt/help/tracectl", "bogus").ok());
+  srv.CloseSession(sid);
+}
+
+// /mnt/help/stats (PR 1's format) must render byte-identically from the
+// registry-backed metrics: same header, same per-op lines, same totals.
+TEST(Observability, StatsStillServedOverTheWire) {
+  Help h;
+  NinepServer& srv = h.ninep();
+  NinepServer::SessionId sid = srv.OpenSession();
+  NinepClient client(srv.TransportFor(sid));
+  ASSERT_TRUE(client.Connect("stats").ok());
+  ASSERT_TRUE(client.ReadFile("/mnt/help/index").ok());
+  auto stats = client.ReadFile("/mnt/help/stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().rfind("op count errs p50us p99us\n", 0), 0u) << stats.value();
+  EXPECT_NE(stats.value().find("\nbytes_in "), std::string::npos);
+  EXPECT_NE(stats.value().find("\nflush_cancels "), std::string::npos);
+  srv.CloseSession(sid);
 }
 
 }  // namespace
