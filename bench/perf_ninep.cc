@@ -4,11 +4,20 @@
 // Reports ops/sec and p50/p99 latency straight from the server's own
 // metrics layer (the same numbers /mnt/help/stats serves).
 //
-//   usage: perf_ninep [threads] [ops-per-thread]
+//   usage: perf_ninep [threads] [ops-per-thread] [flags]
+//
+//   --read-heavy   90% body reads / 10% bodyapp appends over pre-opened fids
+//                  (the PR 4 shared-read scaling workload) instead of the
+//                  default mixed walk/open/read/write workload
+//   --serialized   force every dispatch through the exclusive lock (the
+//                  PR 1 serialized baseline, for A/B comparison)
+//   --sweep        run thread counts 1,2,4,8 instead of one run
+//   --json         emit one JSON object as the last line of stdout
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,7 +34,19 @@ struct Totals {
   std::atomic<uint64_t> failures{0};
 };
 
-void ClientLoop(Help* h, int id, int ops, Totals* totals) {
+// Deterministic per-thread offsets: the benches must not depend on rand().
+struct Lcg {
+  uint32_t state;
+  explicit Lcg(uint32_t seed) : state(seed * 2654435761u + 1) {}
+  uint32_t Next() {
+    state = state * 1664525 + 1013904223;
+    return state >> 8;
+  }
+};
+
+// The PR 1 mixed workload: index read / bodyapp append / body read /
+// walk-open-read-clunk, one window per client.
+void MixedLoop(Help* h, int id, int ops, Totals* totals) {
   NinepServer& srv = h->ninep();
   NinepServer::SessionId sid = srv.OpenSession();
   NinepClient client(srv.TransportFor(sid));
@@ -33,8 +54,6 @@ void ClientLoop(Help* h, int id, int ops, Totals* totals) {
     totals->failures++;
     return;
   }
-  // One window per client, built over the wire; then a steady mix of
-  // walks, opens, reads, and writes against it and the shared index.
   auto ctl = client.ReadFile("/mnt/help/new/ctl");
   if (!ctl.ok()) {
     totals->failures++;
@@ -72,56 +91,211 @@ void ClientLoop(Help* h, int id, int ops, Totals* totals) {
   srv.CloseSession(sid);
 }
 
-int Main(int argc, char** argv) {
-  int threads = argc > 1 ? std::atoi(argv[1]) : 8;
-  int ops = argc > 2 ? std::atoi(argv[2]) : 2000;
-  if (threads < 1 || ops < 1) {
-    std::fprintf(stderr, "usage: perf_ninep [threads] [ops-per-thread]\n");
-    return 2;
+// The PR 4 read-scaling workload: every client keeps a read-only body fid and
+// a write-only bodyapp fid open, seeds the body, then issues 90% single-Tread
+// range reads at pseudo-random offsets and 10% single-Twrite appends. This is
+// the shape the paper's interface produces — browsers and scripts polling
+// window bodies — boiled down to raw dispatches.
+void ReadHeavyLoop(Help* h, int id, int ops, Totals* totals) {
+  NinepServer& srv = h->ninep();
+  NinepServer::SessionId sid = srv.OpenSession();
+  NinepClient client(srv.TransportFor(sid));
+  if (!client.Connect(StrFormat("bench%d", id)).ok()) {
+    totals->failures++;
+    return;
   }
+  auto ctl = client.ReadFile("/mnt/help/new/ctl");
+  if (!ctl.ok()) {
+    totals->failures++;
+    return;
+  }
+  std::string base = "/mnt/help/" + std::string(TrimSpace(ctl.value()));
+  // Seed ~32KB of body so range reads have something to return.
+  std::string seed;
+  for (int i = 0; i < 640; i++) {
+    seed += "a line of body text about like this one here, window body\n";
+  }
+  if (!client.WriteFile(base + "/bodyapp", seed).ok()) {
+    totals->failures++;
+    return;
+  }
+  auto body = client.WalkFid(base + "/body");
+  auto app = client.WalkFid(base + "/bodyapp");
+  if (!body.ok() || !app.ok() || !client.OpenFid(body.value(), kOread).ok() ||
+      !client.OpenFid(app.value(), kOwrite).ok()) {
+    totals->failures++;
+    return;
+  }
+  Lcg rng(static_cast<uint32_t>(id) + 7);
+  uint64_t done = 0;
+  for (int i = 0; i < ops; i++) {
+    bool ok;
+    if (i % 10 == 9) {
+      ok = client.WriteFid(app.value(), 0, "appended line\n").ok();
+    } else {
+      ok = client.ReadFid(body.value(), rng.Next() % seed.size(), 512).ok();
+    }
+    if (ok) {
+      done++;
+    } else {
+      totals->failures++;
+    }
+  }
+  client.Clunk(body.value());
+  client.Clunk(app.value());
+  totals->ops += done;
+  srv.CloseSession(sid);
+}
 
+struct RunResult {
+  int threads = 0;
+  uint64_t client_ops = 0;
+  uint64_t failures = 0;
+  uint64_t msgs = 0;
+  double secs = 0;
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+  uint64_t shared_reads = 0;
+  uint64_t read_retries = 0;
+  double ops_per_sec() const { return static_cast<double>(client_ops) / secs; }
+  double msgs_per_sec() const { return static_cast<double>(msgs) / secs; }
+};
+
+RunResult RunOnce(int threads, int ops, bool read_heavy, bool serialized) {
   Help::Options opt;
   opt.install_userland = false;  // just the file service, no coreutils needed
   Help h(opt);
+  h.ninep().set_force_exclusive(serialized);
+  h.ninep().metrics().Reset();  // registry entries are process-global
   Totals totals;
 
   auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(threads));
   for (int t = 0; t < threads; t++) {
-    workers.emplace_back(ClientLoop, &h, t, ops, &totals);
+    workers.emplace_back(read_heavy ? ReadHeavyLoop : MixedLoop, &h, t, ops,
+                         &totals);
   }
   for (std::thread& w : workers) {
     w.join();
   }
-  double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-                    .count();
 
   const NinepMetrics& m = h.ninep().metrics();
-  uint64_t rpcs = m.total_ops();
-  std::printf("clients            %d\n", threads);
+  RunResult r;
+  r.threads = threads;
+  r.secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+               .count();
+  r.client_ops = totals.ops.load();
+  r.failures = totals.failures.load();
+  r.msgs = m.total_ops();
+  r.p50_us = m.OverallPercentileUs(50);
+  r.p99_us = m.OverallPercentileUs(99);
+  r.shared_reads = m.shared_reads();
+  r.read_retries = m.read_retries();
+  return r;
+}
+
+void PrintHuman(const RunResult& r, const char* workload, bool serialized) {
+  std::printf("clients            %d  (%s%s)\n", r.threads, workload,
+              serialized ? ", serialized baseline" : "");
   std::printf("client ops         %llu (%llu failed)\n",
-              static_cast<unsigned long long>(totals.ops.load()),
-              static_cast<unsigned long long>(totals.failures.load()));
-  std::printf("9P messages        %llu\n", static_cast<unsigned long long>(rpcs));
-  std::printf("elapsed            %.3f s\n", secs);
+              static_cast<unsigned long long>(r.client_ops),
+              static_cast<unsigned long long>(r.failures));
+  std::printf("9P messages        %llu\n", static_cast<unsigned long long>(r.msgs));
+  std::printf("elapsed            %.3f s\n", r.secs);
   std::printf("throughput         %.0f client-ops/s, %.0f msgs/s\n",
-              static_cast<double>(totals.ops.load()) / secs,
-              static_cast<double>(rpcs) / secs);
+              r.ops_per_sec(), r.msgs_per_sec());
   std::printf("latency p50/p99    %llu us / %llu us (all ops)\n",
-              static_cast<unsigned long long>(m.OverallPercentileUs(50)),
-              static_cast<unsigned long long>(m.OverallPercentileUs(99)));
-  for (NinepOp op : {NinepOp::kWalk, NinepOp::kOpen, NinepOp::kRead, NinepOp::kWrite,
-                     NinepOp::kClunk}) {
-    std::printf("  %-7s %10llu ops   p50 %llu us   p99 %llu us\n", NinepOpName(op),
-                static_cast<unsigned long long>(m.count(op)),
-                static_cast<unsigned long long>(m.LatencyPercentileUs(op, 50)),
-                static_cast<unsigned long long>(m.LatencyPercentileUs(op, 99)));
+              static_cast<unsigned long long>(r.p50_us),
+              static_cast<unsigned long long>(r.p99_us));
+  std::printf("shared reads       %llu (%llu retried exclusively)\n",
+              static_cast<unsigned long long>(r.shared_reads),
+              static_cast<unsigned long long>(r.read_retries));
+}
+
+std::string JsonOf(const RunResult& r) {
+  return StrFormat(
+      "{\"threads\":%d,\"client_ops\":%llu,\"failures\":%llu,\"msgs\":%llu,"
+      "\"elapsed_s\":%.3f,\"ops_per_sec\":%.1f,\"msgs_per_sec\":%.1f,"
+      "\"p50_us\":%llu,\"p99_us\":%llu,\"shared_reads\":%llu,"
+      "\"read_retries\":%llu}",
+      r.threads, static_cast<unsigned long long>(r.client_ops),
+      static_cast<unsigned long long>(r.failures),
+      static_cast<unsigned long long>(r.msgs), r.secs, r.ops_per_sec(),
+      r.msgs_per_sec(), static_cast<unsigned long long>(r.p50_us),
+      static_cast<unsigned long long>(r.p99_us),
+      static_cast<unsigned long long>(r.shared_reads),
+      static_cast<unsigned long long>(r.read_retries));
+}
+
+int Main(int argc, char** argv) {
+  int threads = 8;
+  int ops = 2000;
+  bool read_heavy = false;
+  bool serialized = false;
+  bool json = false;
+  bool sweep = false;
+  int positional = 0;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--read-heavy") == 0) {
+      read_heavy = true;
+    } else if (std::strcmp(argv[i], "--serialized") == 0) {
+      serialized = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--sweep") == 0) {
+      sweep = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: perf_ninep [threads] [ops-per-thread] "
+                   "[--read-heavy] [--serialized] [--sweep] [--json]\n");
+      return 2;
+    } else if (positional == 0) {
+      threads = std::atoi(argv[i]);
+      positional++;
+    } else {
+      ops = std::atoi(argv[i]);
+      positional++;
+    }
   }
-  std::printf("bytes in/out       %llu / %llu\n",
-              static_cast<unsigned long long>(m.bytes_in()),
-              static_cast<unsigned long long>(m.bytes_out()));
-  return totals.failures.load() == 0 ? 0 : 1;
+  if (threads < 1 || ops < 1) {
+    std::fprintf(stderr, "perf_ninep: threads and ops must be >= 1\n");
+    return 2;
+  }
+
+  const char* workload = read_heavy ? "read-heavy" : "mixed";
+  uint64_t failures = 0;
+  std::vector<RunResult> results;
+  std::vector<int> counts = sweep ? std::vector<int>{1, 2, 4, 8}
+                                  : std::vector<int>{threads};
+  for (int n : counts) {
+    RunResult r = RunOnce(n, ops, read_heavy, serialized);
+    failures += r.failures;
+    if (!json) {
+      PrintHuman(r, workload, serialized);
+      if (sweep) {
+        std::printf("\n");
+      }
+    }
+    results.push_back(r);
+  }
+
+  if (json) {
+    // One JSON object, the last line of stdout (the machine-readable
+    // contract for the BENCH_* trajectory files and the CI artifact).
+    std::string runs;
+    for (const RunResult& r : results) {
+      if (!runs.empty()) {
+        runs += ",";
+      }
+      runs += JsonOf(r);
+    }
+    std::printf(
+        "{\"bench\":\"perf_ninep\",\"workload\":\"%s\",\"serialized\":%s,"
+        "\"ops_per_thread\":%d,\"runs\":[%s]}\n",
+        workload, serialized ? "true" : "false", ops, runs.c_str());
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace

@@ -1,9 +1,17 @@
 // P-1: text-substrate performance — gap buffer edits, line bookkeeping, undo,
 // and the 1M-line before/after comparison for the incremental line index.
+//
+// Passing --json (before any --benchmark_* flags are parsed out) appends one
+// JSON object as the last line of stdout — the machine-readable contract the
+// BENCH_* trajectory files and the CI bench-smoke artifact consume.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "src/base/strings.h"
 #include "src/text/address.h"
 #include "src/text/gapbuffer.h"
 #include "src/text/text.h"
@@ -235,7 +243,70 @@ void BM_TextExpandFilename(benchmark::State& state) {
 }
 BENCHMARK(BM_TextExpandFilename);
 
+// Console output as usual, plus a collected (name, per-iteration time,
+// items/sec) record per run for the trailing JSON line.
+class JsonLineReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;
+    double real_time;  // adjusted per-iteration, in the run's time unit
+    double items_per_second;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      Entry e;
+      e.name = run.benchmark_name();
+      e.real_time = run.GetAdjustedRealTime();
+      auto it = run.counters.find("items_per_second");
+      e.items_per_second = it != run.counters.end() ? it->second.value : 0.0;
+      entries_.push_back(std::move(e));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
 }  // namespace
 }  // namespace help
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool json = false;
+  // Strip --json before google-benchmark sees (and rejects) it.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; i++) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  help::JsonLineReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (json) {
+    std::string runs;
+    for (const auto& e : reporter.entries()) {
+      if (!runs.empty()) {
+        runs += ",";
+      }
+      runs += help::StrFormat(
+          "{\"name\":\"%s\",\"real_time\":%.1f,\"items_per_second\":%.1f}",
+          e.name.c_str(), e.real_time, e.items_per_second);
+    }
+    std::printf("{\"bench\":\"perf_text\",\"runs\":[%s]}\n", runs.c_str());
+  }
+  benchmark::Shutdown();
+  return 0;
+}

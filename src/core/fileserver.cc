@@ -15,10 +15,12 @@ namespace {
 // Every /mnt/help handler is wrapped in this decorator: each operation runs
 // under the Help instance's 9P dispatch lock, so handlers keep their
 // single-threaded invariants no matter which thread calls — a 9P worker
-// (which already holds the lock; it is recursive) or the UI/shell thread
-// touching the same files directly through the Vfs. In particular, index and
-// new/ctl snapshot their contents at Open time *under this lock*, so a
-// listing never tears against concurrent window creation.
+// (which already holds the lock in shared or exclusive mode; re-entry is a
+// detected no-op that inherits the outer mode) or the UI/shell thread
+// touching the same files directly through the Vfs, which acquires it
+// exclusively here. In particular, index and new/ctl snapshot their contents
+// at Open time *under this lock*, so a listing never tears against
+// concurrent window creation.
 class SerializedHandler : public FileHandler {
  public:
   SerializedHandler(Help* h, std::shared_ptr<FileHandler> inner)
@@ -43,6 +45,11 @@ class SerializedHandler : public FileHandler {
   uint64_t Length(const Node& n) const override {
     auto lock = h_->ninep().LockDispatch();
     return inner_->Length(n);
+  }
+  // The dispatch classification asks the outermost handler, so the wrapper
+  // must answer for what it wraps.
+  bool OpenNeedsExclusive() const override {
+    return inner_->OpenNeedsExclusive();
   }
 
  private:
@@ -88,6 +95,9 @@ class NewCtlHandler : public FileHandler {
     f.state = StrFormat("%d\n", w->id());
     return Status::Ok();
   }
+  // Open creates a window even when the mode is read-only, so a Topen of
+  // new/ctl must never run under the shared dispatch lock.
+  bool OpenNeedsExclusive() const override { return true; }
   Result<std::string> Read(OpenFile& f, uint64_t offset, uint32_t count) override {
     if (offset >= f.state.size()) {
       return std::string();
@@ -144,6 +154,50 @@ class SnarfHandler : public FileHandler {
   Help* h_;
 };
 
+// Seqlock-validated Text read for the 9P shared-read path. Under the
+// reader–writer discipline no writer can hold the dispatch lock while a
+// shared reader does, so the first attempt virtually always validates; the
+// sequence check is defense in depth against lock-discipline violations
+// (e.g. a thread mutating a Text without LockDispatch). On persistent
+// mismatch the kSharedReadRaced sentinel tells the server to re-run the
+// request under the exclusive lock — it never reaches a client.
+Result<std::string> SeqValidatedSubstr(Help* h, const Text& t, uint64_t offset,
+                                       uint32_t count) {
+  if (!h->ninep().SharedDispatchOnThisThread()) {
+    return t.Utf8Substr(offset, count);  // fully serialized: plain read
+  }
+  for (int attempt = 0; attempt < 3; attempt++) {
+    uint64_t seq = t.edit_seq();
+    if ((seq & 1) != 0) {
+      continue;  // an edit is mid-flight; re-snapshot
+    }
+    std::string data = t.Utf8Substr(offset, count);
+    if (t.edit_seq() == seq) {
+      return data;
+    }
+  }
+  return Status::Error(std::string(kSharedReadRaced));
+}
+
+// Same validation for the O(1) stat length. Length has no error channel, so
+// after bounded retries the last read wins — stat is advisory anyway.
+uint64_t SeqValidatedBytes(Help* h, const Text& t) {
+  if (!h->ninep().SharedDispatchOnThisThread()) {
+    return t.Utf8Bytes();
+  }
+  for (int attempt = 0; attempt < 3; attempt++) {
+    uint64_t seq = t.edit_seq();
+    if ((seq & 1) != 0) {
+      continue;
+    }
+    uint64_t n = t.Utf8Bytes();
+    if (t.edit_seq() == seq) {
+      return n;
+    }
+  }
+  return t.Utf8Bytes();
+}
+
 // Handlers for one window's files. They hold the window id, not the pointer,
 // and look it up per operation so a closed window yields a clean error.
 class WindowFileHandler : public FileHandler {
@@ -177,9 +231,9 @@ class WindowFileHandler : public FileHandler {
       case Kind::kTag:
         // Indexed range read: a client paging through a big body costs
         // O(log n + count) per read, not a full UTF-8 encode per packet.
-        return w->tag().text->Utf8Substr(offset, count);
+        return SeqValidatedSubstr(h_, *w->tag().text, offset, count);
       case Kind::kBody:
-        return w->body().text->Utf8Substr(offset, count);
+        return SeqValidatedSubstr(h_, *w->body().text, offset, count);
       case Kind::kBodyApp:
         return std::string();  // write-only
       case Kind::kCtl: {
@@ -226,9 +280,10 @@ class WindowFileHandler : public FileHandler {
     }
     switch (kind_) {
       case Kind::kTag:
-        return w->tag().text->Utf8Bytes();  // O(1): stat never encodes the body
+        // O(1): stat never encodes the body.
+        return SeqValidatedBytes(h_, *w->tag().text);
       case Kind::kBody:
-        return w->body().text->Utf8Bytes();
+        return SeqValidatedBytes(h_, *w->body().text);
       default:
         return 0;
     }

@@ -83,6 +83,9 @@ NinepMetrics::NinepMetrics() {
   bytes_out_ = reg.GetCounter("ninep.bytes_out");
   in_flight_ = reg.GetCounter("ninep.in_flight");
   flush_cancels_ = reg.GetCounter("ninep.flush_cancels");
+  shared_reads_ = reg.GetCounter("ninep.read.shared");
+  read_retries_ = reg.GetCounter("ninep.read.retry");
+  lock_wait_ = reg.GetHistogram("ninep.lock.wait_us");
 }
 
 void NinepMetrics::RecordOp(NinepOp op, uint64_t latency_us, bool error) {
@@ -140,6 +143,14 @@ std::string NinepMetrics::Render() const {
                 static_cast<unsigned long long>(in_flight()),
                 static_cast<unsigned long long>(flush_cancels()));
   out += line;
+  // PR 4 read-path concurrency counters, appended after the PR 1 block so
+  // existing consumers that parse from the top keep working.
+  std::snprintf(line, sizeof(line),
+                "shared_reads %llu\nread_retries %llu\nlock_wait_p99us %llu\n",
+                static_cast<unsigned long long>(shared_reads()),
+                static_cast<unsigned long long>(read_retries()),
+                static_cast<unsigned long long>(lock_wait_->Percentile(99)));
+  out += line;
   return out;
 }
 
@@ -152,6 +163,9 @@ void NinepMetrics::Reset() {
   bytes_in_->Store(0);
   bytes_out_->Store(0);
   flush_cancels_->Store(0);
+  shared_reads_->Store(0);
+  read_retries_->Store(0);
+  lock_wait_->Reset();
   // in_flight_ is a live gauge; leave it alone.
 }
 

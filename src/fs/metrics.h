@@ -53,6 +53,12 @@ class NinepMetrics {
   void BeginRequest() { in_flight_->Add(); }
   void EndRequest() { in_flight_->Sub(); }
   void RecordFlushCancel() { flush_cancels_->Add(); }
+  // PR 4 read-path concurrency: a dispatch that ran under the shared lock, a
+  // shared read re-run exclusively after seqlock validation failed, and the
+  // time any dispatch spent waiting for the dispatch lock.
+  void RecordSharedRead() { shared_reads_->Add(); }
+  void RecordReadRetry() { read_retries_->Add(); }
+  void RecordLockWait(uint64_t wait_us) { lock_wait_->Record(wait_us); }
 
   uint64_t count(NinepOp op) const { return ops_[Idx(op)].count->value(); }
   uint64_t errors(NinepOp op) const { return ops_[Idx(op)].errors->value(); }
@@ -60,6 +66,8 @@ class NinepMetrics {
   uint64_t bytes_out() const { return bytes_out_->value(); }
   uint64_t in_flight() const { return in_flight_->value(); }
   uint64_t flush_cancels() const { return flush_cancels_->value(); }
+  uint64_t shared_reads() const { return shared_reads_->value(); }
+  uint64_t read_retries() const { return read_retries_->value(); }
   uint64_t total_ops() const;
 
   // Approximate percentile (0 < p <= 100) of one op's latency, in
@@ -89,6 +97,9 @@ class NinepMetrics {
   obs::Counter* bytes_out_;
   obs::Counter* in_flight_;
   obs::Counter* flush_cancels_;
+  obs::Counter* shared_reads_;
+  obs::Counter* read_retries_;
+  obs::Histogram* lock_wait_;
 };
 
 }  // namespace help

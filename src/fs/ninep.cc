@@ -347,15 +347,23 @@ bool Session::BeginTag(uint16_t tag) {
   if (tag == kNoTag) {
     return true;  // kNoTag is never tracked (Tversion convention)
   }
+  std::lock_guard<std::mutex> lk(tag_mu_);
   return inflight_.insert(tag).second;
 }
 
 void Session::EndTag(uint16_t tag) {
+  std::lock_guard<std::mutex> lk(tag_mu_);
   inflight_.erase(tag);
   flushed_.erase(tag);
 }
 
+bool Session::TagInFlight(uint16_t tag) const {
+  std::lock_guard<std::mutex> lk(tag_mu_);
+  return inflight_.count(tag) != 0;
+}
+
 bool Session::FlushTag(uint16_t oldtag) {
+  std::lock_guard<std::mutex> lk(tag_mu_);
   if (inflight_.count(oldtag) == 0) {
     return false;  // already completed (or never sent): flush is a no-op
   }
@@ -363,20 +371,105 @@ bool Session::FlushTag(uint16_t oldtag) {
   return true;
 }
 
-bool Session::ConsumeFlushed(uint16_t tag) { return flushed_.erase(tag) != 0; }
+bool Session::ConsumeFlushed(uint16_t tag) {
+  std::lock_guard<std::mutex> lk(tag_mu_);
+  return flushed_.erase(tag) != 0;
+}
 
+size_t Session::open_fids() const {
+  std::lock_guard<std::mutex> lk(fid_mu_);
+  return fids_.size();
+}
+
+Session::FidState* Session::FindFid(uint32_t fid) {
+  std::lock_guard<std::mutex> lk(fid_mu_);
+  auto it = fids_.find(fid);
+  return it == fids_.end() ? nullptr : &it->second;
+}
+
+const Session::FidState* Session::FindFid(uint32_t fid) const {
+  std::lock_guard<std::mutex> lk(fid_mu_);
+  auto it = fids_.find(fid);
+  return it == fids_.end() ? nullptr : &it->second;
+}
+
+Session::OpClass Session::Classify(const Fcall& t) const {
+  switch (t.type) {
+    case MsgType::kTversion:  // resets per-session state only; fid teardown
+    case MsgType::kTattach:   // runs handler Clunks, which never mutate
+    case MsgType::kTwalk:
+    case MsgType::kTstat:
+    case MsgType::kTclunk:
+      return OpClass::kShared;
+
+    case MsgType::kTread: {
+      // Unlike FindFid, classification may race this session's in-flight
+      // dispatch, so every field it needs is read inside one fid_mu_ hold.
+      std::lock_guard<std::mutex> lk(fid_mu_);
+      auto it = fids_.find(t.fid);
+      if (it == fids_.end()) {
+        return OpClass::kShared;  // will answer "unknown fid" — read-only
+      }
+      const FidState& st = it->second;
+      if (st.node->dir()) {
+        // Directory reads lazily build this fid's dirbuf snapshot — per-fid
+        // state owned by this session's serialized dispatches; the tree
+        // itself is only read.
+        return OpClass::kShared;
+      }
+      return st.read_only ? OpClass::kShared : OpClass::kExclusive;
+    }
+
+    case MsgType::kTopen: {
+      if ((t.mode & 3) != kOread || (t.mode & kOtrunc) != 0) {
+        return OpClass::kExclusive;
+      }
+      std::lock_guard<std::mutex> lk(fid_mu_);
+      auto it = fids_.find(t.fid);
+      if (it == fids_.end()) {
+        return OpClass::kShared;  // will answer "unknown fid" — read-only
+      }
+      const FidState& st = it->second;
+      if (st.node->dir()) {
+        return OpClass::kShared;
+      }
+      FileHandler* h = st.node->handler();
+      if (h != nullptr && h->OpenNeedsExclusive()) {
+        return OpClass::kExclusive;  // e.g. new/ctl: Open creates a window
+      }
+      return OpClass::kShared;
+    }
+
+    default:
+      // Twrite/Tcreate/Tremove, and anything unrecognized, mutate.
+      return OpClass::kExclusive;
+  }
+}
+
+// fid_mu_ discipline inside Dispatch: the map structure and the fields
+// Classify reads (node, open, read_only) are only touched under fid_mu_, and
+// fid_mu_ is never held across a Vfs or handler call (those can re-enter the
+// server's dispatch lock). Per-fid scratch state Classify never looks at
+// (dirbuf) needs no lock: same-session dispatches are serialized.
 Fcall Session::Dispatch(const Fcall& t) {
   Fcall r;
   r.tag = t.tag;
   switch (t.type) {
-    case MsgType::kTversion:
+    case MsgType::kTversion: {
       r.type = MsgType::kRversion;
       msize_ = std::min(std::max(t.msize, kIoHeader + 1), kDefaultMsize);
       r.msize = msize_;
       r.version = "9P.help";
-      fids_.clear();  // version resets the session
+      std::map<uint32_t, FidState> doomed;  // version resets the session
+      {
+        std::lock_guard<std::mutex> lk(fid_mu_);
+        doomed.swap(fids_);
+      }
       attached_ = false;
+      // doomed's open files are destroyed on return, after fid_mu_ dropped:
+      // their handler Clunks may re-enter the dispatch lock.
       return r;
+    }
 
     case MsgType::kTflush:
       // Normally answered by the server front end without entering the
@@ -385,6 +478,7 @@ Fcall Session::Dispatch(const Fcall& t) {
       return r;
 
     case MsgType::kTattach: {
+      std::lock_guard<std::mutex> lk(fid_mu_);
       if (fids_.count(t.fid) != 0) {
         return Error(t.tag, "fid in use");
       }
@@ -399,6 +493,13 @@ Fcall Session::Dispatch(const Fcall& t) {
     }
 
     case MsgType::kTwalk: {
+      // When newfid == fid the walk rebinds the fid; the old state (possibly
+      // an open file whose Clunk re-enters the dispatch lock) is moved here
+      // and destroyed only after fid_mu_ drops.
+      FidState replaced;
+      // The whole walk runs under fid_mu_: it only reads the tree (no Vfs or
+      // handler calls that could re-enter the dispatch lock).
+      std::lock_guard<std::mutex> lk(fid_mu_);
       auto it = fids_.find(t.fid);
       if (it == fids_.end()) {
         return Error(t.tag, "unknown fid");
@@ -432,71 +533,84 @@ Fcall Session::Dispatch(const Fcall& t) {
       }
       FidState st;
       st.node = cur;
-      fids_[t.newfid] = st;
+      auto nit = fids_.find(t.newfid);
+      if (nit != fids_.end()) {
+        replaced = std::move(nit->second);  // newfid == fid: rebind
+        nit->second = st;
+      } else {
+        fids_[t.newfid] = st;
+      }
       return r;
     }
 
     case MsgType::kTopen: {
-      auto it = fids_.find(t.fid);
-      if (it == fids_.end()) {
+      FidState* st = FindFid(t.fid);
+      if (st == nullptr) {
         return Error(t.tag, "unknown fid");
       }
-      FidState& st = it->second;
-      if (st.open != nullptr) {
+      if (st->open != nullptr) {
         return Error(t.tag, "fid already open");
       }
-      if (st.node->dir()) {
+      if (st->node->dir()) {
         if ((t.mode & 3) != kOread) {
-          return Error(t.tag, st.node->name() + ": is a directory");
+          return Error(t.tag, st->node->name() + ": is a directory");
         }
       } else {
-        auto f = vfs_->Open(Vfs::FullPath(*st.node), t.mode);
+        // Vfs::Open runs the handler's Open, which may re-enter the dispatch
+        // lock — so it runs outside fid_mu_.
+        auto f = vfs_->Open(Vfs::FullPath(*st->node), t.mode);
         if (!f.ok()) {
           return Error(t.tag, f.message());
         }
-        st.open = f.take();
+        std::lock_guard<std::mutex> lk(fid_mu_);
+        st->open = f.take();
+        st->read_only = (t.mode & 3) == kOread && (t.mode & kOtrunc) == 0;
       }
       r.type = MsgType::kRopen;
-      r.qid = st.node->qid();
+      r.qid = st->node->qid();
       r.iounit = msize_ - kIoHeader;
       return r;
     }
 
     case MsgType::kTcreate: {
-      auto it = fids_.find(t.fid);
-      if (it == fids_.end()) {
+      FidState* st = FindFid(t.fid);
+      if (st == nullptr) {
         return Error(t.tag, "unknown fid");
       }
-      FidState& st = it->second;
-      if (!st.node->dir()) {
+      if (!st->node->dir()) {
         return Error(t.tag, "create in non-directory");
       }
       bool dir = (t.perm & kDirPerm) != 0;
-      std::string path = JoinPath(Vfs::FullPath(*st.node), t.name);
+      std::string path = JoinPath(Vfs::FullPath(*st->node), t.name);
       auto created = vfs_->Create(path, dir);
       if (!created.ok()) {
         return Error(t.tag, created.message());
       }
-      st.node = created.value();
+      {
+        std::lock_guard<std::mutex> lk(fid_mu_);
+        st->node = created.value();
+        st->read_only = false;
+      }
       if (!dir) {
         auto f = vfs_->Open(path, t.mode);
         if (!f.ok()) {
           return Error(t.tag, f.message());
         }
-        st.open = f.take();
+        std::lock_guard<std::mutex> lk(fid_mu_);
+        st->open = f.take();
       }
       r.type = MsgType::kRcreate;
-      r.qid = st.node->qid();
+      r.qid = st->node->qid();
       r.iounit = msize_ - kIoHeader;
       return r;
     }
 
     case MsgType::kTread: {
-      auto it = fids_.find(t.fid);
-      if (it == fids_.end()) {
+      FidState* stp = FindFid(t.fid);
+      if (stp == nullptr) {
         return Error(t.tag, "unknown fid");
       }
-      FidState& st = it->second;
+      FidState& st = *stp;
       uint32_t count = std::min(t.count, msize_ - kIoHeader);
       if (st.node->dir()) {
         if (!st.dirbuf_valid) {
@@ -527,15 +641,14 @@ Fcall Session::Dispatch(const Fcall& t) {
     }
 
     case MsgType::kTwrite: {
-      auto it = fids_.find(t.fid);
-      if (it == fids_.end()) {
+      FidState* st = FindFid(t.fid);
+      if (st == nullptr) {
         return Error(t.tag, "unknown fid");
       }
-      FidState& st = it->second;
-      if (st.open == nullptr) {
+      if (st->open == nullptr) {
         return Error(t.tag, "fid not open");
       }
-      auto n = st.open->Write(t.offset, t.data);
+      auto n = st->open->Write(t.offset, t.data);
       if (!n.ok()) {
         return Error(t.tag, n.message());
       }
@@ -545,20 +658,34 @@ Fcall Session::Dispatch(const Fcall& t) {
     }
 
     case MsgType::kTclunk: {
-      if (fids_.erase(t.fid) == 0) {
-        return Error(t.tag, "unknown fid");
+      FidState doomed;
+      {
+        std::lock_guard<std::mutex> lk(fid_mu_);
+        auto it = fids_.find(t.fid);
+        if (it == fids_.end()) {
+          return Error(t.tag, "unknown fid");
+        }
+        doomed = std::move(it->second);
+        fids_.erase(it);
       }
       r.type = MsgType::kRclunk;
+      // doomed's open file (if any) is destroyed on return, outside fid_mu_:
+      // its handler Clunk may re-enter the dispatch lock.
       return r;
     }
 
     case MsgType::kTremove: {
-      auto it = fids_.find(t.fid);
-      if (it == fids_.end()) {
-        return Error(t.tag, "unknown fid");
+      FidState doomed;  // remove always clunks
+      {
+        std::lock_guard<std::mutex> lk(fid_mu_);
+        auto it = fids_.find(t.fid);
+        if (it == fids_.end()) {
+          return Error(t.tag, "unknown fid");
+        }
+        doomed = std::move(it->second);
+        fids_.erase(it);
       }
-      std::string path = Vfs::FullPath(*it->second.node);
-      fids_.erase(it);  // remove always clunks
+      std::string path = Vfs::FullPath(*doomed.node);
       Status s = vfs_->Remove(path);
       if (!s.ok()) {
         return Error(t.tag, s.message());
@@ -568,12 +695,12 @@ Fcall Session::Dispatch(const Fcall& t) {
     }
 
     case MsgType::kTstat: {
-      auto it = fids_.find(t.fid);
-      if (it == fids_.end()) {
+      const FidState* st = FindFid(t.fid);
+      if (st == nullptr) {
         return Error(t.tag, "unknown fid");
       }
       r.type = MsgType::kRstat;
-      r.stat = Vfs::StatOf(*it->second.node);
+      r.stat = Vfs::StatOf(*st->node);
       return r;
     }
 

@@ -8,20 +8,26 @@
 // The transport is pluggable; tests and examples use the in-process byte
 // transport, which still exercises the full encode → dispatch → decode path.
 //
-// Concurrency model (see also DESIGN.md §Concurrency model):
+// Concurrency model (see also DESIGN.md §11):
 //   * This header holds the codec, the per-connection Session, and the
 //     synchronous NinepClient. The multi-client front end lives in
 //     src/fs/server.h (NinepServer).
 //   * A Session owns one connection's protocol state: its fid table, its
 //     negotiated msize, and its attach identity. N concurrent clients each
 //     hold an independent Session against the same Vfs tree, so fid 7 in one
-//     session and fid 7 in another never collide.
-//   * Session::Dispatch is NOT thread-safe and touches the (single-threaded)
-//     Vfs; NinepServer serializes every Dispatch across all sessions through
-//     one dispatch lock. Encode/decode of packets is pure and runs outside
-//     that lock, in parallel.
+//     session and fid 7 in another never collide. Per-session bookkeeping is
+//     guarded by the session's own fine-grained locks, so sessions never
+//     contend with each other on fid or tag state.
+//   * Dispatch classification: every T-message is classified kShared (cannot
+//     mutate the Vfs tree or any document — version/attach/walk/stat/clunk,
+//     reads of directories and read-only fids, opens that cannot create,
+//     truncate, or reach a mutating handler) or kExclusive (everything
+//     else). NinepServer runs kShared dispatches concurrently under a shared
+//     reader–writer lock and kExclusive ones alone; one session's dispatches
+//     are additionally serialized against each other, per the protocol's
+//     one-logical-client-per-connection assumption.
 //   * Tflush lets a client cancel an in-flight tagged request: a request
-//     still waiting for the dispatch lock when its tag is flushed is answered
+//     still waiting for the dispatch path when its tag is flushed is answered
 //     with Rerror "interrupted" instead of running (the byte transport is
 //     one-reply-per-request, so a cancelled request still gets a reply).
 //     Duplicate in-flight tags on one session are rejected, per the protocol.
@@ -31,6 +37,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -115,30 +122,53 @@ Fcall ErrorFcall(uint16_t tag, std::string_view msg);
 // ---------------------------------------------------------------------------
 
 // One client connection's protocol state: fid table, negotiated msize,
-// auth/attach identity, and in-flight tag bookkeeping. Dispatch mutates the
-// shared Vfs and is NOT thread-safe — NinepServer (src/fs/server.h)
-// serializes all Dispatch calls; the tag methods are driven by the server
-// under its own state lock.
+// auth/attach identity, and in-flight tag bookkeeping. One session's
+// Dispatch calls are serialized by NinepServer through dispatch_mu(); the
+// fid table additionally carries its own lock so the lock-free-of-dispatch
+// classification path (Classify) can inspect it while a dispatch is in
+// flight, and the tag methods lock internally so Tflush never waits behind
+// a dispatch.
 class Session {
  public:
+  // Whether an operation may run under the shared (reader) dispatch lock or
+  // must take it exclusively. See DESIGN.md §11 for the full table.
+  enum class OpClass : uint8_t { kShared, kExclusive };
+
   Session(Vfs* vfs, uint64_t id) : vfs_(vfs), id_(id) {}
 
   // Handles one T-message (everything except Tflush, which the server
-  // answers without entering the serialized dispatch path).
+  // answers without entering the dispatch path). Callers must hold
+  // dispatch_mu() — NinepServer does — and the dispatch lock of the server
+  // in the mode Classify(t) demands.
   Fcall Dispatch(const Fcall& t);
+
+  // Classifies `t` without dispatching it: version/attach/walk/stat/clunk
+  // are always read-only; Tread is shared iff the fid is a directory or was
+  // opened read-only (the per-fid read-only mark); Topen is shared iff it
+  // cannot create, truncate, or reach a handler whose Open mutates. All
+  // writes, creates, and removes are exclusive. Classification is advisory
+  // concurrency control, not correctness: it may race this session's own
+  // in-flight ops (fid tables only change under dispatch_mu()), and a
+  // misprediction costs one retry under the exclusive lock, never a torn
+  // read — the seqlock validation in the read handlers catches those.
+  OpClass Classify(const Fcall& t) const;
 
   uint64_t id() const { return id_; }
   uint32_t msize() const { return msize_; }
   bool attached() const { return attached_; }
   const std::string& uname() const { return uname_; }
-  size_t open_fids() const { return fids_.size(); }
+  size_t open_fids() const;
 
-  // --- In-flight tag bookkeeping (called by NinepServer, under its lock) ---
+  // Serializes this session's dispatches (held by NinepServer around every
+  // Dispatch call, after the server-wide dispatch lock).
+  std::mutex& dispatch_mu() { return dispatch_mu_; }
+
+  // --- In-flight tag bookkeeping (thread-safe; tag_mu_ is a leaf lock) -----
   // Registers `tag` as in flight; false if that tag is already in flight
   // (the protocol forbids duplicate in-flight tags per connection).
   bool BeginTag(uint16_t tag);
   void EndTag(uint16_t tag);
-  bool TagInFlight(uint16_t tag) const { return inflight_.count(tag) != 0; }
+  bool TagInFlight(uint16_t tag) const;
   // Tflush(oldtag): marks a still-queued request cancelled. Returns whether
   // the tag was in flight at all (Rflush is sent either way).
   bool FlushTag(uint16_t oldtag);
@@ -152,7 +182,14 @@ class Session {
     OpenFilePtr open;
     std::string dirbuf;     // snapshot of directory listing for reads
     bool dirbuf_valid = false;
+    bool read_only = false;  // opened with kOread and no kOtrunc
   };
+
+  // Looks up a fid under fid_mu_. The returned pointer stays valid after the
+  // lock drops: only this session's own dispatches mutate the map, and they
+  // are serialized by dispatch_mu_ (std::map never relocates nodes anyway).
+  FidState* FindFid(uint32_t fid);
+  const FidState* FindFid(uint32_t fid) const;
 
   Vfs* vfs_;
   uint64_t id_;
@@ -162,6 +199,10 @@ class Session {
   uint32_t msize_ = kDefaultMsize;
   std::set<uint16_t> inflight_;
   std::set<uint16_t> flushed_;
+
+  std::mutex dispatch_mu_;      // serializes Dispatch (guards msize_, attached_)
+  mutable std::mutex fid_mu_;   // guards the fids_ map structure
+  mutable std::mutex tag_mu_;   // guards inflight_/flushed_; leaf
 };
 
 // ---------------------------------------------------------------------------

@@ -6,36 +6,55 @@
 
 namespace help {
 
+namespace {
+
+// Which server the calling thread currently holds the dispatch lock of, and
+// in which mode. One entry suffices: a thread never dispatches on two servers
+// at once (a handler that re-enters does so on the server that invoked it).
+struct TlsHolder {
+  const NinepServer* srv = nullptr;
+  NinepServer::LockMode mode = NinepServer::LockMode::kNone;
+};
+thread_local TlsHolder tls_holder;
+
+}  // namespace
+
 NinepServer::NinepServer(Vfs* vfs) : vfs_(vfs) {}
 
 NinepServer::~NinepServer() = default;
 
-Session* NinepServer::Find(SessionId id) {
+std::shared_ptr<Session> NinepServer::FindSession(SessionId id) const {
+  std::lock_guard<std::mutex> lk(state_mu_);
   auto it = sessions_.find(id);
-  return it == sessions_.end() ? nullptr : it->second.get();
-}
-
-const Session* NinepServer::Find(SessionId id) const {
-  auto it = sessions_.find(id);
-  return it == sessions_.end() ? nullptr : it->second.get();
+  return it == sessions_.end() ? nullptr : it->second;
 }
 
 NinepServer::SessionId NinepServer::OpenSession() {
   std::lock_guard<std::mutex> lk(state_mu_);
   SessionId id = next_session_++;
-  sessions_[id] = std::make_unique<Session>(vfs_, id);
+  sessions_[id] = std::make_shared<Session>(vfs_, id);
   return id;
 }
 
 void NinepServer::CloseSession(SessionId id) {
-  // Take the dispatch lock so a session is never destroyed while a worker
-  // is mid-dispatch on it (workers hold dispatch_mu_ around Dispatch).
-  std::lock_guard<std::recursive_mutex> dl(dispatch_mu_);
-  std::lock_guard<std::mutex> lk(state_mu_);
-  sessions_.erase(id);
-  if (default_session_ == id) {
-    default_session_ = 0;
+  // Take the dispatch lock exclusively so a session is never erased while a
+  // worker is mid-dispatch on it (every dispatch holds at least shared mode).
+  DispatchGuard dl = Acquire(LockMode::kExclusive);
+  std::shared_ptr<Session> doomed;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    auto it = sessions_.find(id);
+    if (it != sessions_.end()) {
+      doomed = std::move(it->second);
+      sessions_.erase(it);
+    }
+    if (default_session_ == id) {
+      default_session_ = 0;
+    }
   }
+  // doomed dies here — outside state_mu_ but still under the exclusive
+  // dispatch lock, so handler Clunks for its open fids re-enter cleanly.
+  doomed.reset();
 }
 
 size_t NinepServer::session_count() const {
@@ -44,79 +63,147 @@ size_t NinepServer::session_count() const {
 }
 
 size_t NinepServer::open_fids(SessionId id) const {
-  std::lock_guard<std::mutex> lk(state_mu_);
-  const Session* s = Find(id);
+  std::shared_ptr<Session> s = FindSession(id);
   return s == nullptr ? 0 : s->open_fids();
 }
 
 size_t NinepServer::open_fids() const {
-  std::lock_guard<std::mutex> lk(state_mu_);
-  const Session* s = Find(default_session_);
-  return s == nullptr ? 0 : s->open_fids();
+  SessionId id;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    id = default_session_;
+  }
+  return open_fids(id);
 }
 
 bool NinepServer::TagInFlight(SessionId id, uint16_t tag) const {
-  std::lock_guard<std::mutex> lk(state_mu_);
-  const Session* s = Find(id);
+  std::shared_ptr<Session> s = FindSession(id);
   return s != nullptr && s->TagInFlight(tag);
 }
 
-std::unique_lock<std::recursive_mutex> NinepServer::LockDispatch() {
-  return std::unique_lock<std::recursive_mutex>(dispatch_mu_);
+void NinepServer::DispatchGuard::Release() {
+  if (srv_ == nullptr) {
+    return;
+  }
+  tls_holder = TlsHolder{};
+  if (mode_ == LockMode::kExclusive) {
+    srv_->dispatch_mu_.unlock();
+  } else {
+    srv_->dispatch_mu_.unlock_shared();
+  }
+  srv_ = nullptr;
+  mode_ = LockMode::kNone;
+}
+
+NinepServer::DispatchGuard NinepServer::Acquire(LockMode mode) {
+  if (tls_holder.srv == this) {
+    // Re-entry: a handler invoked from a dispatch already holding the lock.
+    // Nothing to acquire — and nothing to release when the guard dies. The
+    // classification layer guarantees a mutating handler is never reached
+    // from a shared-mode dispatch, so inheriting the outer mode is sound.
+    return DispatchGuard();
+  }
+  auto start = std::chrono::steady_clock::now();
+  if (mode == LockMode::kExclusive) {
+    dispatch_mu_.lock();
+  } else {
+    dispatch_mu_.lock_shared();
+  }
+  auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+  metrics_.RecordLockWait(static_cast<uint64_t>(us));
+  tls_holder = TlsHolder{this, mode};
+  return DispatchGuard(this, mode);
+}
+
+NinepServer::DispatchGuard NinepServer::LockDispatch() {
+  return Acquire(LockMode::kExclusive);
+}
+
+bool NinepServer::SharedDispatchOnThisThread() const {
+  return tls_holder.srv == this && tls_holder.mode == LockMode::kShared;
+}
+
+Fcall NinepServer::DispatchUnderLock(const std::shared_ptr<Session>& s,
+                                     SessionId id, const Fcall& t) {
+  LockMode mode = force_exclusive_.load(std::memory_order_relaxed)
+                      ? LockMode::kExclusive
+                      : (s->Classify(t) == Session::OpClass::kShared
+                             ? LockMode::kShared
+                             : LockMode::kExclusive);
+  while (true) {
+    Fcall r;
+    bool reclassified = false;
+    {
+      DispatchGuard dl = Acquire(mode);
+      // The session may have been closed while this request waited; the
+      // membership check is stable for the rest of the dispatch because
+      // CloseSession needs the exclusive lock and we hold at least shared.
+      if (FindSession(id) == nullptr) {
+        return ErrorFcall(t.tag, "unknown session");
+      }
+      // Serialize against this session's other in-flight requests. The flush
+      // check sits under this lock — the blocking point — so a Tflush issued
+      // while we queued here still cancels us.
+      std::lock_guard<std::mutex> sl(s->dispatch_mu());
+      if (s->ConsumeFlushed(t.tag)) {
+        metrics_.RecordFlushCancel();
+        OBS_INSTANT("ninep.flush_cancel", t.tag);
+        return ErrorFcall(t.tag, "interrupted");
+      }
+      // Classification ran before this session's earlier in-flight request
+      // finished, so it may be stale (e.g. a pipelined Twalk + Topen of
+      // new/ctl: the fid didn't exist at classification time). Re-check now
+      // that the fid table is quiescent; a stale shared verdict re-runs
+      // exclusively rather than mutating under the shared lock.
+      if (mode == LockMode::kShared &&
+          s->Classify(t) == Session::OpClass::kExclusive) {
+        reclassified = true;
+      } else {
+        OBS_SPAN("ninep.dispatch");
+        r = s->Dispatch(t);
+      }
+    }
+    if (reclassified) {
+      mode = LockMode::kExclusive;
+      continue;
+    }
+    if (mode == LockMode::kShared) {
+      metrics_.RecordSharedRead();
+      if (r.type == MsgType::kRerror && r.ename == kSharedReadRaced) {
+        // A shared-mode read observed a concurrent edit (seqlock mismatch).
+        // Re-run fully serialized; the sentinel never reaches the client.
+        metrics_.RecordReadRetry();
+        OBS_INSTANT("ninep.read.retry", t.tag);
+        mode = LockMode::kExclusive;
+        continue;
+      }
+    }
+    return r;
+  }
 }
 
 Fcall NinepServer::Process(SessionId id, const Fcall& t) {
-  // Tag bookkeeping and Tflush run against the session state only — never
-  // under the dispatch lock — so a client can cancel or be rejected while
-  // another request is executing.
-  {
-    std::lock_guard<std::mutex> lk(state_mu_);
-    Session* s = Find(id);
-    if (s == nullptr) {
-      return ErrorFcall(t.tag, "unknown session");
-    }
-    if (t.type == MsgType::kTflush) {
-      s->FlushTag(t.oldtag);
-      Fcall r;
-      r.type = MsgType::kRflush;
-      r.tag = t.tag;
-      return r;
-    }
-    if (!s->BeginTag(t.tag)) {
-      return ErrorFcall(t.tag, "duplicate tag");
-    }
+  // Tag bookkeeping and Tflush run against the session's tag table only —
+  // never under any dispatch lock — so a client can cancel or be rejected
+  // while another request is executing.
+  std::shared_ptr<Session> s = FindSession(id);
+  if (s == nullptr) {
+    return ErrorFcall(t.tag, "unknown session");
   }
-
-  Fcall r;
-  {
-    std::unique_lock<std::recursive_mutex> dl(dispatch_mu_);
-    Session* s;
-    bool flushed;
-    {
-      std::lock_guard<std::mutex> lk(state_mu_);
-      s = Find(id);  // may have been closed while queued
-      flushed = s != nullptr && s->ConsumeFlushed(t.tag);
-    }
-    if (s == nullptr) {
-      return ErrorFcall(t.tag, "unknown session");
-    }
-    if (flushed) {
-      metrics_.RecordFlushCancel();
-      OBS_INSTANT("ninep.flush_cancel", t.tag);
-      r = ErrorFcall(t.tag, "interrupted");
-    } else {
-      OBS_SPAN("ninep.dispatch");
-      r = s->Dispatch(t);
-    }
+  if (t.type == MsgType::kTflush) {
+    s->FlushTag(t.oldtag);
+    Fcall r;
+    r.type = MsgType::kRflush;
+    r.tag = t.tag;
+    return r;
   }
-
-  {
-    std::lock_guard<std::mutex> lk(state_mu_);
-    Session* s = Find(id);
-    if (s != nullptr) {
-      s->EndTag(t.tag);
-    }
+  if (!s->BeginTag(t.tag)) {
+    return ErrorFcall(t.tag, "duplicate tag");
   }
+  Fcall r = DispatchUnderLock(s, id, t);
+  s->EndTag(t.tag);
   return r;
 }
 
@@ -124,7 +211,8 @@ NinepServer::SessionId NinepServer::EnsureDefaultSession() {
   std::lock_guard<std::mutex> lk(state_mu_);
   if (default_session_ == 0) {
     default_session_ = next_session_++;
-    sessions_[default_session_] = std::make_unique<Session>(vfs_, default_session_);
+    sessions_[default_session_] =
+        std::make_shared<Session>(vfs_, default_session_);
   }
   return default_session_;
 }

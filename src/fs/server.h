@@ -1,29 +1,59 @@
 // The multi-client 9P service front end. A NinepServer accepts any number of
 // transports — each client connection is a Session (see ninep.h) — and may be
 // driven from many threads at once: workers decode T-messages and encode
-// replies in parallel, while every tree-touching dispatch is funnelled
-// through one serialized dispatch lock. That keeps the Vfs and Help's
-// synthetic-file handlers on their single-threaded invariants without giving
-// up concurrent clients.
+// replies in parallel, and since PR 4 *dispatch itself* is reader–writer
+// concurrent: read-only operations (walk, stat, reads of read-only fids, …)
+// hold the dispatch lock in shared mode and run in parallel across sessions,
+// while mutating operations (write, create, remove, window create/delete)
+// take it exclusively and still see the single-threaded tree the Vfs and
+// Help's synthetic-file handlers were built around.
 //
-//   client thread:  bytes in ─ decode ─┐
-//   client thread:  bytes in ─ decode ─┼─ [dispatch lock] ─ Session::Dispatch
-//   client thread:  bytes in ─ decode ─┘        │
+//   client thread:  bytes in ─ decode ─┐            ┌─ Tread ──┐ (shared,
+//   client thread:  bytes in ─ decode ─┼─ classify ─┼─ Tread ──┤  parallel)
+//   client thread:  bytes in ─ decode ─┘            └─ Twrite ─┘ (exclusive)
 //                                        encode + bytes out (parallel again)
 //
-// Tflush and duplicate-tag rejection happen before the lock, against the
-// session's in-flight tag table, so a client can cancel a queued request even
-// while another request holds the dispatch lock. Per-op counters and latency
-// histograms are recorded into a NinepMetrics — since PR 3 a view over the
-// process-wide obs::Registry — which /mnt/help/stats serves; decode, dispatch
-// and encode are also traced as obs spans visible in /mnt/help/trace.
+// Read-path consistency is seqlock-style, the same discipline as the obs
+// trace ring: every Text carries a monotonically increasing edit sequence
+// (odd while a mutation is in progress), readers snapshot it, copy, and
+// revalidate; a reader that observes a concurrent edit answers with the
+// kSharedReadRaced sentinel and the server re-runs the request under the
+// exclusive lock (counted as ninep.read.retry).
+//
+// Tflush and duplicate-tag rejection happen against the session's in-flight
+// tag table before any dispatch lock, so a client can cancel a queued request
+// even while another request holds the dispatch path. Per-op counters and
+// latency histograms — plus the shared-read / retry counters and the
+// lock-wait histogram — are recorded into a NinepMetrics (a view over the
+// process-wide obs::Registry) which /mnt/help/stats serves.
+//
+// Lock order (acquire strictly downward; leaves may be taken under anything
+// above them but never hold anything themselves):
+//   1. dispatch_mu_          the reader–writer dispatch lock (shared or
+//                            exclusive; never upgraded while held)
+//   2. Session::dispatch_mu_ per-session serialization of Dispatch
+//   3. Session::fid_mu_      per-session fid-table bookkeeping; held only
+//                            around map lookups/mutations, never across a
+//                            handler call
+//   leaf: state_mu_          the session table; held briefly, nothing else
+//                            is ever acquired under it
+//   leaf: Session::tag_mu_   tag bookkeeping, taken from outside the
+//                            dispatch path too (Tflush must never wait
+//                            behind a dispatch)
+// A thread never takes dispatch_mu_ twice: re-entry (a /mnt/help handler
+// invoked from a dispatch that already holds the lock) is detected with a
+// thread-local holder check and becomes a no-op, which is what replaced the
+// PR 1 recursive_mutex. The no-op inherits the outer mode, so classification
+// must route any op that can reach a mutating handler to the exclusive path.
 #ifndef SRC_FS_SERVER_H_
 #define SRC_FS_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string_view>
 
 #include "src/fs/metrics.h"
@@ -31,9 +61,49 @@
 
 namespace help {
 
+// Error string a shared-mode read handler returns when its seqlock
+// validation observed a concurrent edit; never reaches a client — the server
+// consumes it and retries the request under the exclusive dispatch lock.
+inline constexpr std::string_view kSharedReadRaced = "help: shared read raced an edit";
+
 class NinepServer {
  public:
   using SessionId = uint64_t;
+
+  // How a dispatch (or a /mnt/help handler invocation) holds the lock.
+  enum class LockMode : uint8_t { kNone, kShared, kExclusive };
+
+  // RAII ownership of one acquisition of the dispatch lock. A
+  // default-constructed (or re-entrant) guard owns nothing.
+  class DispatchGuard {
+   public:
+    DispatchGuard() = default;
+    DispatchGuard(DispatchGuard&& o) noexcept : srv_(o.srv_), mode_(o.mode_) {
+      o.srv_ = nullptr;
+      o.mode_ = LockMode::kNone;
+    }
+    DispatchGuard& operator=(DispatchGuard&& o) noexcept {
+      if (this != &o) {
+        Release();
+        srv_ = o.srv_;
+        mode_ = o.mode_;
+        o.srv_ = nullptr;
+        o.mode_ = LockMode::kNone;
+      }
+      return *this;
+    }
+    ~DispatchGuard() { Release(); }
+    DispatchGuard(const DispatchGuard&) = delete;
+    DispatchGuard& operator=(const DispatchGuard&) = delete;
+
+   private:
+    friend class NinepServer;
+    DispatchGuard(NinepServer* srv, LockMode mode) : srv_(srv), mode_(mode) {}
+    void Release();
+
+    NinepServer* srv_ = nullptr;       // nullptr: owns no lock
+    LockMode mode_ = LockMode::kNone;  // the mode this guard owns
+  };
 
   explicit NinepServer(Vfs* vfs);
   ~NinepServer();
@@ -46,9 +116,11 @@ class NinepServer {
   void CloseSession(SessionId id);
   size_t session_count() const;
 
-  // Full byte path for one client: decode, dispatch (serialized), encode.
-  // Thread-safe; any thread may drive any session, but one session's
-  // requests should come from one logical client.
+  // Full byte path for one client: decode, dispatch (shared or exclusive per
+  // the op classification), encode. Thread-safe; any thread may drive any
+  // session. One session's requests are serialized against each other (the
+  // protocol assumes one logical client per connection); different sessions'
+  // read-only requests run in parallel.
   std::string HandleBytes(SessionId id, std::string_view packet);
 
   // A Transport for NinepClient bound to one session of this server.
@@ -65,11 +137,22 @@ class NinepServer {
   // Per-session fid count (0 for unknown sessions).
   size_t open_fids(SessionId id) const;
 
-  // Serializes arbitrary work with protocol dispatch. The /mnt/help handlers
-  // take this lock so UI-thread file access and 9P workers cannot interleave
-  // inside Help. Recursive: a handler invoked from a dispatch already holding
-  // the lock re-enters without deadlock.
-  std::unique_lock<std::recursive_mutex> LockDispatch();
+  // Serializes arbitrary work with protocol dispatch: acquires the dispatch
+  // lock exclusively, or — when this thread already holds it in either mode
+  // (a /mnt/help handler invoked from a dispatch) — returns a no-op guard
+  // instead of deadlocking. The /mnt/help handlers take this so UI-thread
+  // file access and 9P workers cannot interleave inside Help.
+  DispatchGuard LockDispatch();
+
+  // True iff the calling thread currently holds the dispatch lock in shared
+  // mode. Read handlers use this to decide whether they must seqlock-validate
+  // (shared: concurrent readers, validation required) or are fully serialized
+  // (exclusive: plain read).
+  bool SharedDispatchOnThisThread() const;
+
+  // Test/bench hook: classify every operation exclusive, restoring PR 1's
+  // fully serialized dispatch. The perf_ninep --serialized baseline.
+  void set_force_exclusive(bool on) { force_exclusive_ = on; }
 
   NinepMetrics& metrics() { return metrics_; }
   const NinepMetrics& metrics() const { return metrics_; }
@@ -78,21 +161,27 @@ class NinepServer {
   bool TagInFlight(SessionId id, uint16_t tag) const;
 
  private:
-  Session* Find(SessionId id);                // state_mu_ must be held
-  const Session* Find(SessionId id) const;    // state_mu_ must be held
+  std::shared_ptr<Session> FindSession(SessionId id) const;
   SessionId EnsureDefaultSession();
   Fcall Process(SessionId id, const Fcall& t);
+  // One locked dispatch attempt chain: acquire in `mode`, run, and retry
+  // under the exclusive lock if a shared read raced an edit.
+  Fcall DispatchUnderLock(const std::shared_ptr<Session>& s, SessionId id,
+                          const Fcall& t);
+  // Acquires the dispatch lock in `mode` (no-op guard on re-entry), timing
+  // the wait into ninep.lock.wait.
+  DispatchGuard Acquire(LockMode mode);
 
   Vfs* vfs_;
   NinepMetrics metrics_;
+  std::atomic<bool> force_exclusive_{false};
 
-  // state_mu_ guards the session table and each session's tag bookkeeping;
-  // dispatch_mu_ is the serialized dispatch queue. Lock order: a thread never
-  // acquires state_mu_ while holding dispatch_mu_ waiting for new state —
-  // tag bookkeeping under state_mu_ happens strictly before/after dispatch.
+  // state_mu_ guards the session table only; per-session bookkeeping lives
+  // behind each Session's own locks (see ninep.h), so sessions never contend
+  // with each other on fid or tag bookkeeping.
   mutable std::mutex state_mu_;
-  std::recursive_mutex dispatch_mu_;
-  std::map<SessionId, std::unique_ptr<Session>> sessions_;
+  std::shared_mutex dispatch_mu_;
+  std::map<SessionId, std::shared_ptr<Session>> sessions_;
   SessionId next_session_ = 1;
   SessionId default_session_ = 0;  // 0 = not yet created
 };

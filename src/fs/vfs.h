@@ -8,11 +8,14 @@
 // directly; external clients go through the 9P-style protocol in ninep.h,
 // which serves this same tree.
 //
-// Threading: the VFS is deliberately single-threaded — nodes, handlers, and
-// the clock carry no locks. Concurrent 9P clients are safe because
-// NinepServer (src/fs/server.h) funnels every tree-touching dispatch through
-// one serialized dispatch lock; anything else that shares a Vfs with a live
-// NinepServer must serialize through NinepServer::LockDispatch().
+// Threading: the VFS carries no locks of its own — nodes, handlers, and the
+// clock are unsynchronized. Concurrent 9P clients are safe because
+// NinepServer (src/fs/server.h) guards every tree-touching dispatch with a
+// reader–writer dispatch lock: operations that cannot mutate the tree run
+// concurrently in shared mode (walks, stats, reads of read-only fids),
+// mutations run alone in exclusive mode. Anything else that shares a Vfs
+// with a live NinepServer must serialize through
+// NinepServer::LockDispatch(), which takes the exclusive side.
 #ifndef SRC_FS_VFS_H_
 #define SRC_FS_VFS_H_
 
@@ -73,6 +76,12 @@ class FileHandler {
   virtual void Clunk(OpenFile& f) {}
   // Length reported by stat (synthetic files often report 0).
   virtual uint64_t Length(const Node& n) const { return 0; }
+  // True when Open has side effects even for a read-only open (e.g.
+  // /mnt/help/new/ctl creates a window). The 9P dispatch classification uses
+  // this to route such opens through the exclusive lock; handlers whose Open
+  // only computes a snapshot keep the default and stay on the shared path.
+  // Wrappers must delegate to the handler they wrap.
+  virtual bool OpenNeedsExclusive() const { return false; }
 };
 
 class Node : public std::enable_shared_from_this<Node> {

@@ -321,10 +321,10 @@ TEST(ObsTracer, ChromeJsonIsWellFormed) {
   EXPECT_TRUE(JsonChecker(t.RenderChromeJson()).Valid());
 }
 
-// The PR 1 /mnt/help/stats byte format, pinned exactly: header line, one
-// "op count errs p50us p99us" row per op with traffic (enum order), then the
-// four scalar totals. NinepMetrics is a registry view now; its Render() must
-// not drift.
+// The /mnt/help/stats byte format, pinned exactly: header line, one
+// "op count errs p50us p99us" row per op with traffic (enum order), the
+// four PR 1 scalar totals, then the PR 4 read-path concurrency lines.
+// NinepMetrics is a registry view now; its Render() must not drift.
 TEST(NinepMetricsCompat, StatsByteFormatPinnedExactly) {
   Registry::Global().Reset();
   NinepMetrics m;
@@ -334,6 +334,7 @@ TEST(NinepMetricsCompat, StatsByteFormatPinnedExactly) {
   m.AddBytesIn(5);
   m.AddBytesOut(7);
   m.RecordFlushCancel();
+  m.RecordSharedRead();
   EXPECT_EQ(m.Render(),
             "op count errs p50us p99us\n"
             "walk 2 1 127 127\n"
@@ -341,7 +342,10 @@ TEST(NinepMetricsCompat, StatsByteFormatPinnedExactly) {
             "bytes_in 5\n"
             "bytes_out 7\n"
             "in_flight 0\n"
-            "flush_cancels 1\n");
+            "flush_cancels 1\n"
+            "shared_reads 1\n"
+            "read_retries 0\n"
+            "lock_wait_p99us 0\n");
   // And the same numbers are visible through the registry's own file format.
   std::string metrics = Registry::Global().RenderText();
   EXPECT_NE(metrics.find("ninep.walk.count 2\n"), std::string::npos);
@@ -351,7 +355,8 @@ TEST(NinepMetricsCompat, StatsByteFormatPinnedExactly) {
   m.Reset();
   EXPECT_EQ(m.Render(),
             "op count errs p50us p99us\n"
-            "bytes_in 0\nbytes_out 0\nin_flight 0\nflush_cancels 0\n");
+            "bytes_in 0\nbytes_out 0\nin_flight 0\nflush_cancels 0\n"
+            "shared_reads 0\nread_retries 0\nlock_wait_p99us 0\n");
 }
 
 TEST(ObsTracer, RenderTextLinesCarryAllStamps) {
