@@ -85,6 +85,59 @@ std::string Utf8FromRunes(RuneStringView runes) {
   return out;
 }
 
+std::string Utf8FromRunes(const RuneSpans& spans) {
+  std::string out;
+  out.reserve(spans.size());
+  for (Rune r : spans.a) {
+    EncodeRune(r, &out);
+  }
+  for (Rune r : spans.b) {
+    EncodeRune(r, &out);
+  }
+  return out;
+}
+
+size_t FindRunes(const RuneSpans& text, RuneStringView needle, size_t start) {
+  const size_t n = text.size();
+  const size_t m = needle.size();
+  if (m == 0) {
+    return start <= n ? start : RuneSpans::npos;
+  }
+  if (m > n || start > n - m) {
+    return RuneSpans::npos;
+  }
+  if (m == 1) {
+    return text.Find(needle[0], start);
+  }
+  // Skip table keyed on the low byte of the rune. Assigning in ascending
+  // needle order leaves each slot with the smallest (safest) shift among the
+  // runes sharing that byte.
+  unsigned char skip[256];
+  const unsigned char max_skip =
+      static_cast<unsigned char>(std::min<size_t>(m, 255));
+  std::fill(skip, skip + 256, max_skip);
+  for (size_t i = 0; i + 1 < m; i++) {
+    skip[needle[i] & 0xFF] =
+        static_cast<unsigned char>(std::min<size_t>(m - 1 - i, 255));
+  }
+  const Rune last = needle[m - 1];
+  size_t i = start;
+  while (i + m <= n) {
+    Rune c = text[i + m - 1];
+    if (c == last) {
+      size_t j = 0;
+      while (j + 1 < m && text[i + j] == needle[j]) {
+        j++;
+      }
+      if (j + 1 == m) {
+        return i;
+      }
+    }
+    i += skip[c & 0xFF];
+  }
+  return RuneSpans::npos;
+}
+
 size_t RuneLen(std::string_view utf8) {
   size_t n = 0;
   while (!utf8.empty()) {

@@ -7,10 +7,12 @@
 #include "src/core/fileserver.h"
 #include "src/fs/server.h"
 #include "src/obs/trace.h"
+#include "src/regexp/cache.h"
 #include "src/regexp/regexp.h"
 #include "src/shell/coreutils.h"
 #include "src/shell/mk.h"
 #include "src/text/address.h"
+#include "src/text/search.h"
 
 namespace help {
 
@@ -441,29 +443,28 @@ Status Help::CmdSearch(const std::vector<std::string>& args, bool literal,
     return Status::Error("Pattern: no pattern");
   }
   Subwindow& body = w->body();
-  RuneString all = body.text->ReadAll();
+  const Text& t = *body.text;
   size_t start = body.sel.q1;
   Selection found;
   bool ok = false;
   if (literal) {
+    // Streaming Boyer-Moore-Horspool over the gap-buffer spans: no document
+    // copy, no O(n·m) RuneString::find.
     RuneString needle = RunesFromUtf8(pattern);
-    size_t pos = all.find(needle, start);
-    if (pos == RuneString::npos) {
-      pos = all.find(needle);  // wrap around
+    size_t pos = StreamFindLiteral(t, needle, start);
+    if (pos == RuneString::npos && start > 0) {
+      pos = StreamFindLiteral(t, needle, 0);  // wrap around
     }
     if (pos != RuneString::npos) {
       found = {pos, pos + needle.size()};
       ok = true;
     }
   } else {
-    auto re = Regexp::Compile(pattern);
+    auto re = RegexpCache::Global().Get(pattern);
     if (!re.ok()) {
       return re.status();
     }
-    auto m = re.value().Search(all, start);
-    if (!m) {
-      m = re.value().Search(all, 0);  // wrap around
-    }
+    auto m = StreamSearchWrap(t, *re.value(), start);
     if (m) {
       found = {m->begin, m->end};
       ok = true;

@@ -1,0 +1,56 @@
+#include "src/regexp/cache.h"
+
+#include "src/obs/trace.h"
+
+namespace help {
+
+RegexpCache& RegexpCache::Global() {
+  static RegexpCache* cache = new RegexpCache();
+  return *cache;
+}
+
+Result<std::shared_ptr<const Regexp>> RegexpCache::Get(std::string_view pattern) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(pattern);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
+      OBS_COUNT("search.regexp_cache_hit", 1);
+      return it->second->second;
+    }
+  }
+  // Compile outside the lock: parsing is the expensive part, and two threads
+  // racing to compile the same pattern just means one redundant compile.
+  auto re = Regexp::Compile(pattern);
+  if (!re.ok()) {
+    return re.status();
+  }
+  auto compiled = std::make_shared<const Regexp>(re.take());
+  OBS_COUNT("search.regexp_cache_miss", 1);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(pattern);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // a racer beat us to it
+    return it->second->second;
+  }
+  lru_.emplace_front(std::string(pattern), compiled);
+  index_[lru_.front().first] = lru_.begin();
+  while (lru_.size() > kCapacity) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  return compiled;
+}
+
+void RegexpCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t RegexpCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace help

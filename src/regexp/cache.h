@@ -1,0 +1,49 @@
+// A process-wide LRU cache of compiled regexps keyed by pattern text. The
+// interaction model re-executes the same handful of patterns constantly —
+// every Look click, every plumbed `name:/re/` address, every cycle of a
+// polling script — so compilation (parse + codegen) would otherwise run on
+// each gesture. Entries are shared_ptr<const Regexp>: a caller's handle stays
+// valid even if the entry is evicted mid-use.
+#ifndef SRC_REGEXP_CACHE_H_
+#define SRC_REGEXP_CACHE_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/base/status.h"
+#include "src/regexp/regexp.h"
+
+namespace help {
+
+class RegexpCache {
+ public:
+  static constexpr size_t kCapacity = 64;
+
+  static RegexpCache& Global();
+
+  // Returns the compiled regexp for `pattern`, compiling and caching on a
+  // miss. Compile errors are returned but never cached (they are rare and
+  // retrying is cheap relative to remembering every typo).
+  Result<std::shared_ptr<const Regexp>> Get(std::string_view pattern);
+
+  void Clear();
+  size_t size() const;
+
+ private:
+  // MRU at the front. The map holds iterators into the list; both are only
+  // touched under mu_ (searches run on the UI thread and on shell/9P
+  // dispatch, so the cache must be thread-safe).
+  using Entry = std::pair<std::string, std::shared_ptr<const Regexp>>;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;
+  std::map<std::string, std::list<Entry>::iterator, std::less<>> index_;
+};
+
+}  // namespace help
+
+#endif  // SRC_REGEXP_CACHE_H_

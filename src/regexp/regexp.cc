@@ -1,8 +1,21 @@
 #include "src/regexp/regexp.h"
 
 #include <array>
+#include <atomic>
+
+#include "src/obs/trace.h"
 
 namespace help {
+
+namespace {
+// Test/bench switch for the literal-prefix skip loop (see
+// SetLiteralFastPathEnabled). Relaxed: flipped only by tests and benches.
+std::atomic<bool> g_literal_fastpath{true};
+}  // namespace
+
+void Regexp::SetLiteralFastPathEnabled(bool on) {
+  g_literal_fastpath.store(on, std::memory_order_relaxed);
+}
 
 bool Regexp::CharClass::Contains(Rune r) const {
   bool in = false;
@@ -338,7 +351,41 @@ Result<Regexp> Regexp::Compile(std::string_view pattern) {
   emitter.Emit(ast.value().get());
   re.prog_.push_back({Op::kSave, 0, 1, 0, 0});  // whole-match end
   re.prog_.push_back({Op::kMatch, 0, 0, 0, 0});
+  re.ExtractLiteral();
   return re;
+}
+
+// Walks the program head to find the runes every match must begin with. Any
+// accepting path executes the leading straight-line prefix — kSave markers
+// and consecutive kChar ops, optionally after one kBol — before the first
+// branch, so those chars are a required literal prefix. The searcher skips to
+// candidate occurrences with Boyer-Moore-Horspool and only then pays for the
+// VM; when the program is nothing but the literal (and has no capture
+// groups), the candidate *is* the match and the VM never runs.
+void Regexp::ExtractLiteral() {
+  literal_.clear();
+  literal_whole_ = false;
+  bol_anchored_ = false;
+  size_t pc = 0;
+  while (pc < prog_.size() && prog_[pc].op == Op::kSave) {
+    pc++;
+  }
+  if (pc < prog_.size() && prog_[pc].op == Op::kBol) {
+    bol_anchored_ = true;
+    pc++;
+  }
+  while (pc < prog_.size()) {
+    if (prog_[pc].op == Op::kSave) {
+      pc++;
+    } else if (prog_[pc].op == Op::kChar) {
+      literal_.push_back(prog_[pc].r);
+      pc++;
+    } else {
+      break;
+    }
+  }
+  literal_whole_ = pc < prog_.size() && prog_[pc].op == Op::kMatch &&
+                   ngroups_ == 1 && !literal_.empty();
 }
 
 // ---------------------------------------------------------------------------
@@ -350,7 +397,7 @@ constexpr size_t kNpos = static_cast<size_t>(-1);
 
 }  // namespace
 
-std::optional<Regexp::MatchResult> Regexp::Run(RuneStringView text, size_t start,
+std::optional<Regexp::MatchResult> Regexp::Run(const RuneSpans& text, size_t start,
                                                bool anchored) const {
   const size_t nslots = 2 * static_cast<size_t>(ngroups_);
   struct Thread {
@@ -405,7 +452,8 @@ std::optional<Regexp::MatchResult> Regexp::Run(RuneStringView text, size_t start
     }
   };
 
-  for (size_t pos = start;; pos++) {
+  size_t pos = start;
+  for (;; pos++) {
     gen++;
     // Inject a new start thread (lowest priority) unless anchored past start
     // or a match has already been found (leftmost semantics).
@@ -451,6 +499,10 @@ std::optional<Regexp::MatchResult> Regexp::Run(RuneStringView text, size_t start
       break;
     }
   }
+  // The streaming scan's footprint: runes the VM actually advanced over.
+  OBS_COUNT("search.bytes_scanned",
+            (std::min(pos, text.size()) - std::min(start, text.size()) + 1) *
+                sizeof(Rune));
 
   if (!matched) {
     return std::nullopt;
@@ -464,12 +516,87 @@ std::optional<Regexp::MatchResult> Regexp::Run(RuneStringView text, size_t start
   return result;
 }
 
-std::optional<Regexp::MatchResult> Regexp::Search(RuneStringView text, size_t start) const {
+std::optional<Regexp::MatchResult> Regexp::Search(const RuneSpans& text,
+                                                  size_t start) const {
+  if (!literal_.empty() && !bol_anchored_ &&
+      g_literal_fastpath.load(std::memory_order_relaxed)) {
+    size_t pos = start;
+    while (true) {
+      size_t cand = FindRunes(text, literal_, pos);
+      if (cand == RuneSpans::npos) {
+        OBS_COUNT("search.literal_fastpath", 1);
+        OBS_COUNT("search.bytes_scanned",
+                  (text.size() - std::min(start, text.size())) * sizeof(Rune));
+        return std::nullopt;
+      }
+      if (literal_whole_) {
+        OBS_COUNT("search.literal_fastpath", 1);
+        OBS_COUNT("search.bytes_scanned",
+                  (cand + literal_.size() - start) * sizeof(Rune));
+        MatchResult result;
+        result.begin = cand;
+        result.end = cand + literal_.size();
+        return result;
+      }
+      auto m = Run(text, cand, /*anchored=*/true);
+      if (m) {
+        OBS_COUNT("search.literal_fastpath", 1);
+        return m;
+      }
+      pos = cand + 1;
+    }
+  }
   return Run(text, start, /*anchored=*/false);
 }
 
-std::optional<Regexp::MatchResult> Regexp::MatchAt(RuneStringView text, size_t pos) const {
+std::optional<Regexp::MatchResult> Regexp::MatchAt(const RuneSpans& text,
+                                                   size_t pos) const {
+  // Cheap negative filter: every match starts with the required literal (and
+  // at a line start when '^'-anchored), so most candidates die without a VM
+  // thread ever being built.
+  if (!literal_.empty() && g_literal_fastpath.load(std::memory_order_relaxed)) {
+    if (pos + literal_.size() > text.size()) {
+      return std::nullopt;
+    }
+    if (bol_anchored_ && pos != 0 && text[pos - 1] != '\n') {
+      return std::nullopt;
+    }
+    for (size_t i = 0; i < literal_.size(); i++) {
+      if (text[pos + i] != literal_[i]) {
+        return std::nullopt;
+      }
+    }
+    if (literal_whole_) {  // bol (if any) was verified above
+      MatchResult result;
+      result.begin = pos;
+      result.end = pos + literal_.size();
+      return result;
+    }
+  }
   return Run(text, pos, /*anchored=*/true);
+}
+
+std::optional<Regexp::MatchResult> Regexp::SearchBackward(const RuneSpans& text,
+                                                          size_t limit) const {
+  OBS_COUNT("search.backward", 1);
+  // Stream forward keeping the last qualifying match: the candidates are the
+  // (greedy) matches at each successful start position, and the winner is the
+  // one with the largest begin whose end stays at or before `limit`. No copy
+  // of the document is ever made; the literal fast path skips between
+  // candidate starts.
+  std::optional<MatchResult> best;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    auto m = Search(text, pos);
+    if (!m || m->begin > limit) {
+      break;
+    }
+    if (m->end <= limit) {
+      best = *m;
+    }
+    pos = m->begin + 1;
+  }
+  return best;
 }
 
 std::optional<Regexp::MatchResult> Regexp::SearchUtf8(std::string_view text) const {

@@ -35,16 +35,43 @@ class Regexp {
   static Result<Regexp> Compile(std::string_view pattern);
 
   // Finds the leftmost match at or after rune offset `start`. `text` is the
-  // whole document so that ^ and $ see true line boundaries.
-  std::optional<MatchResult> Search(RuneStringView text, size_t start = 0) const;
+  // whole document so that ^ and $ see true line boundaries. The two-span
+  // form streams directly over gap-buffer storage — no copy is ever made.
+  // When the pattern begins with a required literal, the scan skips with a
+  // Boyer-Moore-Horspool loop and enters the VM only at candidate positions.
+  std::optional<MatchResult> Search(const RuneSpans& text, size_t start = 0) const;
+  std::optional<MatchResult> Search(RuneStringView text, size_t start = 0) const {
+    return Search(RuneSpans(text), start);
+  }
 
   // True iff the pattern matches starting exactly at `pos`.
-  std::optional<MatchResult> MatchAt(RuneStringView text, size_t pos) const;
+  std::optional<MatchResult> MatchAt(const RuneSpans& text, size_t pos) const;
+  std::optional<MatchResult> MatchAt(RuneStringView text, size_t pos) const {
+    return MatchAt(RuneSpans(text), pos);
+  }
+
+  // The last match whose end is at or before rune offset `limit` (the -/re/
+  // address). Streams forward over the spans without materializing; the
+  // literal fast path applies between candidate matches.
+  std::optional<MatchResult> SearchBackward(const RuneSpans& text, size_t limit) const;
 
   // Convenience for UTF-8 haystacks (offsets in the result are rune offsets).
   std::optional<MatchResult> SearchUtf8(std::string_view text) const;
 
   const std::string& pattern() const { return pattern_; }
+
+  // The literal rune prefix every match must begin with (empty when the
+  // pattern has no required leading literal), and whether the whole pattern
+  // is exactly that literal (no VM run needed at a candidate).
+  RuneStringView required_prefix() const { return literal_; }
+  bool literal_only() const { return literal_whole_; }
+  // True when every match must begin at a line start (leading '^'): the
+  // streaming layer then enumerates line starts instead of scanning runes.
+  bool line_anchored() const { return bol_anchored_; }
+
+  // Test/bench hook: disables the literal-prefix skip loop so the A/B
+  // benchmarks and the differential property suite can run the plain VM.
+  static void SetLiteralFastPathEnabled(bool on);
 
   Regexp(Regexp&&) = default;
   Regexp& operator=(Regexp&&) = default;
@@ -75,12 +102,17 @@ class Regexp {
 
   Regexp() = default;
 
-  std::optional<MatchResult> Run(RuneStringView text, size_t start, bool anchored) const;
+  std::optional<MatchResult> Run(const RuneSpans& text, size_t start, bool anchored) const;
+  // Derives literal_/literal_whole_/bol_anchored_ from the compiled program.
+  void ExtractLiteral();
 
   std::string pattern_;
   std::vector<Inst> prog_;
   std::vector<CharClass> classes_;
   int ngroups_ = 1;
+  RuneString literal_;         // required leading literal (possibly empty)
+  bool literal_whole_ = false; // the program is exactly the literal
+  bool bol_anchored_ = false;  // leading '^'
 };
 
 }  // namespace help

@@ -166,10 +166,22 @@ int Grep(ExecContext& ctx, const std::vector<std::string>& argv, Io& io) {
   bool any = false;
   auto scan = [&](std::string_view label, std::string_view content) {
     long nmatch = 0;
-    std::vector<std::string> lines = Lines(content);
-    for (size_t ln = 0; ln < lines.size(); ln++) {
-      RuneString runes = RunesFromUtf8(lines[ln]);
-      bool hit = re.value().Search(runes).has_value();
+    // One decode of the whole input instead of one RuneString per line; each
+    // line is a zero-copy view and the literal fast path / Pike VM run over
+    // it directly. Only matched lines are re-encoded for output.
+    RuneString all = RunesFromUtf8(content);
+    RuneStringView doc(all);
+    size_t pos = 0;
+    size_t ln = 0;
+    while (pos < doc.size()) {
+      size_t eol = doc.find('\n', pos);
+      if (eol == RuneStringView::npos) {
+        eol = doc.size();
+      }
+      RuneStringView line = doc.substr(pos, eol - pos);
+      ln++;
+      pos = eol + 1;
+      bool hit = re.value().Search(line).has_value();
       if (hit == invert) {
         continue;
       }
@@ -182,9 +194,9 @@ int Grep(ExecContext& ctx, const std::vector<std::string>& argv, Io& io) {
         *io.out += std::string(label) + ":";
       }
       if (number) {
-        *io.out += StrFormat("%zu: ", ln + 1);
+        *io.out += StrFormat("%zu: ", ln);
       }
-      *io.out += lines[ln] + "\n";
+      *io.out += Utf8FromRunes(line) + "\n";
     }
     if (count) {
       if (many) {
@@ -221,9 +233,9 @@ int Sed(ExecContext& ctx, const std::vector<std::string>& argv, Io& io) {
     *io.err += "sed: " + data.message() + "\n";
     return 1;
   }
-  std::vector<std::string> lines = Lines(data.value());
   // Nq form.
   if (!script.empty() && script.back() == 'q') {
+    std::vector<std::string> lines = Lines(data.value());
     long n = ParseInt(std::string_view(script).substr(0, script.size() - 1));
     if (n < 0) {
       *io.err += "sed: bad script\n";
@@ -248,8 +260,19 @@ int Sed(ExecContext& ctx, const std::vector<std::string>& argv, Io& io) {
       *io.err += "sed: " + re.message() + "\n";
       return 1;
     }
-    for (const std::string& line : lines) {
-      RuneString runes = RunesFromUtf8(line);
+    // As in grep: decode the input once and substitute over zero-copy line
+    // views instead of materializing a RuneString per line.
+    RuneString repl = RunesFromUtf8(parts[1]);
+    RuneString all = RunesFromUtf8(data.value());
+    RuneStringView doc(all);
+    size_t lpos = 0;
+    while (lpos < doc.size()) {
+      size_t eol = doc.find('\n', lpos);
+      if (eol == RuneStringView::npos) {
+        eol = doc.size();
+      }
+      RuneStringView runes = doc.substr(lpos, eol - lpos);
+      lpos = eol + 1;
       RuneString result;
       size_t pos = 0;
       while (pos <= runes.size()) {
@@ -257,15 +280,15 @@ int Sed(ExecContext& ctx, const std::vector<std::string>& argv, Io& io) {
         if (!m) {
           break;
         }
-        result.append(runes, pos, m->begin - pos);
-        result += RunesFromUtf8(parts[1]);
+        result.append(runes.substr(pos, m->begin - pos));
+        result += repl;
         pos = m->end > m->begin ? m->end : m->end + 1;
         if (!global) {
           break;
         }
       }
       if (pos <= runes.size()) {
-        result.append(runes, pos, runes.size() - pos);
+        result.append(runes.substr(pos));
       }
       *io.out += Utf8FromRunes(result) + "\n";
     }

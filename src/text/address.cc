@@ -3,7 +3,9 @@
 #include <cctype>
 
 #include "src/base/strings.h"
+#include "src/regexp/cache.h"
 #include "src/regexp/regexp.h"
+#include "src/text/search.h"
 
 namespace help {
 
@@ -14,7 +16,7 @@ FileAddress SplitFileAddress(std::string_view s) {
     }
     char next = s[i + 1];
     if (isdigit(static_cast<unsigned char>(next)) || next == '#' || next == '/' ||
-        next == '$') {
+        next == '$' || (next == '-' && i + 2 < s.size() && s[i + 2] == '/')) {
       return {std::string(s.substr(0, i)), std::string(s.substr(i + 1))};
     }
   }
@@ -22,6 +24,48 @@ FileAddress SplitFileAddress(std::string_view s) {
 }
 
 namespace {
+
+// Consumes a /-delimited pattern (the leading '/' already consumed) from
+// (*addr), honoring \/ escapes.
+std::string TakePattern(std::string_view* addr) {
+  std::string pattern;
+  while (!addr->empty() && (*addr)[0] != '/') {
+    if ((*addr)[0] == '\\' && addr->size() > 1 && (*addr)[1] == '/') {
+      pattern += '/';
+      addr->remove_prefix(2);
+      continue;
+    }
+    pattern += (*addr)[0];
+    addr->remove_prefix(1);
+  }
+  if (!addr->empty()) {
+    addr->remove_prefix(1);  // closing '/'
+  }
+  return pattern;
+}
+
+// /re/ and -/re/: compile through the process-wide LRU (the same patterns
+// re-resolve on every Look click and plumbing cycle) and stream over the gap
+// buffer — no document copy.
+Result<Selection> EvalPattern(const Text& t, std::string_view* addr, bool backward) {
+  std::string pattern = TakePattern(addr);
+  if (pattern.empty()) {
+    // sam's bare // repeats the previous pattern; with no such memory an
+    // empty pattern is an error rather than a match-everything.
+    return Status::Error("address: empty regexp");
+  }
+  auto re = RegexpCache::Global().Get(pattern);
+  if (!re.ok()) {
+    return re.status();
+  }
+  auto m = backward ? StreamSearchBackward(t, *re.value(), t.size())
+                    : StreamSearch(t, *re.value());
+  if (!m) {
+    return Status::Error("address: no match for " + std::string(backward ? "-" : "") +
+                         "/" + pattern + "/");
+  }
+  return Selection{m->begin, m->end};
+}
 
 // Evaluates one simple address starting at (*addr); consumes what it parses.
 Result<Selection> EvalSimple(const Text& t, std::string_view* addr) {
@@ -61,34 +105,11 @@ Result<Selection> EvalSimple(const Text& t, std::string_view* addr) {
   }
   if (c == '/') {
     addr->remove_prefix(1);
-    std::string pattern;
-    while (!addr->empty() && (*addr)[0] != '/') {
-      if ((*addr)[0] == '\\' && addr->size() > 1 && (*addr)[1] == '/') {
-        pattern += '/';
-        addr->remove_prefix(2);
-        continue;
-      }
-      pattern += (*addr)[0];
-      addr->remove_prefix(1);
-    }
-    if (!addr->empty()) {
-      addr->remove_prefix(1);  // closing '/'
-    }
-    if (pattern.empty()) {
-      // sam's bare // repeats the previous pattern; with no such memory an
-      // empty pattern is an error rather than a match-everything.
-      return Status::Error("address: empty regexp");
-    }
-    auto re = Regexp::Compile(pattern);
-    if (!re.ok()) {
-      return re.status();
-    }
-    RuneString all = t.ReadAll();
-    auto m = re.value().Search(all);
-    if (!m) {
-      return Status::Error("address: no match for /" + pattern + "/");
-    }
-    return Selection{m->begin, m->end};
+    return EvalPattern(t, addr, /*backward=*/false);
+  }
+  if (c == '-' && addr->size() > 1 && (*addr)[1] == '/') {
+    addr->remove_prefix(2);
+    return EvalPattern(t, addr, /*backward=*/true);
   }
   return Status::Error("address: bad syntax");
 }

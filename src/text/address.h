@@ -6,8 +6,12 @@
 //   27          line 27 (the whole line becomes the selection)
 //   #512        the null selection at rune offset 512
 //   /regexp/    the first match of regexp
+//   -/regexp/   the last match of regexp (backward search from the end)
 //   $           the end of the file
 //   a1,a2       from the start of a1 through the end of a2
+//
+// Pattern addresses stream over the document's gap-buffer spans (see
+// src/text/search.h): resolving one never copies the body.
 #ifndef SRC_TEXT_ADDRESS_H_
 #define SRC_TEXT_ADDRESS_H_
 
@@ -25,8 +29,8 @@ struct FileAddress {
 };
 
 // Splits "name:addr" into its parts. The colon must be followed by a valid
-// address lead-in (digit, '#', '/', '$'); otherwise the whole string is a
-// file name (so DOS-style or odd names don't mis-split).
+// address lead-in (digit, '#', '/', '$', "-/"); otherwise the whole string is
+// a file name (so DOS-style or odd names don't mis-split).
 FileAddress SplitFileAddress(std::string_view s);
 
 // Evaluates `addr` against `t`, returning the selection it denotes.

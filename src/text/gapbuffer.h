@@ -25,6 +25,14 @@ class GapBuffer {
   RuneString Read(size_t pos, size_t n) const;
   RuneString ReadAll() const { return Read(0, size()); }
 
+  // Zero-copy view of the whole buffer as its two physical spans (before and
+  // after the gap). Valid until the next mutation; the streaming search layer
+  // runs entirely over this view.
+  RuneSpans Spans() const {
+    RuneStringView phys(buf_);
+    return RuneSpans(phys.substr(0, gap_start_), phys.substr(gap_end_));
+  }
+
   // Inserts `s` before position `pos` (pos <= size()).
   void Insert(size_t pos, RuneStringView s);
 

@@ -1,0 +1,79 @@
+#include "src/text/search.h"
+
+#include "src/obs/trace.h"
+
+namespace help {
+
+std::optional<Regexp::MatchResult> StreamSearch(const Text& t, const Regexp& re,
+                                                size_t start) {
+  OBS_SPAN("search.stream");
+  RuneSpans doc = t.Spans();
+  if (start > doc.size()) {
+    return std::nullopt;
+  }
+  if (!re.line_anchored()) {
+    return re.Search(doc, start);
+  }
+  // '^…': every match begins at a line start, so enumerate those instead of
+  // feeding every rune through the VM. The first candidate comes from the
+  // Fenwick line index (O(log n)); subsequent ones from the span-level
+  // newline scan. MatchAt rejects most candidates on its literal-prefix
+  // precheck without building a VM thread.
+  OBS_COUNT("search.anchored_linescan", 1);
+  size_t p = 0;
+  if (start > 0) {
+    size_t line = t.LineAt(start);
+    if (t.LineStart(line) == start) {
+      p = start;
+    } else {
+      // Start of the next line, if one exists. LineStart clamps overlong line
+      // numbers back to the final line's start, which can only land at or
+      // before `start` — a genuine next start is always past it.
+      size_t next = t.LineStart(line + 1);
+      if (next <= start) {
+        return std::nullopt;
+      }
+      p = next;
+    }
+  }
+  while (true) {
+    auto m = re.MatchAt(doc, p);
+    if (m) {
+      return m;
+    }
+    size_t nl = doc.Find('\n', p);
+    if (nl == RuneSpans::npos) {
+      return std::nullopt;
+    }
+    p = nl + 1;
+  }
+}
+
+std::optional<Regexp::MatchResult> StreamSearchWrap(const Text& t, const Regexp& re,
+                                                    size_t start) {
+  auto m = StreamSearch(t, re, start);
+  if (!m && start > 0) {
+    m = StreamSearch(t, re, 0);
+  }
+  return m;
+}
+
+std::optional<Regexp::MatchResult> StreamSearchBackward(const Text& t,
+                                                        const Regexp& re,
+                                                        size_t limit) {
+  OBS_SPAN("search.stream");
+  return re.SearchBackward(t.Spans(), std::min(limit, t.size()));
+}
+
+size_t StreamFindLiteral(const Text& t, RuneStringView needle, size_t start) {
+  OBS_SPAN("search.stream");
+  size_t pos = FindRunes(t.Spans(), needle, start);
+  OBS_COUNT("search.literal_fastpath", 1);
+  OBS_COUNT("search.bytes_scanned",
+            ((pos == RuneSpans::npos ? t.size() : pos + needle.size()) -
+             std::min(start, t.size())) *
+                sizeof(Rune));
+  return pos == RuneSpans::npos ? RuneString::npos : pos;
+}
+
+}  // namespace help

@@ -1,0 +1,43 @@
+// Streaming search over a Text: every entry point here runs directly over the
+// gap buffer's two spans (Text::Spans()) and never materializes a document
+// copy — the paper's interaction model makes search a per-gesture hot path
+// (every Look, every /pattern/ address, every name:27 context jump), so a 1M-
+// line log window must not cost megabytes of allocation per click.
+//
+// Division of labor: the Regexp engine owns the rune-level scan (Pike VM,
+// literal-prefix Boyer-Moore-Horspool skip); this layer owns what needs the
+// Text's structure — '^'-anchored patterns enumerate line starts (located
+// through the Fenwick line index rather than a rune-by-rune scan), wrap-
+// around search mirrors the Pattern command, and backward search serves the
+// -/re/ address.
+#ifndef SRC_TEXT_SEARCH_H_
+#define SRC_TEXT_SEARCH_H_
+
+#include <optional>
+
+#include "src/regexp/regexp.h"
+#include "src/text/text.h"
+
+namespace help {
+
+// Leftmost match at or after rune offset `start`.
+std::optional<Regexp::MatchResult> StreamSearch(const Text& t, const Regexp& re,
+                                                size_t start = 0);
+
+// Like StreamSearch, but wraps to the top when nothing matches at or after
+// `start` (the Pattern/Look gesture's semantics).
+std::optional<Regexp::MatchResult> StreamSearchWrap(const Text& t, const Regexp& re,
+                                                    size_t start);
+
+// The last match whose end is at or before `limit` (the -/re/ address).
+std::optional<Regexp::MatchResult> StreamSearchBackward(const Text& t,
+                                                        const Regexp& re,
+                                                        size_t limit);
+
+// First occurrence of `needle` at or after `start`, or RuneString::npos.
+// Boyer-Moore-Horspool over the spans (the Text command / help literal path).
+size_t StreamFindLiteral(const Text& t, RuneStringView needle, size_t start = 0);
+
+}  // namespace help
+
+#endif  // SRC_TEXT_SEARCH_H_

@@ -59,9 +59,16 @@ class Text {
   Rune At(size_t pos) const { return buf_.At(pos); }
   RuneString Read(size_t pos, size_t n) const { return buf_.Read(pos, n); }
   RuneString ReadAll() const { return buf_.ReadAll(); }
-  std::string Utf8() const { return Utf8FromRunes(buf_.ReadAll()); }
+  // Zero-copy two-span view of the document (valid until the next mutation);
+  // the streaming search layer (src/text/search.h) runs over this.
+  RuneSpans Spans() const { return buf_.Spans(); }
+  // Whole-document UTF-8 via the line index's byte-exact range reader — one
+  // output allocation, no intermediate full rune copy.
+  std::string Utf8() const {
+    return lines_.Utf8Substr(buf_, 0, static_cast<size_t>(lines_.utf8_bytes()));
+  }
   std::string Utf8Range(size_t q0, size_t q1) const {
-    return q1 > q0 ? Utf8FromRunes(buf_.Read(q0, q1 - q0)) : std::string();
+    return q1 > q0 ? Utf8FromRunes(buf_.Spans().Slice(q0, q1 - q0)) : std::string();
   }
 
   // --- Byte-offset views (the file-server read path) ------------------------

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/regexp/cache.h"
+
 namespace help {
 namespace {
 
@@ -198,6 +200,141 @@ TEST_P(RegexpLiteralProperty, AgreesWithFind) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RegexpLiteralProperty, ::testing::Range(1, 33));
+
+// --- Streaming (two-span) search ------------------------------------------
+
+// Splits `text` at every possible point and checks that searching the spans
+// gives the same answer as searching the contiguous string.
+TEST(RegexpSpans, EverySplitEquivalent) {
+  const char* kPatterns[] = {"abc", "a.c", "^b", "c$", "(a+)(b+)", "x|abc"};
+  RuneString runes = RunesFromUtf8("xxabc\nabbc\nbzz abc");
+  for (const char* pattern : kPatterns) {
+    auto re = Regexp::Compile(pattern);
+    ASSERT_TRUE(re.ok()) << pattern;
+    auto want = re.value().Search(RuneStringView(runes));
+    for (size_t cut = 0; cut <= runes.size(); cut++) {
+      RuneSpans spans(RuneStringView(runes).substr(0, cut),
+                      RuneStringView(runes).substr(cut));
+      auto got = re.value().Search(spans);
+      ASSERT_EQ(got.has_value(), want.has_value()) << pattern << " cut " << cut;
+      if (want) {
+        EXPECT_EQ(got->begin, want->begin) << pattern << " cut " << cut;
+        EXPECT_EQ(got->end, want->end) << pattern << " cut " << cut;
+        EXPECT_EQ(got->groups, want->groups) << pattern << " cut " << cut;
+      }
+    }
+  }
+}
+
+TEST(RegexpSpans, LiteralExtraction) {
+  auto whole = Regexp::Compile("hello");
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(whole.value().required_prefix(), RunesFromUtf8("hello"));
+  EXPECT_TRUE(whole.value().literal_only());
+  EXPECT_FALSE(whole.value().line_anchored());
+
+  auto prefix = Regexp::Compile("err(or|no)");
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_EQ(prefix.value().required_prefix(), RunesFromUtf8("err"));
+  EXPECT_FALSE(prefix.value().literal_only());
+
+  auto anchored = Regexp::Compile("^main");
+  ASSERT_TRUE(anchored.ok());
+  EXPECT_TRUE(anchored.value().line_anchored());
+  EXPECT_EQ(anchored.value().required_prefix(), RunesFromUtf8("main"));
+
+  auto starred = Regexp::Compile("a*b");
+  ASSERT_TRUE(starred.ok());
+  EXPECT_TRUE(starred.value().required_prefix().empty());
+
+  auto grouped = Regexp::Compile("(abc)");
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped.value().required_prefix(), RunesFromUtf8("abc"));
+  EXPECT_FALSE(grouped.value().literal_only());  // must record the capture
+}
+
+// The fast path and the plain VM must agree, including on matches that the
+// skip loop lands on mid-candidate.
+TEST(RegexpSpans, FastPathEquivalence) {
+  RuneString runes = RunesFromUtf8("ababx abaabab ababab!");
+  auto re = Regexp::Compile("abab");
+  ASSERT_TRUE(re.ok());
+  for (size_t start = 0; start <= runes.size(); start++) {
+    Regexp::SetLiteralFastPathEnabled(false);
+    auto want = re.value().Search(RuneStringView(runes), start);
+    Regexp::SetLiteralFastPathEnabled(true);
+    auto got = re.value().Search(RuneStringView(runes), start);
+    ASSERT_EQ(got.has_value(), want.has_value()) << start;
+    if (want) {
+      EXPECT_EQ(got->begin, want->begin) << start;
+      EXPECT_EQ(got->end, want->end) << start;
+    }
+  }
+}
+
+TEST(RegexpSpans, SearchBackward) {
+  RuneString runes = RunesFromUtf8("ab ab ab");
+  auto re = Regexp::Compile("ab");
+  ASSERT_TRUE(re.ok());
+  RuneSpans spans{RuneStringView(runes)};
+
+  auto m = re.value().SearchBackward(spans, runes.size());
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->begin, 6u);  // the last "ab"
+
+  m = re.value().SearchBackward(spans, 5);  // the second "ab" ends exactly here
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->begin, 3u);
+
+  m = re.value().SearchBackward(spans, 4);  // only the first "ab" fits
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->begin, 0u);
+
+  m = re.value().SearchBackward(spans, 1);  // no match fits
+  EXPECT_FALSE(m.has_value());
+
+  // Greedy-at-each-start: -/a+/ on "aaa" is the match at the last start.
+  RuneString aaa = RunesFromUtf8("aaa");
+  auto plus = Regexp::Compile("a+");
+  ASSERT_TRUE(plus.ok());
+  m = plus.value().SearchBackward(RuneSpans{RuneStringView(aaa)}, aaa.size());
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->begin, 2u);
+  EXPECT_EQ(m->end, 3u);
+}
+
+// --- Compiled-pattern cache -----------------------------------------------
+
+TEST(RegexpCache, HitReturnsSameObject) {
+  RegexpCache cache;
+  auto a = cache.Get("a(b|c)+");
+  ASSERT_TRUE(a.ok());
+  auto b = cache.Get("a(b|c)+");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().get(), b.value().get());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(RegexpCache, ErrorsAreNotCached) {
+  RegexpCache cache;
+  EXPECT_FALSE(cache.Get("a(b").ok());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(RegexpCache, EvictsLeastRecentlyUsed) {
+  RegexpCache cache;
+  auto first = cache.Get("pat0");
+  ASSERT_TRUE(first.ok());
+  const Regexp* first_ptr = first.value().get();
+  // Fill past capacity without touching pat0 again: it must be evicted.
+  for (int i = 1; i < 100; i++) {
+    ASSERT_TRUE(cache.Get("pat" + std::to_string(i)).ok());
+  }
+  EXPECT_LE(cache.size(), 64u);
+  auto again = cache.Get("pat0");
+  ASSERT_TRUE(again.ok());
+  EXPECT_NE(again.value().get(), first_ptr);  // recompiled, not the old entry
+}
 
 }  // namespace
 }  // namespace help

@@ -306,6 +306,27 @@ TEST(Address, RegexpAddress) {
   EXPECT_EQ(t.Utf8Range(s.value().q0, s.value().q1), "n = 0");
 }
 
+TEST(Address, BackwardRegexpAddress) {
+  Text t("get(a);\nset(b);\nget(c);\n");
+  auto s = EvalAddress(t, "-/get/");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value(), (Selection{16, 19}));  // the last "get", not the first
+  s = EvalAddress(t, "/get/");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value(), (Selection{0, 3}));
+  EXPECT_FALSE(EvalAddress(t, "-/nomatch/").ok());
+  EXPECT_FALSE(EvalAddress(t, "-//").ok());
+}
+
+TEST(Address, SplitBackwardLeadIn) {
+  auto fa = SplitFileAddress("f.c:-/main/");
+  EXPECT_EQ(fa.file, "f.c");
+  EXPECT_EQ(fa.addr, "-/main/");
+  // "-" not followed by "/" is not an address lead-in.
+  fa = SplitFileAddress("odd:-name");
+  EXPECT_EQ(fa.file, "odd:-name");
+}
+
 TEST(Address, Range) {
   Text t("aa\nbb\ncc\ndd\n");
   auto s = EvalAddress(t, "2,3");
