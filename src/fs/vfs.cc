@@ -1,6 +1,7 @@
 #include "src/fs/vfs.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace help {
 
@@ -75,7 +76,11 @@ Result<uint32_t> OpenFile::Write(uint64_t offset, std::string_view data) {
   return static_cast<uint32_t>(data.size());
 }
 
-Vfs::Vfs() { root_ = std::make_shared<Node>("/", /*dir=*/true, NextQid()); }
+Vfs::Vfs() {
+  static std::atomic<uint64_t> next_vfs_id{1};
+  id_ = next_vfs_id.fetch_add(1, std::memory_order_relaxed);
+  root_ = std::make_shared<Node>("/", /*dir=*/true, NextQid());
+}
 
 Result<NodePtr> Vfs::Walk(std::string_view path) const {
   NodePtr cur = root_;

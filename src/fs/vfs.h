@@ -157,6 +157,13 @@ class Vfs {
   Clock* clock() { return &clock_; }
   const NodePtr& root() const { return root_; }
 
+  // Process-unique instance id. Qid paths and the logical clock are both
+  // per-instance and deterministic, so two namespaces can produce identical
+  // (path, qid, mtime) triples for different contents; caches that key on a
+  // file's identity (the shell's compiled-script cache) include this id to
+  // keep entries from aliasing across namespaces.
+  uint64_t id() const { return id_; }
+
   // --- Namespace operations -------------------------------------------------
   Result<NodePtr> Walk(std::string_view path) const;
   Result<NodePtr> Create(std::string_view path, bool dir);
@@ -192,6 +199,7 @@ class Vfs {
 
   NodePtr root_;
   Clock clock_;
+  uint64_t id_ = 0;
   uint64_t next_qid_ = 1;
 
   uint64_t NextQid() { return next_qid_++; }

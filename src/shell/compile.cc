@@ -1,0 +1,329 @@
+#include "src/shell/compile.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+#include "src/obs/trace.h"
+
+namespace help {
+
+namespace {
+
+// Glob expansion is decided at compile time per word: a word with any quoted
+// fragment never globs, matching the tree-walker's std::any_of check.
+bool AnyQuoted(const Word& w) {
+  return std::any_of(w.frags.begin(), w.frags.end(), [](const WordFrag& f) {
+    return f.kind == WordFrag::Kind::kQuoted;
+  });
+}
+
+}  // namespace
+
+const Program::Fn* Program::FindFn(const ShellScript* body) const {
+  auto it = fn_index_.find(body);
+  return it == fn_index_.end() ? nullptr : &fns_[it->second];
+}
+
+size_t Program::TotalOps() const {
+  size_t n = 0;
+  for (const Chunk& c : chunks_) {
+    n += c.code.size();
+  }
+  return n;
+}
+
+class ShellCompiler {
+ public:
+  explicit ShellCompiler(Program* p) : p_(p) {}
+
+  uint32_t AddScript(const ShellScript& s) {
+    uint32_t idx = static_cast<uint32_t>(p_->chunks_.size());
+    p_->chunks_.emplace_back();
+    std::vector<ShInstr> code;
+    for (const Pipeline& line : s.lines) {
+      Pipe(code, line);
+    }
+    p_->chunks_[idx].code = std::move(code);
+    return idx;
+  }
+
+ private:
+  uint32_t Str(std::string_view s) {
+    auto it = string_index_.find(s);
+    if (it != string_index_.end()) {
+      return it->second;
+    }
+    uint32_t idx = static_cast<uint32_t>(p_->strings_.size());
+    p_->strings_.emplace_back(s);
+    string_index_.emplace(std::string(s), idx);
+    return idx;
+  }
+
+  static void Emit(std::vector<ShInstr>& code, ShOp op, uint32_t a = 0, uint32_t b = 0) {
+    code.push_back({op, a, b});
+  }
+
+  // Lowers one word: push each fragment's list, folding with kConcat
+  // (left-associative, exactly the tree-walker's accumulation order), then
+  // glob when asked for and statically unquoted.
+  void Lower(std::vector<ShInstr>& code, const Word& w, bool glob) {
+    bool first = true;
+    for (const WordFrag& f : w.frags) {
+      switch (f.kind) {
+        case WordFrag::Kind::kLit:
+        case WordFrag::Kind::kQuoted:
+          Emit(code, ShOp::kPushLit, Str(f.text));
+          break;
+        case WordFrag::Kind::kVar:
+          if (!f.text.empty() && f.text[0] == '#') {
+            Emit(code, ShOp::kPushVarCount, Str(f.text.substr(1)));
+          } else {
+            Emit(code, ShOp::kPushVar, Str(f.text));
+          }
+          break;
+        case WordFrag::Kind::kBackquote:
+          Emit(code, ShOp::kBackquote, AddScript(*f.script));
+          break;
+      }
+      if (!first) {
+        Emit(code, ShOp::kConcat);
+      }
+      first = false;
+    }
+    if (glob && !AnyQuoted(w)) {
+      Emit(code, ShOp::kGlob);
+    }
+  }
+
+  void Pipe(std::vector<ShInstr>& code, const Pipeline& p) {
+    // Single-stage pipelines (the common case) skip the stage plumbing: the
+    // command runs over the chunk's own io, which is observably identical.
+    if (p.cmds.size() == 1) {
+      Cmd(code, p.cmds[0]);
+    } else {
+      Emit(code, ShOp::kPipelineBegin);
+      for (size_t i = 0; i < p.cmds.size(); i++) {
+        Emit(code, ShOp::kStageBegin, i + 1 == p.cmds.size() ? 1 : 0);
+        Cmd(code, p.cmds[i]);
+        Emit(code, ShOp::kStageEnd);
+      }
+    }
+    Emit(code, ShOp::kPipelineEnd);
+  }
+
+  void Cmd(std::vector<ShInstr>& code, const ShellCmd& cmd) {
+    // Redirections evaluate before the core runs (their targets' side
+    // effects — backquotes — fire first, as in the tree-walker). A failed
+    // `<` jumps past the whole command, skipping the `>` flush.
+    bool framed = !cmd.redirs.empty();
+    std::vector<size_t> fail_sites;
+    if (framed) {
+      Emit(code, ShOp::kCmdBegin);
+      for (const Redir& r : cmd.redirs) {
+        Lower(code, r.target, /*glob=*/false);
+        fail_sites.push_back(code.size());
+        Emit(code, ShOp::kRedir, static_cast<uint32_t>(r.kind));
+      }
+    }
+    Core(code, cmd);
+    if (framed) {
+      Emit(code, ShOp::kCmdEnd);
+      for (size_t site : fail_sites) {
+        code[site].b = static_cast<uint32_t>(code.size());
+      }
+    }
+  }
+
+  void Core(std::vector<ShInstr>& code, const ShellCmd& cmd) {
+    switch (cmd.kind) {
+      case ShellCmd::Kind::kBlock:
+        Emit(code, ShOp::kRunChunk, AddScript(*cmd.block));
+        return;
+      case ShellCmd::Kind::kIf:
+        Emit(code, ShOp::kIf, AddScript(*cmd.cond), AddScript(*cmd.body));
+        return;
+      case ShellCmd::Kind::kIfNot:
+        Emit(code, ShOp::kIfNot, AddScript(*cmd.body));
+        return;
+      case ShellCmd::Kind::kWhile:
+        Emit(code, ShOp::kWhile, AddScript(*cmd.cond), AddScript(*cmd.body));
+        return;
+      case ShellCmd::Kind::kFor:
+        if (cmd.for_in) {
+          for (const Word& w : cmd.for_list) {
+            Lower(code, w, /*glob=*/true);
+          }
+          Emit(code, ShOp::kCollect, static_cast<uint32_t>(cmd.for_list.size()));
+        } else {
+          Emit(code, ShOp::kPushVar, Str("*"));
+        }
+        Emit(code, ShOp::kFor, Str(cmd.var), AddScript(*cmd.body));
+        return;
+      case ShellCmd::Kind::kSwitch: {
+        Lower(code, cmd.subject, /*glob=*/false);
+        Emit(code, ShOp::kSwitchSubject);
+        // Patterns expand lazily, clause by clause, word by word: a match
+        // jumps to its clause body and skips every later expansion, so
+        // side effects in unreached patterns never fire.
+        std::vector<std::vector<size_t>> clause_sites(cmd.cases.size());
+        std::vector<size_t> end_sites;
+        for (size_t ci = 0; ci < cmd.cases.size(); ci++) {
+          for (const Word& pw : cmd.cases[ci].patterns) {
+            Lower(code, pw, /*glob=*/false);
+            clause_sites[ci].push_back(code.size());
+            Emit(code, ShOp::kCaseMatch);
+          }
+        }
+        Emit(code, ShOp::kSetStatus, 0);  // no clause matched
+        end_sites.push_back(code.size());
+        Emit(code, ShOp::kJump);
+        for (size_t ci = 0; ci < cmd.cases.size(); ci++) {
+          for (size_t site : clause_sites[ci]) {
+            code[site].a = static_cast<uint32_t>(code.size());
+          }
+          Emit(code, ShOp::kRunChunk, AddScript(*cmd.cases[ci].body));
+          end_sites.push_back(code.size());
+          Emit(code, ShOp::kJump);
+        }
+        for (size_t site : end_sites) {
+          code[site].a = static_cast<uint32_t>(code.size());
+        }
+        return;
+      }
+      case ShellCmd::Kind::kFnDef: {
+        // Compile the body first: a nested fn definition inside it appends
+        // its own entry to fns_, so this function's index is only stable
+        // after the recursion returns.
+        uint32_t body = AddScript(*cmd.body);
+        uint32_t fi = static_cast<uint32_t>(p_->fns_.size());
+        p_->fns_.push_back({cmd.body, body});
+        p_->fn_index_[cmd.body.get()] = fi;
+        Emit(code, ShOp::kFnDef, Str(cmd.var), fi);
+        return;
+      }
+      case ShellCmd::Kind::kSimple:
+        break;
+    }
+    for (const auto& [name, words] : cmd.assigns) {
+      for (const Word& w : words) {
+        Lower(code, w, /*glob=*/false);
+      }
+      Emit(code, ShOp::kCollect, static_cast<uint32_t>(words.size()));
+      Emit(code, cmd.words.empty() ? ShOp::kAssignPerm : ShOp::kAssignScoped, Str(name));
+    }
+    if (cmd.words.empty()) {
+      Emit(code, ShOp::kSetStatus, 0);
+      return;
+    }
+    for (const Word& w : cmd.words) {
+      Lower(code, w, /*glob=*/true);
+    }
+    Emit(code, ShOp::kCollect, static_cast<uint32_t>(cmd.words.size()));
+    Emit(code, ShOp::kRunSimple, static_cast<uint32_t>(cmd.assigns.size()));
+  }
+
+  Program* p_;
+  // Owning keys: a view into strings_ would dangle when the vector
+  // reallocates and short strings' SSO bytes move with it.
+  std::map<std::string, uint32_t, std::less<>> string_index_;
+};
+
+std::shared_ptr<const Program> CompileShell(const ShellScript& script) {
+  auto p = std::make_shared<Program>();
+  ShellCompiler(p.get()).AddScript(script);
+  return p;
+}
+
+Result<std::shared_ptr<const Program>> CompileShellSource(std::string_view src) {
+  auto parsed = ParseShell(src);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  OBS_COUNT("shell.compile", 1);
+  return CompileShell(*parsed.value());
+}
+
+namespace {
+
+struct OpInfo {
+  const char* name;
+  // which operands are meaningful, for the disassembler: s = string index,
+  // c = chunk index, n = number, p = pc, f = fn index, '-' = unused.
+  char a;
+  char b;
+};
+
+OpInfo InfoOf(ShOp op) {
+  switch (op) {
+    case ShOp::kPushLit: return {"push-lit", 's', '-'};
+    case ShOp::kPushVar: return {"push-var", 's', '-'};
+    case ShOp::kPushVarCount: return {"push-var-count", 's', '-'};
+    case ShOp::kBackquote: return {"backquote", 'c', '-'};
+    case ShOp::kConcat: return {"concat", '-', '-'};
+    case ShOp::kGlob: return {"glob", '-', '-'};
+    case ShOp::kCollect: return {"collect", 'n', '-'};
+    case ShOp::kAssignScoped: return {"assign-scoped", 's', '-'};
+    case ShOp::kAssignPerm: return {"assign-perm", 's', '-'};
+    case ShOp::kRunSimple: return {"run-simple", 'n', '-'};
+    case ShOp::kSetStatus: return {"set-status", 'n', '-'};
+    case ShOp::kPipelineBegin: return {"pipeline-begin", '-', '-'};
+    case ShOp::kStageBegin: return {"stage-begin", 'n', '-'};
+    case ShOp::kStageEnd: return {"stage-end", '-', '-'};
+    case ShOp::kPipelineEnd: return {"pipeline-end", '-', '-'};
+    case ShOp::kCmdBegin: return {"cmd-begin", '-', '-'};
+    case ShOp::kRedir: return {"redir", 'n', 'p'};
+    case ShOp::kCmdEnd: return {"cmd-end", '-', '-'};
+    case ShOp::kRunChunk: return {"run-chunk", 'c', '-'};
+    case ShOp::kIf: return {"if", 'c', 'c'};
+    case ShOp::kIfNot: return {"if-not", 'c', '-'};
+    case ShOp::kWhile: return {"while", 'c', 'c'};
+    case ShOp::kFor: return {"for", 's', 'c'};
+    case ShOp::kSwitchSubject: return {"switch-subject", '-', '-'};
+    case ShOp::kCaseMatch: return {"case-match", 'p', '-'};
+    case ShOp::kJump: return {"jump", 'p', '-'};
+    case ShOp::kFnDef: return {"fn-def", 's', 'f'};
+  }
+  return {"?", '-', '-'};
+}
+
+void AppendOperand(std::string* out, const Program& p, char kind, uint32_t v) {
+  switch (kind) {
+    case 's':
+      *out += StrFormat(" \"%s\"", p.str(v).c_str());
+      break;
+    case 'c':
+      *out += StrFormat(" chunk:%u", v);
+      break;
+    case 'p':
+      *out += StrFormat(" ->%u", v);
+      break;
+    case 'f':
+      *out += StrFormat(" fn:%u(chunk:%u)", v, p.fn(v).chunk);
+      break;
+    case 'n':
+      *out += StrFormat(" %u", v);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+std::string Program::Disassemble() const {
+  std::string out;
+  for (size_t ci = 0; ci < chunks_.size(); ci++) {
+    out += StrFormat("chunk %zu:\n", ci);
+    const std::vector<ShInstr>& code = chunks_[ci].code;
+    for (size_t pc = 0; pc < code.size(); pc++) {
+      OpInfo info = InfoOf(code[pc].op);
+      out += StrFormat("  %4zu  %-14s", pc, info.name);
+      AppendOperand(&out, *this, info.a, code[pc].a);
+      AppendOperand(&out, *this, info.b, code[pc].b);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace help

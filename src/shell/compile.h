@@ -1,0 +1,118 @@
+// The shell's compile stage: lowers a parsed ShellScript to a compact
+// bytecode Program executed by the VM in src/shell/vm.h. The tree-walking
+// evaluator in eval.cc re-traverses the AST (and, upstream, re-parses the
+// source) on every execution; a Program is built once, cached process-wide
+// (src/shell/scriptcache.h), and replayed as a flat instruction stream.
+//
+// Execution model the opcodes assume (see vm.cc for the interpreter):
+//   - an operand stack of rc values — lists of strings — assembled by the
+//     word ops (push/concat/glob/collect);
+//   - one script body per Chunk; control flow (if/while/for/blocks/case
+//     bodies, backquote substitutions, fn bodies) references sub-chunks by
+//     index, exactly mirroring rc's "a body is a script" structure;
+//   - pipeline/stage/command ops that reconfigure the in-memory Io plumbing
+//     the way eval.cc's RunPipeline/RunCmd do, so behavior stays
+//     bit-identical with the tree-walker.
+#ifndef SRC_SHELL_COMPILE_H_
+#define SRC_SHELL_COMPILE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/shell/shell.h"
+
+namespace help {
+
+enum class ShOp : uint8_t {
+  // Word assembly (operand stack of string lists).
+  kPushLit,       // a: string index       push {str[a]}
+  kPushVar,       // a: string index       push $name (the env list)
+  kPushVarCount,  // a: string index       push {len($name)}  ($#name)
+  kBackquote,     // a: chunk index        run chunk, push tokenized stdout
+  kConcat,        //                       pop b, a; push rc-distributed a^b
+  kGlob,          //                       pop; glob-expand unquoted fields
+  kCollect,       // a: n                  pop n lists; push their concatenation
+  // Assignments and simple commands.
+  kAssignScoped,  // a: string index       pop value; save old value; set
+  kAssignPerm,    // a: string index       pop value; set
+  kRunSimple,     // a: #scoped saves      pop argv; dispatch; restore saves
+  kSetStatus,     // a: value              status register := a
+  // Pipelines, stages, and redirections.
+  kPipelineBegin,  //                      carry := copy of current stdin
+  kStageBegin,     // a: 1 if last stage   stage io over carry
+  kStageEnd,       //                      carry := stage buffer
+  kPipelineEnd,    //                      set $status; stop chunk if exited
+  kCmdBegin,       //                      open a redirection frame
+  kRedir,          // a: Redir::Kind, b: fail pc   pop single-word target
+  kCmdEnd,         //                      flush > / >> target, close frame
+  // Control flow.
+  kRunChunk,       // a: chunk index       blocks and case bodies
+  kIf,             // a: cond chunk, b: body chunk
+  kIfNot,          // a: body chunk
+  kWhile,          // a: cond chunk, b: body chunk
+  kFor,            // a: string index (var), b: body chunk; pop value list
+  kSwitchSubject,  //                      pop; latch joined subject
+  kCaseMatch,      // a: target pc         pop patterns; jump on glob match
+  kJump,           // a: target pc
+  kFnDef,          // a: string index (name), b: fn entry index
+};
+
+struct ShInstr {
+  ShOp op;
+  uint32_t a = 0;
+  uint32_t b = 0;
+};
+
+// One compiled script body. Chunk 0 of a Program is the outermost script.
+struct Chunk {
+  std::vector<ShInstr> code;
+};
+
+// An immutable compiled script: chunks plus the constant pool (strings, fn
+// bodies). Programs are shared across threads via shared_ptr<const Program>
+// from the script cache and carry no mutable state.
+class Program {
+ public:
+  const Chunk& chunk(uint32_t i) const { return chunks_[i]; }
+  const std::string& str(uint32_t i) const { return strings_[i]; }
+  size_t chunk_count() const { return chunks_.size(); }
+
+  // fn bodies keep their AST so definitions interoperate with the
+  // tree-walking evaluator's FunctionTable, plus the pre-compiled chunk the
+  // VM jumps to when a function defined by this program is called.
+  struct Fn {
+    std::shared_ptr<ShellScript> ast;
+    uint32_t chunk = 0;
+  };
+  const Fn& fn(uint32_t i) const { return fns_[i]; }
+  // nullptr when `body` was not compiled as part of this program (a function
+  // defined by another script or by the tree-walker).
+  const Fn* FindFn(const ShellScript* body) const;
+
+  size_t TotalOps() const;
+  // Human-readable listing of every chunk, for debugging and tests.
+  std::string Disassemble() const;
+
+ private:
+  friend class ShellCompiler;
+  std::vector<Chunk> chunks_;
+  std::vector<std::string> strings_;
+  std::vector<Fn> fns_;
+  std::map<const ShellScript*, uint32_t> fn_index_;
+};
+
+// Lowers a parsed script. Never fails: the parser has already validated the
+// tree (the compiler only reshapes it).
+std::shared_ptr<const Program> CompileShell(const ShellScript& script);
+
+// Parse + compile in one step; bumps the shell.compile counter.
+Result<std::shared_ptr<const Program>> CompileShellSource(std::string_view src);
+
+}  // namespace help
+
+#endif  // SRC_SHELL_COMPILE_H_

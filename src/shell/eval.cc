@@ -1,9 +1,16 @@
 // Shell evaluator: word expansion, pipelines, redirection, builtins, and
-// external dispatch (native commands or nested shell scripts).
+// external dispatch (native commands or nested shell scripts). The
+// tree-walking Evaluator below is the original engine and the semantic
+// oracle; Shell::Run/RunArgv normally route through the bytecode VM
+// (src/shell/vm.h) fed by the compiled-script cache, falling back here when
+// SetVmEnabled(false).
 #include <algorithm>
+#include <atomic>
 
 #include "src/base/strings.h"
+#include "src/shell/scriptcache.h"
 #include "src/shell/shell.h"
+#include "src/shell/vm.h"
 
 namespace help {
 
@@ -11,6 +18,8 @@ namespace {
 
 constexpr int kMaxDepth = 32;
 constexpr int kNotFound = 127;
+
+std::atomic<bool> g_vm_enabled{true};
 
 bool HasGlobChars(std::string_view s) {
   return s.find_first_of("*?[") != std::string_view::npos;
@@ -604,10 +613,27 @@ class Evaluator {
 
 }  // namespace
 
+void Shell::SetVmEnabled(bool on) { g_vm_enabled.store(on, std::memory_order_relaxed); }
+
+bool Shell::VmEnabled() { return g_vm_enabled.load(std::memory_order_relaxed); }
+
 Result<int> Shell::Run(std::string_view src, Env* env, std::string cwd,
                        const std::vector<std::string>& args, Io& io, int depth) {
   if (depth > kMaxDepth) {
     return Status::Error("rc: script recursion too deep");
+  }
+  if (VmEnabled()) {
+    auto compiled = ShellScriptCache::Global().Get(src);
+    if (!compiled.ok()) {
+      return compiled.status();
+    }
+    env->Set("*", args);
+    for (size_t i = 0; i < args.size() && i < 9; i++) {
+      env->SetString(StrFormat("%zu", i + 1), args[i]);
+    }
+    std::shared_ptr<const Program> prog = compiled.take();
+    Vm vm(this, env, std::move(cwd), depth);
+    return vm.Run(*prog, io);
   }
   auto parsed = ParseShell(src);
   if (!parsed.ok()) {
@@ -656,6 +682,35 @@ int Shell::RunArgv(ExecContext& ctx, const std::vector<std::string>& argv, Io& i
     return (*native)(ctx, resolved, io);
   }
   // Shell script: run its file contents with $1.. bound to the arguments.
+  if (VmEnabled()) {
+    if (ctx.depth + 1 > kMaxDepth) {
+      // Keep the tree-walker's error ordering: an unreadable script reports
+      // its read error even past the recursion limit.
+      auto src = vfs_->ReadFile(path);
+      *io.err += (src.ok() ? "rc: script recursion too deep" : src.message()) + "\n";
+      return 1;
+    }
+    // The file-keyed cache lets a repeated tool run skip the read and parse.
+    auto compiled = ShellScriptCache::Global().GetFile(*vfs_, path);
+    if (!compiled.ok()) {
+      *io.err += compiled.message() + "\n";
+      return 1;
+    }
+    Env child = ctx.env != nullptr ? ctx.env->Clone() : Env();
+    std::vector<std::string> args(argv.begin() + 1, argv.end());
+    child.Set("*", args);
+    for (size_t i = 0; i < args.size() && i < 9; i++) {
+      child.SetString(StrFormat("%zu", i + 1), args[i]);
+    }
+    std::shared_ptr<const Program> prog = compiled.take();
+    Vm vm(this, &child, ctx.cwd, ctx.depth + 1);
+    auto r = vm.Run(*prog, io);
+    if (!r.ok()) {
+      *io.err += r.message() + "\n";
+      return 1;
+    }
+    return r.value();
+  }
   auto src = vfs_->ReadFile(path);
   if (!src.ok()) {
     *io.err += src.message() + "\n";

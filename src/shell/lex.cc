@@ -1,0 +1,73 @@
+#include "src/shell/lex.h"
+
+namespace help {
+
+const ShellLang& ShellLang::Get() {
+  static const ShellLang* lang = new ShellLang();
+  return *lang;
+}
+
+ShellLang::ShellLang() {
+  for (auto& f : flags_) {
+    f = 0;
+  }
+
+  // Word characters: everything except rc's metacharacters. This mirrors the
+  // old IsWordChar switch, whose default case admitted NUL and high bytes.
+  for (int i = 0; i < 256; i++) {
+    flags_[i] |= kShWordChar;
+  }
+  for (unsigned char c : {' ', '\t', '\n', '\r', ';', '|', '{', '}', '<', '>',
+                          '\'', '`', '$', '^', '#', '(', ')'}) {
+    flags_[c] &= static_cast<uint16_t>(~kShWordChar);
+  }
+
+  // Blanks (newline is a separator, never a blank).
+  flags_[static_cast<unsigned char>(' ')] |= kShBlank;
+  flags_[static_cast<unsigned char>('\t')] |= kShBlank;
+  flags_[static_cast<unsigned char>('\r')] |= kShBlank;
+  flags_[static_cast<unsigned char>('\n')] |= kShNewline | kShSeparator;
+  flags_[static_cast<unsigned char>(';')] |= kShSeparator;
+  flags_[static_cast<unsigned char>('#')] |= kShComment;
+  flags_[static_cast<unsigned char>('\'')] |= kShQuote;
+
+  // Variable-reference and assignment-name characters.
+  for (unsigned char c = '0'; c <= '9'; c++) {
+    flags_[c] |= kShVarChar | kShNameChar;
+  }
+  for (unsigned char c = 'a'; c <= 'z'; c++) {
+    flags_[c] |= kShVarChar | kShNameChar;
+  }
+  for (unsigned char c = 'A'; c <= 'Z'; c++) {
+    flags_[c] |= kShVarChar | kShNameChar;
+  }
+  flags_[static_cast<unsigned char>('_')] |= kShVarChar | kShNameChar;
+  flags_[static_cast<unsigned char>('*')] |= kShVarChar;
+
+  // Glob metacharacters.
+  flags_[static_cast<unsigned char>('*')] |= kShGlobChar;
+  flags_[static_cast<unsigned char>('?')] |= kShGlobChar;
+  flags_[static_cast<unsigned char>('[')] |= kShGlobChar;
+
+  // A word can start with a word char or with one of the expansion sigils.
+  for (int i = 0; i < 256; i++) {
+    if ((flags_[i] & kShWordChar) != 0) {
+      flags_[i] |= kShWordStart;
+    }
+  }
+  for (unsigned char c : {'\'', '$', '`', '^'}) {
+    flags_[c] |= kShWordStart;
+  }
+}
+
+bool ShellHasGlobChars(std::string_view s) {
+  const ShellLang& lang = ShellLang::Get();
+  for (char c : s) {
+    if (lang.Is(c, kShGlobChar)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace help

@@ -1,41 +1,13 @@
-// Shell parser: hand-written scanner + recursive descent, mirroring rc's
-// grammar closely enough for the tool scripts in /help.
-#include <cctype>
-
+// Shell parser: recursive descent over a table-driven scanner. Character
+// classes come from the ShellLang flag table (src/shell/lex.h) instead of
+// per-character switches, mirroring rc's grammar closely enough for the tool
+// scripts in /help.
+#include "src/shell/lex.h"
 #include "src/shell/shell.h"
 
 namespace help {
 
 namespace {
-
-bool IsWordChar(char c) {
-  switch (c) {
-    case ' ':
-    case '\t':
-    case '\n':
-    case '\r':
-    case ';':
-    case '|':
-    case '{':
-    case '}':
-    case '<':
-    case '>':
-    case '\'':
-    case '`':
-    case '$':
-    case '^':
-    case '#':
-    case '(':
-    case ')':
-      return false;
-    default:
-      return true;
-  }
-}
-
-bool IsVarChar(char c) {
-  return isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '*';
-}
 
 class Parser {
  public:
@@ -61,10 +33,10 @@ class Parser {
 
   void SkipBlanks() {  // spaces/tabs and comments, not newlines
     while (!AtEnd()) {
-      char c = Peek();
-      if (c == ' ' || c == '\t' || c == '\r') {
+      uint16_t f = ShellLang::Get().Flags(Peek());
+      if ((f & kShBlank) != 0) {
         Advance();
-      } else if (c == '#') {
+      } else if ((f & kShComment) != 0) {
         while (!AtEnd() && Peek() != '\n') {
           Advance();
         }
@@ -147,7 +119,7 @@ class Parser {
       }
     }
     char after = PeekAt(k);
-    return !IsWordChar(after) || after == '\0';
+    return !ShellIs(after, kShWordChar) || after == '\0';
   }
 
   // Parses '(' script ')' — the condition of if/while.
@@ -246,7 +218,7 @@ class Parser {
       Advance();
       SkipBlanks();
       std::string var;
-      while (!AtEnd() && (isalnum(static_cast<unsigned char>(Peek())) != 0 || Peek() == '_')) {
+      while (!AtEnd() && ShellIs(Peek(), kShNameChar)) {
         var.push_back(Peek());
         Advance();
       }
@@ -364,7 +336,7 @@ class Parser {
       cmd.kind = ShellCmd::Kind::kFnDef;
       SkipBlanks();
       std::string name;
-      while (!AtEnd() && IsWordChar(Peek())) {
+      while (!AtEnd() && ShellIs(Peek(), kShWordChar)) {
         name.push_back(Peek());
         Advance();
       }
@@ -422,8 +394,7 @@ class Parser {
         SkipBlanks();
         size_t save = pos_;
         std::string name;
-        while (!AtEnd() &&
-               (isalnum(static_cast<unsigned char>(Peek())) != 0 || Peek() == '_')) {
+        while (!AtEnd() && ShellIs(Peek(), kShNameChar)) {
           name.push_back(Peek());
           Advance();
         }
@@ -512,18 +483,16 @@ class Parser {
     return cmd;
   }
 
-  static bool IsWordStart(char c) {
-    return IsWordChar(c) || c == '\'' || c == '$' || c == '`' || c == '^';
-  }
+  static bool IsWordStart(char c) { return ShellIs(c, kShWordStart); }
 
   Result<Word> ParseWord() {
     Word w;
     while (!AtEnd()) {
       char c = Peek();
-      if (IsWordChar(c)) {
+      if (ShellIs(c, kShWordChar)) {
         WordFrag f;
         f.kind = WordFrag::Kind::kLit;
-        while (!AtEnd() && IsWordChar(Peek())) {
+        while (!AtEnd() && ShellIs(Peek(), kShWordChar)) {
           f.text.push_back(Peek());
           Advance();
         }
@@ -559,14 +528,14 @@ class Parser {
           f.text.push_back('#');
           Advance();
         }
-        if (AtEnd() || !IsVarChar(Peek())) {
+        if (AtEnd() || !ShellIs(Peek(), kShVarChar)) {
           return Err("bad variable reference");
         }
         if (Peek() == '*') {
           f.text.push_back('*');
           Advance();
         } else {
-          while (!AtEnd() && IsVarChar(Peek()) && Peek() != '*') {
+          while (!AtEnd() && ShellIs(Peek(), kShVarChar) && Peek() != '*') {
             f.text.push_back(Peek());
             Advance();
           }

@@ -1,0 +1,504 @@
+// The bytecode interpreter. Every case here mirrors a specific behavior of
+// the tree-walking evaluator in eval.cc — including its quirks (the scoped
+// assignment that leaks when argv expands to nothing, forward-order restore
+// of scoped saves, the lenient empty-list concatenation) — because the
+// property suite diffs the two evaluators on randomized scripts.
+#include "src/shell/vm.h"
+
+#include "src/base/strings.h"
+#include "src/obs/trace.h"
+#include "src/shell/lex.h"
+#include "src/shell/scriptcache.h"
+
+namespace help {
+
+Result<int> Vm::Run(const Program& prog, Io& io) {
+  auto r = RunChunk(prog, 0, io);
+  if (ops_ != 0) {
+    OBS_COUNT("shell.vm_ops", ops_);
+    ops_ = 0;
+  }
+  return r;
+}
+
+Result<int> Vm::RunChunk(const Program& prog, uint32_t ci, Io& io) {
+  // The tree-walker's RunScript checks the exit flag before every line, so a
+  // script entered after `exit` runs nothing and reports status 0.
+  if (exited_) {
+    return 0;
+  }
+  const std::vector<ShInstr>& code = prog.chunk(ci).code;
+
+  // All interpreter state is chunk-local; nested RunChunk calls (blocks,
+  // backquotes, control-flow bodies) get their own frame, exactly like the
+  // tree-walker's nested RunScript activations.
+  std::vector<std::vector<std::string>> stack;  // rc values: lists of strings
+  std::vector<std::pair<std::string, std::vector<std::string>>> saves;
+  std::string switch_value;
+  int reg = 0;            // status of the most recent command
+  int script_status = 0;  // status of the last completed line
+
+  // Io plumbing. A pipeline stage writes to stage_buf which becomes the next
+  // stage's stdin; a redirection frame runs the command over a copy of the
+  // current io with stdout swapped to redirect_buf.
+  std::string carry;
+  bool stage_active = false;
+  Io stage_io;
+  std::string stage_buf;
+  bool cmd_active = false;
+  Io cmd_io;
+  std::string redirect_buf;
+  bool has_out = false;
+  bool append = false;
+  std::string out_path;
+
+  auto cur = [&]() -> Io& { return cmd_active ? cmd_io : stage_active ? stage_io : io; };
+  auto pop = [&]() {
+    std::vector<std::string> v = std::move(stack.back());
+    stack.pop_back();
+    return v;
+  };
+
+  size_t pc = 0;
+  while (pc < code.size()) {
+    const ShInstr& in = code[pc++];
+    ops_++;
+    switch (in.op) {
+      case ShOp::kPushLit:
+        stack.push_back({prog.str(in.a)});
+        break;
+      case ShOp::kPushVar:
+        stack.push_back(env_->Get(prog.str(in.a)));
+        break;
+      case ShOp::kPushVarCount:
+        stack.push_back({StrFormat("%zu", env_->Get(prog.str(in.a)).size())});
+        break;
+      case ShOp::kBackquote: {
+        std::string captured;
+        std::string sub_err;  // command substitution swallows stderr
+        Io sub;
+        sub.out = &captured;
+        sub.err = &sub_err;
+        auto r = RunChunk(prog, in.a, sub);
+        if (!r.ok()) {
+          return r.status();
+        }
+        stack.push_back(Tokenize(captured));
+        break;
+      }
+      case ShOp::kConcat: {
+        std::vector<std::string> part = pop();
+        std::vector<std::string> acc = pop();
+        if (part.empty() || acc.empty()) {
+          // Lenient empty-side concatenation, as in ExpandWord.
+          if (acc.empty()) {
+            acc = std::move(part);
+          }
+          stack.push_back(std::move(acc));
+          break;
+        }
+        std::vector<std::string> merged;
+        if (acc.size() == 1) {
+          for (const std::string& p : part) {
+            merged.push_back(acc[0] + p);
+          }
+        } else if (part.size() == 1) {
+          for (const std::string& a : acc) {
+            merged.push_back(a + part[0]);
+          }
+        } else if (acc.size() == part.size()) {
+          for (size_t i = 0; i < acc.size(); i++) {
+            merged.push_back(acc[i] + part[i]);
+          }
+        } else {
+          return Status::Error("rc: mismatched list lengths in concatenation");
+        }
+        stack.push_back(std::move(merged));
+        break;
+      }
+      case ShOp::kGlob: {
+        std::vector<std::string> fields = pop();
+        std::vector<std::string> out;
+        for (std::string& field : fields) {
+          if (ShellHasGlobChars(field)) {
+            for (std::string& m : GlobExpand(*shell_->vfs(), cwd_, field)) {
+              out.push_back(std::move(m));
+            }
+          } else {
+            out.push_back(std::move(field));
+          }
+        }
+        stack.push_back(std::move(out));
+        break;
+      }
+      case ShOp::kCollect: {
+        std::vector<std::string> out;
+        size_t base = stack.size() - in.a;
+        for (size_t i = base; i < stack.size(); i++) {
+          for (std::string& s : stack[i]) {
+            out.push_back(std::move(s));
+          }
+        }
+        stack.resize(base);
+        stack.push_back(std::move(out));
+        break;
+      }
+      case ShOp::kAssignScoped: {
+        std::vector<std::string> value = pop();
+        const std::string& name = prog.str(in.a);
+        saves.emplace_back(name, env_->Get(name));
+        env_->Set(name, std::move(value));
+        break;
+      }
+      case ShOp::kAssignPerm:
+        env_->Set(prog.str(in.a), pop());
+        break;
+      case ShOp::kRunSimple: {
+        std::vector<std::string> argv = pop();
+        if (argv.empty()) {
+          // The tree-walker returns before restoring scoped saves when the
+          // argv expands away; the assignments leak, and so must ours.
+          saves.clear();
+          reg = 0;
+          break;
+        }
+        auto r = Dispatch(prog, argv, cur());
+        // Scoped saves restore even when dispatch failed, as in RunCmdCore.
+        for (auto& [name, value] : saves) {
+          env_->Set(name, std::move(value));
+        }
+        saves.clear();
+        if (!r.ok()) {
+          return r;
+        }
+        reg = r.value();
+        break;
+      }
+      case ShOp::kSetStatus:
+        reg = static_cast<int>(in.a);
+        break;
+      case ShOp::kPipelineBegin:
+        carry = io.in;
+        break;
+      case ShOp::kStageBegin:
+        stage_io.in = std::move(carry);
+        carry.clear();
+        stage_buf.clear();
+        stage_io.out = in.a != 0 ? io.out : &stage_buf;
+        stage_io.err = io.err;
+        stage_active = true;
+        break;
+      case ShOp::kStageEnd:
+        carry = std::move(stage_buf);
+        stage_buf.clear();
+        stage_active = false;
+        break;
+      case ShOp::kPipelineEnd:
+        script_status = reg;
+        env_->SetString("status", StrFormat("%d", script_status));
+        if (exited_) {
+          return script_status;
+        }
+        break;
+      case ShOp::kCmdBegin:
+        cmd_io = cur();
+        redirect_buf.clear();
+        has_out = false;
+        append = false;
+        out_path.clear();
+        cmd_active = true;
+        break;
+      case ShOp::kRedir: {
+        std::vector<std::string> target = pop();
+        if (target.size() != 1) {
+          return Status::Error("rc: redirection target is not a single word");
+        }
+        std::string path = JoinPath(cwd_, target[0]);
+        switch (static_cast<Redir::Kind>(in.a)) {
+          case Redir::Kind::kIn: {
+            auto data = shell_->vfs()->ReadFile(path);
+            if (!data.ok()) {
+              *cmd_io.err += data.message() + "\n";
+              reg = 1;
+              cmd_active = false;  // skip the core and any `>` flush
+              pc = in.b;
+              break;
+            }
+            cmd_io.in = data.take();
+            break;
+          }
+          case Redir::Kind::kOut:
+            has_out = true;
+            append = false;
+            out_path = path;
+            cmd_io.out = &redirect_buf;
+            break;
+          case Redir::Kind::kAppend:
+            has_out = true;
+            append = true;
+            out_path = path;
+            cmd_io.out = &redirect_buf;
+            break;
+        }
+        break;
+      }
+      case ShOp::kCmdEnd:
+        cmd_active = false;
+        if (has_out) {
+          Status ws = append ? shell_->vfs()->AppendFile(out_path, redirect_buf)
+                             : shell_->vfs()->WriteFile(out_path, redirect_buf);
+          if (!ws.ok()) {
+            *cur().err += ws.message() + "\n";
+            reg = 1;
+          }
+        }
+        break;
+      case ShOp::kRunChunk: {
+        auto r = RunChunk(prog, in.a, cur());
+        if (!r.ok()) {
+          return r;
+        }
+        reg = r.value();
+        break;
+      }
+      case ShOp::kIf: {
+        Io cio = cur();  // condition shares out/err but owns a copy of stdin
+        auto c = RunChunk(prog, in.a, cio);
+        if (!c.ok()) {
+          return c;
+        }
+        last_if_taken_ = c.value() == 0;
+        if (last_if_taken_) {
+          auto b = RunChunk(prog, in.b, cur());
+          if (!b.ok()) {
+            return b;
+          }
+          reg = b.value();
+        } else {
+          reg = 0;
+        }
+        break;
+      }
+      case ShOp::kIfNot: {
+        if (last_if_taken_) {
+          reg = 0;
+          break;
+        }
+        auto b = RunChunk(prog, in.a, cur());
+        if (!b.ok()) {
+          return b;
+        }
+        reg = b.value();
+        break;
+      }
+      case ShOp::kWhile: {
+        int status = 0;
+        bool done = false;
+        for (int guard = 0; guard < 100000; guard++) {
+          Io cio = cur();
+          auto c = RunChunk(prog, in.a, cio);
+          if (!c.ok()) {
+            return c;
+          }
+          if (c.value() != 0 || exited_) {
+            done = true;
+            break;
+          }
+          auto b = RunChunk(prog, in.b, cur());
+          if (!b.ok()) {
+            return b;
+          }
+          status = b.value();
+        }
+        if (!done) {
+          return Status::Error("rc: while loop ran away");
+        }
+        reg = status;
+        break;
+      }
+      case ShOp::kFor: {
+        std::vector<std::string> values = pop();
+        int status = 0;
+        for (const std::string& value : values) {
+          env_->SetString(prog.str(in.a), value);
+          auto b = RunChunk(prog, in.b, cur());
+          if (!b.ok()) {
+            return b;
+          }
+          status = b.value();
+          if (exited_) {
+            break;
+          }
+        }
+        reg = status;
+        break;
+      }
+      case ShOp::kSwitchSubject:
+        switch_value = Join(pop(), " ");
+        break;
+      case ShOp::kCaseMatch: {
+        std::vector<std::string> pats = pop();
+        for (const std::string& pat : pats) {
+          if (GlobMatch(pat, switch_value)) {
+            pc = in.a;
+            break;
+          }
+        }
+        break;
+      }
+      case ShOp::kJump:
+        pc = in.a;
+        break;
+      case ShOp::kFnDef: {
+        // Copy-on-write function table, as in the tree-walker's kFnDef.
+        auto table = std::static_pointer_cast<FunctionTable>(env_->ext);
+        auto copy = table != nullptr ? std::make_shared<FunctionTable>(*table)
+                                     : std::make_shared<FunctionTable>();
+        copy->Define(prog.str(in.a), prog.fn(in.b).ast);
+        env_->ext = copy;
+        reg = 0;
+        break;
+      }
+    }
+  }
+  return script_status;
+}
+
+Result<int> Vm::Dispatch(const Program& prog, std::vector<std::string>& argv, Io& io) {
+  const std::string& name = argv[0];
+  if (name == "!") {
+    if (argv.size() < 2) {
+      return 1;
+    }
+    std::vector<std::string> rest(argv.begin() + 1, argv.end());
+    auto r = Dispatch(prog, rest, io);
+    if (!r.ok()) {
+      return r;
+    }
+    return r.value() == 0 ? 1 : 0;
+  }
+  if (name == "~") {
+    if (argv.size() < 2) {
+      return 1;
+    }
+    for (size_t i = 2; i < argv.size(); i++) {
+      if (GlobMatch(argv[i], argv[1])) {
+        return 0;
+      }
+    }
+    return 1;
+  }
+  if (auto table = std::static_pointer_cast<FunctionTable>(env_->ext)) {
+    if (auto fn = table->Find(name)) {
+      return CallFunction(prog, fn, argv, io);
+    }
+  }
+  if (name == "cd") {
+    if (argv.size() > 1) {
+      std::string to = JoinPath(cwd_, argv[1]);
+      auto node = shell_->vfs()->Walk(to);
+      if (!node.ok() || !node.value()->dir()) {
+        *io.err += "cd: " + to + ": bad directory\n";
+        return 1;
+      }
+      cwd_ = to;
+    } else {
+      cwd_ = "/";
+    }
+    return 0;
+  }
+  if (name == "echo") {
+    std::string line;
+    size_t start = 1;
+    bool nl = true;
+    if (argv.size() > 1 && argv[1] == "-n") {
+      nl = false;
+      start = 2;
+    }
+    for (size_t i = start; i < argv.size(); i++) {
+      if (i > start) {
+        line += ' ';
+      }
+      line += argv[i];
+    }
+    if (nl) {
+      line += '\n';
+    }
+    *io.out += line;
+    return 0;
+  }
+  if (name == "eval") {
+    std::string src;
+    for (size_t i = 1; i < argv.size(); i++) {
+      if (i > 1) {
+        src += ' ';
+      }
+      src += argv[i];
+    }
+    // eval'd strings go through the compile cache too — `eval `{help/parse
+    // -c}` re-runs the same text on every browse.
+    auto compiled = ShellScriptCache::Global().Get(src);
+    if (!compiled.ok()) {
+      *io.err += compiled.message() + "\n";
+      return 1;
+    }
+    std::shared_ptr<const Program> p = compiled.take();
+    return RunChunk(*p, 0, io);
+  }
+  if (name == "exit") {
+    exited_ = true;
+    return argv.size() > 1 ? static_cast<int>(ParseInt(argv[1])) : 0;
+  }
+  ExecContext ctx;
+  ctx.vfs = shell_->vfs();
+  ctx.registry = shell_->registry();
+  ctx.procs = shell_->procs();
+  ctx.env = env_;
+  ctx.cwd = cwd_;
+  ctx.depth = depth_;
+  return shell_->RunArgv(ctx, argv, io);
+}
+
+Result<int> Vm::CallFunction(const Program& prog, const std::shared_ptr<ShellScript>& body,
+                             const std::vector<std::string>& argv, Io& io) {
+  std::vector<std::string> saved_star = env_->Get("*");
+  std::vector<std::vector<std::string>> saved_pos;
+  for (int i = 1; i <= 9; i++) {
+    saved_pos.push_back(env_->Get(StrFormat("%d", i)));
+  }
+  std::vector<std::string> args(argv.begin() + 1, argv.end());
+  env_->Set("*", args);
+  for (size_t i = 0; i < 9; i++) {
+    if (i < args.size()) {
+      env_->SetString(StrFormat("%zu", i + 1), args[i]);
+    } else {
+      env_->Unset(StrFormat("%zu", i + 1));
+    }
+  }
+
+  Result<int> r = [&]() -> Result<int> {
+    if (const Program::Fn* f = prog.FindFn(body.get())) {
+      // Defined by the running program: jump straight to its compiled chunk.
+      return RunChunk(prog, f->chunk, io);
+    }
+    // Defined elsewhere (an eval'd string, a parent shell, the tree-walker):
+    // compile on first call and memoize for the rest of this run.
+    auto it = foreign_fns_.find(body.get());
+    std::shared_ptr<const Program> fp;
+    if (it != foreign_fns_.end()) {
+      fp = it->second.second;
+    } else {
+      fp = CompileShell(*body);
+      foreign_fns_[body.get()] = {body, fp};
+    }
+    return RunChunk(*fp, 0, io);
+  }();
+
+  env_->Set("*", std::move(saved_star));
+  for (int i = 1; i <= 9; i++) {
+    env_->Set(StrFormat("%d", i), std::move(saved_pos[static_cast<size_t>(i - 1)]));
+  }
+  return r;
+}
+
+}  // namespace help

@@ -1,0 +1,60 @@
+// The shell's bytecode interpreter: executes Programs produced by the
+// compile stage (src/shell/compile.h) over an explicit operand stack of rc
+// values (lists of strings). One Vm instance corresponds to one tree-walking
+// Evaluator instance: it owns the same run-scoped state (cwd, the exit flag,
+// the `if not` latch) and reuses the same Vfs/CommandRegistry/ProcTable
+// plumbing, so the two evaluators are observably interchangeable — the
+// differential property suite (tests/shell_property_test.cc) holds them to
+// bit-identical stdout/stderr/status/namespace.
+#ifndef SRC_SHELL_VM_H_
+#define SRC_SHELL_VM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/shell/compile.h"
+#include "src/shell/shell.h"
+
+namespace help {
+
+class Vm {
+ public:
+  Vm(Shell* shell, Env* env, std::string cwd, int depth)
+      : shell_(shell), env_(env), cwd_(std::move(cwd)), depth_(depth) {}
+
+  // Executes the program's root chunk. Flushes the shell.vm_ops counter on
+  // return. The caller keeps `prog` alive (a cache shared_ptr).
+  Result<int> Run(const Program& prog, Io& io);
+
+ private:
+  Result<int> RunChunk(const Program& prog, uint32_t ci, Io& io);
+  // Builtin/function/external dispatch for an expanded argv — the VM's
+  // mirror of the tree-walker's Builtin().
+  Result<int> Dispatch(const Program& prog, std::vector<std::string>& argv, Io& io);
+  Result<int> CallFunction(const Program& prog, const std::shared_ptr<ShellScript>& body,
+                           const std::vector<std::string>& argv, Io& io);
+
+  Shell* shell_;
+  Env* env_;
+  std::string cwd_;
+  int depth_;
+  bool exited_ = false;
+  bool last_if_taken_ = false;
+  uint64_t ops_ = 0;
+
+  // Bodies of functions defined by *other* programs (an eval'd string, a
+  // parent shell, the tree-walker): compiled on first call, memoized for the
+  // life of this run. The value holds the AST shared_ptr so the raw-pointer
+  // key can never dangle or alias.
+  std::map<const ShellScript*,
+           std::pair<std::shared_ptr<ShellScript>, std::shared_ptr<const Program>>>
+      foreign_fns_;
+};
+
+}  // namespace help
+
+#endif  // SRC_SHELL_VM_H_

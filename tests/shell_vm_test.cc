@@ -1,0 +1,274 @@
+// Bytecode pipeline tests: the compiler's output (disassembly), the
+// process-wide compiled-script cache (hits, misses, invalidation, LRU,
+// error handling), the VM/tree-walker toggle, and the obs counters.
+#include <gtest/gtest.h>
+
+#include "src/obs/trace.h"
+#include "src/shell/compile.h"
+#include "src/shell/coreutils.h"
+#include "src/shell/mk.h"
+#include "src/shell/scriptcache.h"
+#include "src/shell/shell.h"
+
+namespace help {
+namespace {
+
+uint64_t CounterValue(const char* name) {
+  return obs::Registry::Global().GetCounter(name)->value();
+}
+
+class ShellVmTest : public ::testing::Test {
+ protected:
+  ShellVmTest() : shell_(&vfs_, &registry_, &procs_) {
+    RegisterCoreutils(&vfs_, &registry_);
+    RegisterMk(&vfs_, &registry_);
+    ShellScriptCache::Global().Clear();
+    Shell::SetVmEnabled(true);
+  }
+  ~ShellVmTest() override { Shell::SetVmEnabled(true); }
+
+  std::string Run(std::string_view src, int* status = nullptr) {
+    std::string out;
+    err_.clear();
+    Io io;
+    io.out = &out;
+    io.err = &err_;
+    auto r = shell_.Run(src, &env_, "/", {}, io);
+    EXPECT_TRUE(r.ok()) << r.message() << " running: " << src;
+    if (status != nullptr) {
+      *status = r.ok() ? r.value() : -1;
+    }
+    return out;
+  }
+
+  Vfs vfs_;
+  CommandRegistry registry_;
+  ProcTable procs_;
+  Env env_;
+  Shell shell_;
+  std::string err_;
+};
+
+TEST_F(ShellVmTest, DisassemblerListsLoweredOps) {
+  auto prog = CompileShellSource("x=1 echo hello $x | wc > /tmp/out");
+  ASSERT_TRUE(prog.ok()) << prog.message();
+  std::string listing = prog.value()->Disassemble();
+  EXPECT_NE(listing.find("chunk 0:"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("push-lit"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("push-var       \"x\""), std::string::npos) << listing;
+  EXPECT_NE(listing.find("assign-scoped  \"x\""), std::string::npos) << listing;
+  EXPECT_NE(listing.find("run-simple"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("pipeline-begin"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("stage-begin"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("redir"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("pipeline-end"), std::string::npos) << listing;
+  EXPECT_GT(prog.value()->TotalOps(), 10u);
+}
+
+TEST_F(ShellVmTest, ControlFlowCompilesToSubChunks) {
+  auto prog = CompileShellSource("if(true){echo a} if not {echo b}\nfor(i in x y){echo $i}");
+  ASSERT_TRUE(prog.ok()) << prog.message();
+  EXPECT_GT(prog.value()->chunk_count(), 4u);  // root + cond + 3 bodies
+  std::string listing = prog.value()->Disassemble();
+  EXPECT_NE(listing.find("if "), std::string::npos) << listing;
+  EXPECT_NE(listing.find("if-not"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("for"), std::string::npos) << listing;
+}
+
+TEST_F(ShellVmTest, SourceCacheHitsOnRepeatedRun) {
+  uint64_t miss0 = CounterValue("shell.compile_cache_miss");
+  uint64_t hit0 = CounterValue("shell.compile_cache_hit");
+  EXPECT_EQ(Run("echo cached script one"), "cached script one\n");
+  EXPECT_EQ(CounterValue("shell.compile_cache_miss"), miss0 + 1);
+  EXPECT_EQ(Run("echo cached script one"), "cached script one\n");
+  EXPECT_EQ(Run("echo cached script one"), "cached script one\n");
+  EXPECT_EQ(CounterValue("shell.compile_cache_miss"), miss0 + 1);  // no recompile
+  EXPECT_GE(CounterValue("shell.compile_cache_hit"), hit0 + 2);
+}
+
+TEST_F(ShellVmTest, FileCacheValidatesSignatureAndFallsBackToSourceLayer) {
+  ASSERT_TRUE(vfs_.WriteFile("/bin/tool", "echo version one\n").ok());
+  auto p1 = ShellScriptCache::Global().GetFile(vfs_, "/bin/tool");
+  ASSERT_TRUE(p1.ok());
+  auto p2 = ShellScriptCache::Global().GetFile(vfs_, "/bin/tool");
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1.value().get(), p2.value().get());  // signature hit, same program
+
+  // An edit invalidates the file entry and compiles the new text.
+  ASSERT_TRUE(vfs_.WriteFile("/bin/tool", "echo version two\n").ok());
+  auto p3 = ShellScriptCache::Global().GetFile(vfs_, "/bin/tool");
+  ASSERT_TRUE(p3.ok());
+  EXPECT_NE(p3.value().get(), p1.value().get());
+
+  // Restoring the old contents bumps the signature again, but the
+  // content-addressed source layer still holds the original program.
+  ASSERT_TRUE(vfs_.WriteFile("/bin/tool", "echo version one\n").ok());
+  auto p4 = ShellScriptCache::Global().GetFile(vfs_, "/bin/tool");
+  ASSERT_TRUE(p4.ok());
+  EXPECT_EQ(p4.value().get(), p1.value().get());
+}
+
+TEST_F(ShellVmTest, FileKeysDoNotAliasAcrossNamespaces) {
+  // Two fresh namespaces produce identical qids and mtimes for different
+  // scripts; the vfs id in the file key keeps their entries apart.
+  Vfs a;
+  Vfs b;
+  ASSERT_TRUE(a.WriteFile("/t", "echo from a\n").ok());
+  ASSERT_TRUE(b.WriteFile("/t", "echo from b\n").ok());
+  auto pa = ShellScriptCache::Global().GetFile(a, "/t");
+  auto pb = ShellScriptCache::Global().GetFile(b, "/t");
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(pb.ok());
+  EXPECT_NE(pa.value().get(), pb.value().get());
+}
+
+TEST_F(ShellVmTest, ErrorsAreNeverCached) {
+  uint64_t miss0 = CounterValue("shell.compile_cache_miss");
+  auto r1 = ShellScriptCache::Global().Get("echo 'unterminated");
+  EXPECT_FALSE(r1.ok());
+  auto r2 = ShellScriptCache::Global().Get("echo 'unterminated");
+  EXPECT_FALSE(r2.ok());
+  EXPECT_EQ(r1.message(), r2.message());
+  EXPECT_EQ(CounterValue("shell.compile_cache_miss"), miss0);  // never recorded
+}
+
+TEST_F(ShellVmTest, LruEvictsOldestEntry) {
+  ShellScriptCache::Global().Clear();
+  for (size_t i = 0; i < ShellScriptCache::kCapacity + 8; i++) {
+    auto r = ShellScriptCache::Global().Get("echo unique-" + std::to_string(i));
+    ASSERT_TRUE(r.ok());
+  }
+  EXPECT_EQ(ShellScriptCache::Global().size(), ShellScriptCache::kCapacity);
+  // The first entries fell off; re-requesting one recompiles it.
+  uint64_t miss0 = CounterValue("shell.compile_cache_miss");
+  ASSERT_TRUE(ShellScriptCache::Global().Get("echo unique-0").ok());
+  EXPECT_EQ(CounterValue("shell.compile_cache_miss"), miss0 + 1);
+  // The most recent entry is still resident.
+  uint64_t hit0 = CounterValue("shell.compile_cache_hit");
+  ASSERT_TRUE(
+      ShellScriptCache::Global()
+          .Get("echo unique-" + std::to_string(ShellScriptCache::kCapacity + 7))
+          .ok());
+  EXPECT_EQ(CounterValue("shell.compile_cache_hit"), hit0 + 1);
+}
+
+TEST_F(ShellVmTest, VmOpsCounterAdvances) {
+  uint64_t ops0 = CounterValue("shell.vm_ops");
+  Run("for(i in a b c){echo $i} | wc");
+  EXPECT_GT(CounterValue("shell.vm_ops"), ops0);
+}
+
+TEST_F(ShellVmTest, ToggleSelectsEvaluator) {
+  EXPECT_TRUE(Shell::VmEnabled());
+  uint64_t ops0 = CounterValue("shell.vm_ops");
+  Shell::SetVmEnabled(false);
+  EXPECT_FALSE(Shell::VmEnabled());
+  EXPECT_EQ(Run("echo via tree walker"), "via tree walker\n");
+  EXPECT_EQ(CounterValue("shell.vm_ops"), ops0);  // tree-walker runs no ops
+  Shell::SetVmEnabled(true);
+  EXPECT_EQ(Run("echo via vm"), "via vm\n");
+  EXPECT_GT(CounterValue("shell.vm_ops"), ops0);
+}
+
+TEST_F(ShellVmTest, FunctionDefinedByTreeWalkerRunsOnVm) {
+  // A function defined while the VM was off lives in the table as a bare
+  // AST; calling it with the VM on goes through the foreign-fn compile path.
+  Shell::SetVmEnabled(false);
+  Run("fn greet { echo hi $1 }");
+  Shell::SetVmEnabled(true);
+  EXPECT_EQ(Run("greet rob; greet world"), "hi rob\nhi world\n");
+}
+
+TEST_F(ShellVmTest, EvaluatorsAgreeOnCoreScripts) {
+  const char* kScripts[] = {
+      "echo a b; echo c",
+      "x=1 y=2 echo $x$y; echo $x",
+      "x=(p q r); echo $#x $x(2)",  // may be a parse error — must match
+      "if(~ a a){echo yes} if not {echo no}",
+      "for(i in 1 2 3){echo n$i} | wc",
+      "w=go; while(! ~ $w done){echo tick; w=done}",
+      "switch(b){case a\necho first\ncase b\necho second}",
+      "fn f { echo f$1 }; f x; f y",
+      "echo `{echo nested `{echo deep}}",
+      "cat < /bin/true | wc > /count; cat /count",
+      "echo one > /f; echo two >> /f; cat /f",
+      "echo $status; false; echo $status; true; echo $status",
+      "ls /bin | grep true",
+      "echo a'b c'd",
+      "missingcmd; echo $status",
+      "eval 'echo evaluated'",
+      "exit 3; echo unreachable",
+  };
+  for (const char* src : kScripts) {
+    struct World {
+      Vfs vfs;
+      CommandRegistry registry;
+      ProcTable procs;
+      Env env;
+      std::string out, err;
+    };
+    std::string results[2];
+    for (int mode = 0; mode < 2; mode++) {
+      Shell::SetVmEnabled(mode == 0);
+      World w;
+      RegisterCoreutils(&w.vfs, &w.registry);
+      Shell sh(&w.vfs, &w.registry, &w.procs);
+      Io io;
+      io.out = &w.out;
+      io.err = &w.err;
+      auto r = sh.Run(src, &w.env, "/", {}, io);
+      results[mode] = "ok=" + std::string(r.ok() ? "1" : "0") +
+                      " msg=" + r.message() +
+                      " status=" + std::to_string(r.ok() ? r.value() : -1) +
+                      "\nout:" + w.out + "\nerr:" + w.err;
+    }
+    EXPECT_EQ(results[0], results[1]) << "diverged on: " << src;
+    Shell::SetVmEnabled(true);
+  }
+}
+
+TEST_F(ShellVmTest, MkRecipesRouteThroughCompileCache) {
+  ASSERT_TRUE(vfs_
+                  .WriteFile("/mkfile",
+                             "all: a b\n"
+                             "a:\n\techo building a > /a.out\n"
+                             "b:\n\techo building b > /b.out\n")
+                  .ok());
+  uint64_t recipes0 = CounterValue("shell.mk_recipe");
+  Run("mk all");
+  EXPECT_EQ(CounterValue("shell.mk_recipe"), recipes0 + 2);
+
+  // Re-running after removing the outputs replays the same recipe text: the
+  // compile cache serves hits and nothing recompiles.
+  ASSERT_TRUE(vfs_.Remove("/a.out").ok());
+  ASSERT_TRUE(vfs_.Remove("/b.out").ok());
+  uint64_t miss0 = CounterValue("shell.compile_cache_miss");
+  uint64_t hit0 = CounterValue("shell.compile_cache_hit");
+  Run("mk all");
+  EXPECT_EQ(CounterValue("shell.mk_recipe"), recipes0 + 4);
+  EXPECT_GE(CounterValue("shell.compile_cache_hit"), hit0 + 2);
+  EXPECT_EQ(CounterValue("shell.compile_cache_miss"), miss0);
+}
+
+TEST_F(ShellVmTest, DepthLimitAndErrorOrderingMatchTreeWalker) {
+  // A self-recursive script trips the recursion guard identically under both
+  // evaluators (the VM checks depth before consulting the cache).
+  ASSERT_TRUE(vfs_.WriteFile("/bin/loop", "loop\n").ok());
+  for (int mode = 0; mode < 2; mode++) {
+    Shell::SetVmEnabled(mode == 0);
+    std::string out, err;
+    Io io;
+    io.out = &out;
+    io.err = &err;
+    Env env;
+    auto r = shell_.Run("loop", &env, "/", {}, io);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), 1) << "mode " << mode;
+    EXPECT_NE(err.find("rc: script recursion too deep"), std::string::npos)
+        << "mode " << mode << " err: " << err;
+  }
+  Shell::SetVmEnabled(true);
+}
+
+}  // namespace
+}  // namespace help
