@@ -13,18 +13,30 @@
 //                  PR 1 serialized baseline, for A/B comparison)
 //   --sweep        run thread counts 1,2,4,8 instead of one run
 //   --json         emit one JSON object as the last line of stdout
+//   --socket       the PR 7 C10K workload: positionals become [conns]
+//                  [ops-per-conn] (default 1000 x 20). Serves over a
+//                  Unix-domain socket through the epoll listener; driver
+//                  threads hold every connection open concurrently — each
+//                  its own session and pre-opened body fid — and round-robin
+//                  range reads across them. Exits nonzero on any protocol
+//                  error.
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/base/strings.h"
 #include "src/core/help.h"
+#include "src/fs/listener.h"
 #include "src/fs/server.h"
+#include "src/fs/transport.h"
 
 namespace help {
 namespace {
@@ -157,9 +169,159 @@ struct RunResult {
   uint64_t p99_us = 0;
   uint64_t shared_reads = 0;
   uint64_t read_retries = 0;
+  uint64_t conns = 0;       // --socket: concurrent socket connections held
+  uint64_t peak_conns = 0;  // --socket: listener's live gauge at full load
   double ops_per_sec() const { return static_cast<double>(client_ops) / secs; }
   double msgs_per_sec() const { return static_cast<double>(msgs) / secs; }
 };
+
+// One socket connection's client state, held open for the whole run.
+struct SocketConn {
+  std::unique_ptr<SocketTransport> tr;
+  std::unique_ptr<NinepClient> client;
+  uint32_t fid = kNoFid;
+  bool ok = false;
+};
+
+// The C10K workload: `conns` concurrent Unix-socket connections against one
+// listener, every one live for the whole run. A small driver-thread pool
+// multiplexes them (1000 blocking client threads would bench the host
+// scheduler, not the server); concurrency on the server side is real — every
+// connection is accepted, polled, and dispatched independently.
+RunResult RunSocketOnce(int conns, int ops) {
+  Help::Options opt;
+  opt.install_userland = false;
+  Help h(opt);
+  h.ninep().metrics().Reset();  // registry entries are process-global
+  NinepListener::Options lopt;
+  lopt.workers = 4;
+  NinepListener lis(&h.ninep(), lopt);
+  std::string path = StrFormat("perf_ninep.%d.sock", getpid());
+  RunResult r;
+  r.conns = static_cast<uint64_t>(conns);
+  if (!lis.ListenUnix(path).ok() || !lis.Start().ok()) {
+    r.failures = 1;
+    return r;
+  }
+  RaiseFdLimit(static_cast<uint64_t>(conns) * 2 + 256);
+
+  // Seed one window body for everyone to read (range reads go down the PR 4
+  // shared dispatch path, so the connections genuinely run concurrently).
+  std::string base;
+  constexpr size_t kBodyBytes = 32 * 1024;
+  {
+    auto tr = SocketTransport::ConnectUnix(path);
+    if (!tr.ok()) {
+      r.failures = 1;
+      return r;
+    }
+    NinepClient seeder(tr.value()->AsTransport());
+    std::string seed;
+    while (seed.size() < kBodyBytes) {
+      seed += "a line of body text about like this one here, window body\n";
+    }
+    auto ctl = seeder.Connect("seeder").ok()
+                   ? seeder.ReadFile("/mnt/help/new/ctl")
+                   : Result<std::string>(Status::Error("connect failed"));
+    if (!ctl.ok()) {
+      r.failures = 1;
+      return r;
+    }
+    base = "/mnt/help/" + std::string(TrimSpace(ctl.value()));
+    if (!seeder.WriteFile(base + "/bodyapp", seed).ok()) {
+      r.failures = 1;
+      return r;
+    }
+  }
+
+  const int drivers = conns < 16 ? conns : 16;
+  r.threads = drivers;
+  std::vector<SocketConn> table(static_cast<size_t>(conns));
+  std::atomic<uint64_t> failures{0};
+
+  // Phase 1: establish every connection — handshake plus a pre-opened
+  // read-only body fid — and keep all of them open.
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(drivers));
+    for (int d = 0; d < drivers; d++) {
+      pool.emplace_back([&, d] {
+        for (int i = d; i < conns; i += drivers) {
+          SocketConn& c = table[static_cast<size_t>(i)];
+          auto tr = SocketTransport::ConnectUnix(path);
+          if (!tr.ok()) {
+            failures++;
+            continue;
+          }
+          c.tr = tr.take();
+          c.client = std::make_unique<NinepClient>(c.tr->AsTransport());
+          if (!c.client->Connect(StrFormat("c10k%d", i)).ok()) {
+            failures++;
+            continue;
+          }
+          auto fid = c.client->WalkFid(base + "/body");
+          if (!fid.ok() || !c.client->OpenFid(fid.value(), kOread).ok()) {
+            failures++;
+            continue;
+          }
+          c.fid = fid.value();
+          c.ok = true;
+        }
+      });
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  r.peak_conns = lis.active_conns();  // every connection is live right now
+
+  // Phase 2: round-robin range reads over every open connection.
+  std::atomic<uint64_t> total_ok{0};
+  auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(drivers));
+    for (int d = 0; d < drivers; d++) {
+      pool.emplace_back([&, d] {
+        Lcg rng(static_cast<uint32_t>(d) + 31);
+        uint64_t ok = 0;
+        for (int op = 0; op < ops; op++) {
+          for (int i = d; i < conns; i += drivers) {
+            SocketConn& c = table[static_cast<size_t>(i)];
+            if (!c.ok) {
+              continue;
+            }
+            uint64_t off = rng.Next() % (kBodyBytes / 2);
+            auto data = c.client->ReadFid(c.fid, off, 512);
+            if (data.ok() && !data.value().empty()) {
+              ok++;
+            } else {
+              failures++;
+            }
+          }
+        }
+        total_ok += ok;
+      });
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  r.secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+               .count();
+
+  const NinepMetrics& m = h.ninep().metrics();
+  r.client_ops = total_ok.load();
+  r.failures = failures.load();
+  r.msgs = m.total_ops();
+  r.p50_us = m.OverallPercentileUs(50);
+  r.p99_us = m.OverallPercentileUs(99);
+  r.shared_reads = m.shared_reads();
+  r.read_retries = m.read_retries();
+  table.clear();  // closes every client socket
+  lis.Stop();
+  return r;
+}
 
 RunResult RunOnce(int threads, int ops, bool read_heavy, bool serialized) {
   Help::Options opt;
@@ -196,6 +358,12 @@ RunResult RunOnce(int threads, int ops, bool read_heavy, bool serialized) {
 }
 
 void PrintHuman(const RunResult& r, const char* workload, bool serialized) {
+  if (r.conns > 0) {
+    std::printf("connections        %llu concurrent (%llu live at peak), "
+                "%d driver threads\n",
+                static_cast<unsigned long long>(r.conns),
+                static_cast<unsigned long long>(r.peak_conns), r.threads);
+  }
   std::printf("clients            %d  (%s%s)\n", r.threads, workload,
               serialized ? ", serialized baseline" : "");
   std::printf("client ops         %llu (%llu failed)\n",
@@ -214,11 +382,11 @@ void PrintHuman(const RunResult& r, const char* workload, bool serialized) {
 }
 
 std::string JsonOf(const RunResult& r) {
-  return StrFormat(
+  std::string json = StrFormat(
       "{\"threads\":%d,\"client_ops\":%llu,\"failures\":%llu,\"msgs\":%llu,"
       "\"elapsed_s\":%.3f,\"ops_per_sec\":%.1f,\"msgs_per_sec\":%.1f,"
       "\"p50_us\":%llu,\"p99_us\":%llu,\"shared_reads\":%llu,"
-      "\"read_retries\":%llu}",
+      "\"read_retries\":%llu",
       r.threads, static_cast<unsigned long long>(r.client_ops),
       static_cast<unsigned long long>(r.failures),
       static_cast<unsigned long long>(r.msgs), r.secs, r.ops_per_sec(),
@@ -226,6 +394,12 @@ std::string JsonOf(const RunResult& r) {
       static_cast<unsigned long long>(r.p99_us),
       static_cast<unsigned long long>(r.shared_reads),
       static_cast<unsigned long long>(r.read_retries));
+  if (r.conns > 0) {
+    json += StrFormat(",\"conns\":%llu,\"peak_conns\":%llu",
+                      static_cast<unsigned long long>(r.conns),
+                      static_cast<unsigned long long>(r.peak_conns));
+  }
+  return json + "}";
 }
 
 int Main(int argc, char** argv) {
@@ -235,6 +409,7 @@ int Main(int argc, char** argv) {
   bool serialized = false;
   bool json = false;
   bool sweep = false;
+  bool socket = false;
   int positional = 0;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--read-heavy") == 0) {
@@ -245,10 +420,14 @@ int Main(int argc, char** argv) {
       json = true;
     } else if (std::strcmp(argv[i], "--sweep") == 0) {
       sweep = true;
+    } else if (std::strcmp(argv[i], "--socket") == 0) {
+      socket = true;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr,
                    "usage: perf_ninep [threads] [ops-per-thread] "
-                   "[--read-heavy] [--serialized] [--sweep] [--json]\n");
+                   "[--read-heavy] [--serialized] [--sweep] [--json]\n"
+                   "       perf_ninep --socket [conns] [ops-per-conn] "
+                   "[--json]\n");
       return 2;
     } else if (positional == 0) {
       threads = std::atoi(argv[i]);
@@ -258,18 +437,29 @@ int Main(int argc, char** argv) {
       positional++;
     }
   }
+  if (socket) {
+    // The positionals mean [conns] [ops-per-conn] here; defaults prove the
+    // acceptance bar (1000 concurrent connections, zero protocol errors).
+    if (positional == 0) {
+      threads = 1000;
+    }
+    if (positional < 2) {
+      ops = 20;
+    }
+  }
   if (threads < 1 || ops < 1) {
     std::fprintf(stderr, "perf_ninep: threads and ops must be >= 1\n");
     return 2;
   }
 
-  const char* workload = read_heavy ? "read-heavy" : "mixed";
+  const char* workload = socket ? "socket" : read_heavy ? "read-heavy" : "mixed";
   uint64_t failures = 0;
   std::vector<RunResult> results;
-  std::vector<int> counts = sweep ? std::vector<int>{1, 2, 4, 8}
-                                  : std::vector<int>{threads};
+  std::vector<int> counts = sweep && !socket ? std::vector<int>{1, 2, 4, 8}
+                                             : std::vector<int>{threads};
   for (int n : counts) {
-    RunResult r = RunOnce(n, ops, read_heavy, serialized);
+    RunResult r = socket ? RunSocketOnce(n, ops)
+                         : RunOnce(n, ops, read_heavy, serialized);
     failures += r.failures;
     if (!json) {
       PrintHuman(r, workload, serialized);

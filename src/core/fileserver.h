@@ -7,7 +7,11 @@
 //                        the new window's number
 //   /mnt/help/snarf      the cut buffer (what help/buf prints)
 //   /mnt/help/stats      9P service metrics: per-op counters and latency
-//                        percentiles, bytes in/out, in-flight depth
+//                        percentiles, bytes in/out, in-flight depth, the
+//                        shared-read path counters, and the socket
+//                        connection layer's net_* block (accepts, live
+//                        conns, reaps, backpressure stalls, frame errors,
+//                        wire bytes — see src/fs/listener.h)
 //   /mnt/help/open       write "<dir> <name[:addr]>" to open a file
 //   /mnt/help/N/tag      the tag line
 //   /mnt/help/N/body     the body text (writes replace; reads see UTF-8)

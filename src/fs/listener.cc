@@ -1,0 +1,660 @@
+#include "src/fs/listener.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+#include "src/obs/trace.h"
+
+namespace help {
+
+namespace {
+
+bool WouldBlock() { return errno == EAGAIN || errno == EWOULDBLOCK; }
+
+}  // namespace
+
+// --- Pollers -----------------------------------------------------------------
+
+#if defined(__linux__)
+class EpollPoller : public Poller {
+ public:
+  EpollPoller() : ep_(epoll_create1(EPOLL_CLOEXEC)) {}
+  ~EpollPoller() override {
+    if (ep_ >= 0) {
+      close(ep_);
+    }
+  }
+
+  bool ok() const { return ep_ >= 0; }
+
+  Status Add(int fd, bool want_read, bool want_write) override {
+    return Ctl(EPOLL_CTL_ADD, fd, want_read, want_write);
+  }
+  Status Mod(int fd, bool want_read, bool want_write) override {
+    return Ctl(EPOLL_CTL_MOD, fd, want_read, want_write);
+  }
+  void Del(int fd) override {
+    epoll_event ev{};
+    epoll_ctl(ep_, EPOLL_CTL_DEL, fd, &ev);
+  }
+
+  int Wait(std::vector<Event>* out, int timeout_ms) override {
+    epoll_event evs[256];
+    int n = epoll_wait(ep_, evs, 256, timeout_ms);
+    if (n < 0) {
+      return errno == EINTR ? 0 : -1;
+    }
+    for (int i = 0; i < n; i++) {
+      out->push_back(Event{evs[i].data.fd, (evs[i].events & EPOLLIN) != 0,
+                           (evs[i].events & EPOLLOUT) != 0,
+                           (evs[i].events & (EPOLLERR | EPOLLHUP)) != 0});
+    }
+    return n;
+  }
+
+ private:
+  Status Ctl(int op, int fd, bool want_read, bool want_write) {
+    epoll_event ev{};
+    ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (epoll_ctl(ep_, op, fd, &ev) < 0) {
+      return Status::Error(std::string("epoll_ctl: ") + strerror(errno));
+    }
+    return Status::Ok();
+  }
+
+  int ep_;
+};
+#endif  // __linux__
+
+// poll(2) fallback: interest is a map rebuilt into a pollfd vector per Wait.
+// O(conns) per wait, which is exactly why epoll is the default on Linux —
+// but the semantics are identical, including ERR/HUP being reported even for
+// fds with no requested events (how a stalled, read-parked connection's
+// hangup is still noticed).
+class PollPoller : public Poller {
+ public:
+  Status Add(int fd, bool want_read, bool want_write) override {
+    return Mod(fd, want_read, want_write);
+  }
+  Status Mod(int fd, bool want_read, bool want_write) override {
+    interest_[fd] = static_cast<short>((want_read ? POLLIN : 0) |
+                                       (want_write ? POLLOUT : 0));
+    return Status::Ok();
+  }
+  void Del(int fd) override { interest_.erase(fd); }
+
+  int Wait(std::vector<Event>* out, int timeout_ms) override {
+    fds_.clear();
+    for (const auto& [fd, ev] : interest_) {
+      fds_.push_back(pollfd{fd, ev, 0});
+    }
+    int n = poll(fds_.data(), fds_.size(), timeout_ms);
+    if (n < 0) {
+      return errno == EINTR ? 0 : -1;
+    }
+    int emitted = 0;
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0) {
+        continue;
+      }
+      out->push_back(Event{p.fd, (p.revents & POLLIN) != 0,
+                           (p.revents & POLLOUT) != 0,
+                           (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0});
+      emitted++;
+    }
+    return emitted;
+  }
+
+ private:
+  std::map<int, short> interest_;
+  std::vector<pollfd> fds_;
+};
+
+std::unique_ptr<Poller> MakePoller(PollerKind kind) {
+#if defined(__linux__)
+  if (kind != PollerKind::kPoll) {
+    auto ep = std::make_unique<EpollPoller>();
+    if (ep->ok()) {
+      return ep;
+    }
+  }
+#else
+  (void)kind;
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+// --- Connection state --------------------------------------------------------
+
+struct NinepListener::Conn {
+  explicit Conn(uint32_t max_frame) : reader(max_frame) {}
+
+  // Loop-only fields: all socket I/O and epoll interest live on the loop
+  // thread, so these need no lock.
+  int fd = -1;
+  FrameReader reader;
+  uint64_t last_active_ms = 0;
+  bool want_read = true;    // interest currently registered
+  bool want_write = false;
+
+  NinepServer::SessionId sid = 0;  // written once before the conn is shared
+
+  // Shared state (worker pool + loop), guarded by mu.
+  std::mutex mu;
+  std::deque<std::string> inbox;  // complete frames awaiting dispatch
+  std::string outbox;             // encoded replies awaiting the wire
+  size_t outbox_off = 0;          // already-written prefix of outbox
+  bool busy = false;              // queued for / held by a dispatch worker
+  bool stalled = false;           // backpressure: dispatch and reads parked
+  bool closing = false;           // loop tore the socket down
+  bool session_closed = false;    // CloseSession already ran
+
+  size_t outbox_bytes() const { return outbox.size() - outbox_off; }
+};
+
+// --- NinepListener -----------------------------------------------------------
+
+NinepListener::NinepListener(NinepServer* srv, Options opt)
+    : srv_(srv), opt_(opt) {
+  if (opt_.workers < 1) {
+    opt_.workers = 1;
+  }
+}
+
+NinepListener::~NinepListener() { Stop(); }
+
+Status NinepListener::ListenTcp(const std::string& host, uint16_t port) {
+  auto fd = help::ListenTcp(host, port);
+  if (!fd.ok()) {
+    return fd.status();
+  }
+  Status nb = SetNonBlocking(fd.value());
+  if (!nb.ok()) {
+    close(fd.value());
+    return nb;
+  }
+  auto p = LocalPort(fd.value());
+  if (p.ok()) {
+    port_ = p.value();
+  }
+  listen_fds_.push_back(fd.value());
+  return Status::Ok();
+}
+
+Status NinepListener::ListenUnix(const std::string& path) {
+  auto fd = help::ListenUnix(path);
+  if (!fd.ok()) {
+    return fd.status();
+  }
+  Status nb = SetNonBlocking(fd.value());
+  if (!nb.ok()) {
+    close(fd.value());
+    return nb;
+  }
+  unix_path_ = path;
+  listen_fds_.push_back(fd.value());
+  return Status::Ok();
+}
+
+Status NinepListener::Start() {
+  if (running_.load()) {
+    return Status::Error("listener already running");
+  }
+  if (listen_fds_.empty()) {
+    return Status::Error("listener has no endpoints");
+  }
+  poller_ = MakePoller(opt_.poller);
+  int pfd[2];
+  if (pipe(pfd) < 0) {
+    return Status::Error(std::string("pipe: ") + strerror(errno));
+  }
+  wake_rd_ = pfd[0];
+  wake_wr_ = pfd[1];
+  SetNonBlocking(wake_rd_);
+  SetNonBlocking(wake_wr_);
+  fcntl(wake_rd_, F_SETFD, FD_CLOEXEC);
+  fcntl(wake_wr_, F_SETFD, FD_CLOEXEC);
+  Status s = poller_->Add(wake_rd_, /*want_read=*/true, /*want_write=*/false);
+  if (!s.ok()) {
+    return s;
+  }
+  for (int fd : listen_fds_) {
+    s = poller_->Add(fd, /*want_read=*/true, /*want_write=*/false);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  stop_.store(false);
+  running_.store(true);
+  loop_ = std::thread(&NinepListener::LoopMain, this);
+  workers_.reserve(static_cast<size_t>(opt_.workers));
+  for (int i = 0; i < opt_.workers; i++) {
+    workers_.emplace_back(&NinepListener::WorkerMain, this);
+  }
+  return Status::Ok();
+}
+
+void NinepListener::Stop() {
+  if (!running_.load()) {
+    return;
+  }
+  stop_.store(true);
+  WakeLoop();
+  loop_.join();
+  // Let the workers drain every already-queued dispatch and teardown, then
+  // stop them with one sentinel each.
+  {
+    std::lock_guard<std::mutex> lk(ready_mu_);
+    for (size_t i = 0; i < workers_.size(); i++) {
+      ready_.push_back(nullptr);
+    }
+  }
+  ready_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+  workers_.clear();
+  // Single-threaded from here: tear down whatever survived.
+  for (int fd : listen_fds_) {
+    close(fd);
+  }
+  listen_fds_.clear();
+  std::map<int, ConnPtr> leftover;
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    leftover.swap(conns_);
+  }
+  for (auto& [fd, c] : leftover) {
+    close(fd);
+    srv_->metrics().RecordDisconnect();
+    if (!c->session_closed) {
+      c->session_closed = true;
+      srv_->CloseSession(c->sid);
+    }
+  }
+  for (int fd : deferred_close_) {
+    close(fd);
+  }
+  deferred_close_.clear();
+  close(wake_rd_);
+  close(wake_wr_);
+  wake_rd_ = wake_wr_ = -1;
+  poller_.reset();
+  if (!unix_path_.empty()) {
+    unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+  running_.store(false);
+}
+
+size_t NinepListener::active_conns() const {
+  std::lock_guard<std::mutex> lk(conns_mu_);
+  return conns_.size();
+}
+
+uint64_t NinepListener::NowMs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void NinepListener::WakeLoop() {
+  char b = 0;
+  // A full pipe already guarantees a wakeup; EAGAIN is success here.
+  (void)!write(wake_wr_, &b, 1);
+}
+
+void NinepListener::DrainWakePipe() {
+  char buf[256];
+  while (read(wake_rd_, buf, sizeof(buf)) > 0) {
+  }
+}
+
+void NinepListener::EnqueueReady(const ConnPtr& c) {
+  {
+    std::lock_guard<std::mutex> lk(ready_mu_);
+    ready_.push_back(c);
+  }
+  ready_cv_.notify_one();
+}
+
+// --- Event loop --------------------------------------------------------------
+
+void NinepListener::LoopMain() {
+  std::vector<Poller::Event> events;
+  while (!stop_.load()) {
+    events.clear();
+    int timeout = opt_.idle_timeout_ms > 0
+                      ? std::min(opt_.tick_ms, opt_.idle_timeout_ms)
+                      : opt_.tick_ms;
+    poller_->Wait(&events, timeout);
+    if (stop_.load()) {
+      break;
+    }
+    for (const Poller::Event& ev : events) {
+      if (ev.fd == wake_rd_) {
+        DrainWakePipe();
+        continue;
+      }
+      if (std::find(listen_fds_.begin(), listen_fds_.end(), ev.fd) !=
+          listen_fds_.end()) {
+        HandleAccept(ev.fd);
+        continue;
+      }
+      ConnPtr c;
+      {
+        std::lock_guard<std::mutex> lk(conns_mu_);
+        auto it = conns_.find(ev.fd);
+        if (it != conns_.end()) {
+          c = it->second;
+        }
+      }
+      if (c == nullptr) {
+        continue;  // closed earlier in this batch (fd close is deferred)
+      }
+      if (ev.error) {
+        CloseConn(c, /*reaped=*/false);
+        continue;
+      }
+      if (ev.readable) {
+        HandleReadable(c);
+      }
+      if (ev.writable) {
+        FlushConn(c);
+      }
+    }
+    // Worker notifications: replies to flush, stalls to re-arm.
+    std::deque<ConnPtr> pending;
+    {
+      std::lock_guard<std::mutex> lk(notify_mu_);
+      pending.swap(notify_);
+    }
+    for (const ConnPtr& c : pending) {
+      FlushConn(c);
+    }
+    // Idle reaping.
+    if (opt_.idle_timeout_ms > 0) {
+      uint64_t now = NowMs();
+      std::vector<ConnPtr> idle;
+      {
+        std::lock_guard<std::mutex> lk(conns_mu_);
+        for (const auto& [fd, c] : conns_) {
+          if (now - c->last_active_ms >=
+              static_cast<uint64_t>(opt_.idle_timeout_ms)) {
+            idle.push_back(c);
+          }
+        }
+      }
+      for (const ConnPtr& c : idle) {
+        OBS_INSTANT("net.reap", c->sid);
+        CloseConn(c, /*reaped=*/true);
+      }
+    }
+    // Deferred closes: only after the whole batch, so a reused fd number
+    // cannot alias a stale event from this batch.
+    for (int fd : deferred_close_) {
+      close(fd);
+    }
+    deferred_close_.clear();
+  }
+}
+
+void NinepListener::HandleAccept(int listen_fd) {
+  for (int i = 0; i < 64; i++) {  // cap per event; level-trigger re-fires
+    int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // EAGAIN or transient (EMFILE etc.): try again next event
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      close(fd);
+      continue;
+    }
+    fcntl(fd, F_SETFD, FD_CLOEXEC);
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));  // no-op on unix
+    auto c = std::make_shared<Conn>(opt_.max_frame);
+    c->fd = fd;
+    c->sid = srv_->OpenSession();
+    c->last_active_ms = NowMs();
+    if (!poller_->Add(fd, /*want_read=*/true, /*want_write=*/false).ok()) {
+      close(fd);
+      srv_->CloseSession(c->sid);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lk(conns_mu_);
+      conns_[fd] = c;
+    }
+    srv_->metrics().RecordAccept();
+    OBS_INSTANT("net.accept", c->sid);
+  }
+}
+
+void NinepListener::HandleReadable(const ConnPtr& c) {
+  char buf[64 * 1024];
+  std::vector<std::string> frames;
+  bool frame_error = false;
+  bool peer_gone = false;
+  for (int i = 0; i < 4; i++) {  // fairness cap; level-trigger re-fires
+    ssize_t n = recv(c->fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (!WouldBlock()) {
+        peer_gone = true;
+      }
+      break;
+    }
+    if (n == 0) {
+      peer_gone = true;  // EOF: pending replies are discarded by policy
+      break;
+    }
+    c->last_active_ms = NowMs();
+    srv_->metrics().AddNetBytesIn(static_cast<uint64_t>(n));
+    c->reader.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    std::string frame;
+    FrameReader::Next next;
+    while ((next = c->reader.Pop(&frame)) == FrameReader::Next::kFrame) {
+      frames.push_back(std::move(frame));
+    }
+    if (next == FrameReader::Next::kError) {
+      frame_error = true;
+      break;
+    }
+    if (static_cast<size_t>(n) < sizeof(buf)) {
+      break;  // drained the socket buffer
+    }
+  }
+  if (!frames.empty()) {
+    std::lock_guard<std::mutex> lk(c->mu);
+    for (std::string& f : frames) {
+      c->inbox.push_back(std::move(f));
+    }
+    if (!c->busy && !c->stalled && !c->closing) {
+      c->busy = true;
+      EnqueueReady(c);
+    }
+  }
+  if (frame_error) {
+    srv_->metrics().RecordFrameError();
+    OBS_INSTANT("net.frame_error", c->sid);
+    CloseConn(c, /*reaped=*/false);
+  } else if (peer_gone) {
+    CloseConn(c, /*reaped=*/false);
+  }
+}
+
+void NinepListener::FlushConn(const ConnPtr& c) {
+  bool broken = false;
+  {
+    std::lock_guard<std::mutex> lk(c->mu);
+    if (c->closing) {
+      return;
+    }
+    while (c->outbox_bytes() > 0) {
+      ssize_t n = send(c->fd, c->outbox.data() + c->outbox_off,
+                       c->outbox_bytes(), MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        if (!WouldBlock()) {
+          broken = true;
+        }
+        break;
+      }
+      c->outbox_off += static_cast<size_t>(n);
+      c->last_active_ms = NowMs();
+      srv_->metrics().AddNetBytesOut(static_cast<uint64_t>(n));
+    }
+    if (c->outbox_bytes() == 0) {
+      c->outbox.clear();
+      c->outbox_off = 0;
+    }
+    if (!broken) {
+      // Backpressure release: half the bound, so a stream of replies can't
+      // flap the stall on and off per frame.
+      if (c->stalled && c->outbox_bytes() <= opt_.max_outbox_bytes / 2) {
+        c->stalled = false;
+        OBS_INSTANT("net.unstall", c->sid);
+        if (!c->inbox.empty() && !c->busy) {
+          c->busy = true;
+          EnqueueReady(c);
+        }
+      }
+      UpdateInterest(c);
+    }
+  }
+  if (broken) {
+    CloseConn(c, /*reaped=*/false);
+  }
+}
+
+void NinepListener::UpdateInterest(const ConnPtr& c) {
+  bool want_read = !c->stalled;
+  bool want_write = c->outbox_bytes() > 0;
+  if (want_read != c->want_read || want_write != c->want_write) {
+    c->want_read = want_read;
+    c->want_write = want_write;
+    poller_->Mod(c->fd, want_read, want_write);
+  }
+}
+
+void NinepListener::CloseConn(const ConnPtr& c, bool reaped) {
+  {
+    std::lock_guard<std::mutex> lk(c->mu);
+    if (c->closing) {
+      return;
+    }
+    c->closing = true;
+  }
+  poller_->Del(c->fd);
+  deferred_close_.push_back(c->fd);
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    conns_.erase(c->fd);
+  }
+  srv_->metrics().RecordDisconnect();
+  if (reaped) {
+    srv_->metrics().RecordReap();
+  }
+  // Session teardown happens on a worker: CloseSession waits for the
+  // exclusive dispatch lock (draining any request this connection still has
+  // mid-dispatch), and the loop must never block on that.
+  EnqueueReady(c);
+}
+
+// --- Worker pool -------------------------------------------------------------
+
+void NinepListener::WorkerMain() {
+  while (true) {
+    ConnPtr c;
+    {
+      std::unique_lock<std::mutex> lk(ready_mu_);
+      ready_cv_.wait(lk, [&] { return !ready_.empty(); });
+      c = std::move(ready_.front());
+      ready_.pop_front();
+    }
+    if (c == nullptr) {
+      return;  // shutdown sentinel
+    }
+    bool teardown = false;
+    while (true) {
+      std::string frame;
+      {
+        std::lock_guard<std::mutex> lk(c->mu);
+        if (c->closing) {
+          teardown = !c->session_closed;
+          c->session_closed = true;
+          c->busy = false;
+          break;
+        }
+        if (c->outbox_bytes() > opt_.max_outbox_bytes) {
+          // Slow reader: park dispatch with the inbox intact. The loop
+          // drops read interest and requeues once the outbox drains.
+          if (!c->stalled) {
+            c->stalled = true;
+            srv_->metrics().RecordBackpressureStall();
+            OBS_INSTANT("net.backpressure_stall", c->sid);
+          }
+          c->busy = false;
+          break;
+        }
+        if (c->inbox.empty()) {
+          c->busy = false;
+          break;
+        }
+        frame = std::move(c->inbox.front());
+        c->inbox.pop_front();
+      }
+      std::string reply = srv_->HandleBytes(c->sid, frame);
+      bool notify;
+      {
+        std::lock_guard<std::mutex> lk(c->mu);
+        notify = c->outbox_bytes() == 0;  // loop has nothing armed for us
+        c->outbox += reply;
+      }
+      if (notify) {
+        std::lock_guard<std::mutex> lk(notify_mu_);
+        notify_.push_back(c);
+      }
+      if (notify) {
+        WakeLoop();
+      }
+    }
+    if (teardown) {
+      // Outside c->mu: CloseSession blocks on the exclusive dispatch lock
+      // (draining this connection's mid-flight request, if any), and the
+      // loop must stay free to lock c->mu meanwhile.
+      srv_->CloseSession(c->sid);
+    }
+    // A stall or teardown decision above may have raced a FlushConn; one
+    // extra notification is cheap and keeps interest fresh.
+    {
+      std::lock_guard<std::mutex> lk(notify_mu_);
+      notify_.push_back(c);
+    }
+    WakeLoop();
+  }
+}
+
+}  // namespace help

@@ -1,0 +1,182 @@
+// The C10K front end of the 9P service: one event-loop thread multiplexes
+// every accepted connection with epoll (poll on non-Linux, or on request),
+// and a small worker pool runs the actual protocol dispatch against the
+// NinepServer. One connection == one Session, so fid tables, msize, and tag
+// bookkeeping isolate exactly as they do in-process.
+//
+// Division of labor (see DESIGN.md §14):
+//
+//   loop thread    accept, read, write, epoll interest, timers, close —
+//                  ALL fd I/O. Never dispatches, never takes the 9P
+//                  dispatch lock, so a slow handler can't stall the wire.
+//   worker pool    pops a ready connection, drains its inbox one frame at a
+//                  time through NinepServer::HandleBytes (the existing
+//                  shared/exclusive dispatch machinery), appends replies to
+//                  the outbox, and wakes the loop to flush. Also runs
+//                  session teardown (CloseSession blocks on the exclusive
+//                  dispatch lock — not the loop's job).
+//
+// Per-connection frames dispatch strictly in order (a connection is enqueued
+// to at most one worker at a time), preserving the protocol's
+// one-logical-client-per-connection ordering; different connections'
+// requests run concurrently, which is what finally exercises the PR 4
+// reader-writer dispatch across real connections.
+//
+// Backpressure: each connection's outbound queue is bounded. When appending
+// a reply would exceed max_outbox_bytes the worker parks the connection
+// (stalled): dispatch stops with frames still in the inbox, the loop drops
+// read interest so the kernel socket buffer — and eventually the peer —
+// absorbs the pressure. When the loop drains the outbox below half the
+// bound it unstalls, re-arms reads, and requeues pending frames. Counted in
+// net.backpressure_stalls.
+//
+// Idle reaping: a connection with no traffic for idle_timeout_ms is closed
+// and its session torn down — CloseSession clunks every open fid through the
+// normal handler path, so an abandoned client cannot pin windows or leak
+// sessions. Counted in net.reaped.
+//
+// Hostile-wire policy: a frame header that lies (size < 7 or > max_frame)
+// poisons the stream — the connection is closed immediately, counted in
+// net.frame_errors. There is no resynchronizing a framed stream after a bad
+// length. Disconnects with requests mid-dispatch are safe by construction:
+// the session outlives the socket until a worker's CloseSession completes,
+// and replies to a dead connection are discarded with it.
+#ifndef SRC_FS_LISTENER_H_
+#define SRC_FS_LISTENER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/fs/server.h"
+#include "src/fs/transport.h"
+
+namespace help {
+
+// Readiness-notification backend: epoll on Linux, poll(2) everywhere (and on
+// Linux when forced, so the fallback stays tested on CI hardware that has
+// epoll).
+class Poller {
+ public:
+  struct Event {
+    int fd;
+    bool readable;
+    bool writable;
+    bool error;  // EPOLLERR/EPOLLHUP (POLLERR/POLLHUP/POLLNVAL)
+  };
+
+  virtual ~Poller() = default;
+  virtual Status Add(int fd, bool want_read, bool want_write) = 0;
+  virtual Status Mod(int fd, bool want_read, bool want_write) = 0;
+  virtual void Del(int fd) = 0;
+  // Blocks up to timeout_ms; appends ready fds to *out. Returns the event
+  // count (0 on timeout), -1 on hard failure.
+  virtual int Wait(std::vector<Event>* out, int timeout_ms) = 0;
+};
+
+// kAuto picks epoll on Linux, poll elsewhere.
+enum class PollerKind : uint8_t { kAuto, kEpoll, kPoll };
+std::unique_ptr<Poller> MakePoller(PollerKind kind);
+
+// Namespace-scope (not nested) so `NinepListener(&srv, {.workers = 4})` and
+// the defaulted-argument constructor both work — a nested aggregate's default
+// member initializers are not usable until the enclosing class is complete.
+struct ListenerOptions {
+  int workers = 2;                     // dispatch worker threads
+  uint32_t max_frame = kMaxFrameSize;  // inbound frame cap (protocol limit)
+  size_t max_outbox_bytes = 1 << 20;   // backpressure high-water per conn
+  int idle_timeout_ms = 0;             // 0 = never reap idle connections
+  int tick_ms = 50;                    // loop wakeup granularity (reap scan)
+  PollerKind poller = PollerKind::kAuto;
+};
+
+class NinepListener {
+ public:
+  using Options = ListenerOptions;
+
+  explicit NinepListener(NinepServer* srv, Options opt = {});
+  ~NinepListener();
+
+  NinepListener(const NinepListener&) = delete;
+  NinepListener& operator=(const NinepListener&) = delete;
+
+  // Bind endpoints (either or both, before Start). TCP port 0 binds an
+  // ephemeral port; read it back with port().
+  Status ListenTcp(const std::string& host, uint16_t port);
+  Status ListenUnix(const std::string& path);
+  uint16_t port() const { return port_; }
+
+  // Spawns the event loop and the worker pool. Stop() (or the destructor)
+  // closes every connection, tears down every session, and joins.
+  Status Start();
+  void Stop();
+
+  // Live connection count (the net.active_conns gauge reads the same).
+  size_t active_conns() const;
+
+ private:
+  struct Conn;
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  void LoopMain();
+  void WorkerMain();
+  void HandleAccept(int listen_fd);
+  void HandleReadable(const ConnPtr& c);
+  // Flushes c->outbox as far as the socket allows; updates interest.
+  void FlushConn(const ConnPtr& c);
+  void UpdateInterest(const ConnPtr& c);
+  // Loop-side teardown: deregister + schedule close(fd) after this event
+  // batch, erase from the table, hand session teardown to a worker.
+  void CloseConn(const ConnPtr& c, bool reaped);
+  void EnqueueReady(const ConnPtr& c);  // caller holds c->mu
+  void WakeLoop();
+  void DrainWakePipe();
+  uint64_t NowMs() const;
+
+  NinepServer* srv_;
+  Options opt_;
+  std::unique_ptr<Poller> poller_;
+  std::vector<int> listen_fds_;
+  std::string unix_path_;  // unlinked on Stop
+  uint16_t port_ = 0;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  std::thread loop_;
+  std::vector<std::thread> workers_;
+
+  // The connection table. Only the loop inserts/erases; the mutex makes
+  // active_conns() and Stop()'s final sweep safe from other threads.
+  mutable std::mutex conns_mu_;
+  std::map<int, ConnPtr> conns_;
+
+  // Work queue: connections with frames to dispatch or sessions to tear
+  // down. A null entry is the shutdown sentinel.
+  std::mutex ready_mu_;
+  std::condition_variable ready_cv_;
+  std::deque<ConnPtr> ready_;
+
+  // Loop-notification queue: connections whose outbox/stall state changed
+  // under a worker and need the loop to flush or re-arm interest.
+  std::mutex notify_mu_;
+  std::deque<ConnPtr> notify_;
+
+  // fds whose close(2) is deferred to the end of the current event batch, so
+  // a just-closed fd cannot be reused by an accept earlier in the same batch
+  // and alias a stale event.
+  std::vector<int> deferred_close_;
+};
+
+}  // namespace help
+
+#endif  // SRC_FS_LISTENER_H_

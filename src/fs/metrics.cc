@@ -86,6 +86,13 @@ NinepMetrics::NinepMetrics() {
   shared_reads_ = reg.GetCounter("ninep.read.shared");
   read_retries_ = reg.GetCounter("ninep.read.retry");
   lock_wait_ = reg.GetHistogram("ninep.lock.wait_us");
+  net_accepts_ = reg.GetCounter("net.accepts");
+  net_active_ = reg.GetCounter("net.active_conns");
+  net_reaped_ = reg.GetCounter("net.reaped");
+  net_stalls_ = reg.GetCounter("net.backpressure_stalls");
+  net_frame_errors_ = reg.GetCounter("net.frame_errors");
+  net_bytes_in_ = reg.GetCounter("net.bytes_in");
+  net_bytes_out_ = reg.GetCounter("net.bytes_out");
 }
 
 void NinepMetrics::RecordOp(NinepOp op, uint64_t latency_us, bool error) {
@@ -151,6 +158,22 @@ std::string NinepMetrics::Render() const {
                 static_cast<unsigned long long>(read_retries()),
                 static_cast<unsigned long long>(lock_wait_->Percentile(99)));
   out += line;
+  // PR 7 socket transport: the connection layer's own counters, again
+  // appended so byte-format consumers of the older blocks keep working.
+  std::snprintf(line, sizeof(line),
+                "net_accepts %llu\nnet_active_conns %llu\nnet_reaped %llu\n",
+                static_cast<unsigned long long>(net_accepts()),
+                static_cast<unsigned long long>(net_active_conns()),
+                static_cast<unsigned long long>(net_reaped()));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "net_backpressure_stalls %llu\nnet_frame_errors %llu\n"
+                "net_bytes_in %llu\nnet_bytes_out %llu\n",
+                static_cast<unsigned long long>(net_backpressure_stalls()),
+                static_cast<unsigned long long>(net_frame_errors()),
+                static_cast<unsigned long long>(net_bytes_in()),
+                static_cast<unsigned long long>(net_bytes_out()));
+  out += line;
   return out;
 }
 
@@ -166,7 +189,13 @@ void NinepMetrics::Reset() {
   shared_reads_->Store(0);
   read_retries_->Store(0);
   lock_wait_->Reset();
-  // in_flight_ is a live gauge; leave it alone.
+  net_accepts_->Store(0);
+  net_reaped_->Store(0);
+  net_stalls_->Store(0);
+  net_frame_errors_->Store(0);
+  net_bytes_in_->Store(0);
+  net_bytes_out_->Store(0);
+  // in_flight_ and net_active_ are live gauges; leave them alone.
 }
 
 }  // namespace help

@@ -59,6 +59,20 @@ class NinepMetrics {
   void RecordSharedRead() { shared_reads_->Add(); }
   void RecordReadRetry() { read_retries_->Add(); }
   void RecordLockWait(uint64_t wait_us) { lock_wait_->Record(wait_us); }
+  // PR 7 socket transport: connection-layer counters ("net.*" in the
+  // registry), recorded by NinepListener. bytes here are raw wire bytes —
+  // ninep.bytes_{in,out} keep counting framed protocol bytes, so the two
+  // pairs agree only when every byte frames cleanly.
+  void RecordAccept() {
+    net_accepts_->Add();
+    net_active_->Add();
+  }
+  void RecordDisconnect() { net_active_->Sub(); }
+  void RecordReap() { net_reaped_->Add(); }
+  void RecordBackpressureStall() { net_stalls_->Add(); }
+  void RecordFrameError() { net_frame_errors_->Add(); }
+  void AddNetBytesIn(uint64_t n) { net_bytes_in_->Add(n); }
+  void AddNetBytesOut(uint64_t n) { net_bytes_out_->Add(n); }
 
   uint64_t count(NinepOp op) const { return ops_[Idx(op)].count->value(); }
   uint64_t errors(NinepOp op) const { return ops_[Idx(op)].errors->value(); }
@@ -68,6 +82,13 @@ class NinepMetrics {
   uint64_t flush_cancels() const { return flush_cancels_->value(); }
   uint64_t shared_reads() const { return shared_reads_->value(); }
   uint64_t read_retries() const { return read_retries_->value(); }
+  uint64_t net_accepts() const { return net_accepts_->value(); }
+  uint64_t net_active_conns() const { return net_active_->value(); }
+  uint64_t net_reaped() const { return net_reaped_->value(); }
+  uint64_t net_backpressure_stalls() const { return net_stalls_->value(); }
+  uint64_t net_frame_errors() const { return net_frame_errors_->value(); }
+  uint64_t net_bytes_in() const { return net_bytes_in_->value(); }
+  uint64_t net_bytes_out() const { return net_bytes_out_->value(); }
   uint64_t total_ops() const;
 
   // Approximate percentile (0 < p <= 100) of one op's latency, in
@@ -100,6 +121,13 @@ class NinepMetrics {
   obs::Counter* shared_reads_;
   obs::Counter* read_retries_;
   obs::Histogram* lock_wait_;
+  obs::Counter* net_accepts_;
+  obs::Counter* net_active_;
+  obs::Counter* net_reaped_;
+  obs::Counter* net_stalls_;
+  obs::Counter* net_frame_errors_;
+  obs::Counter* net_bytes_in_;
+  obs::Counter* net_bytes_out_;
 };
 
 }  // namespace help

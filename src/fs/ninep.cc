@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/base/strings.h"
+
 namespace help {
 
 namespace {
@@ -722,6 +724,13 @@ Result<Fcall> NinepClient::Rpc(Fcall t) {
   auto r = DecodeFcall(reply);
   if (!r.ok()) {
     return r.status();
+  }
+  // The reply must answer the request just issued. The in-process transport
+  // echoes the tag by construction, but a socket peer can send anything —
+  // accepting a stray R-message here would hand one request another's data.
+  if (r.value().tag != t.tag) {
+    return Status::Error(
+        StrFormat("ninep: reply tag %u was never issued", r.value().tag));
   }
   if (r.value().type == MsgType::kRerror) {
     return Status::Error(r.value().ename);

@@ -1,0 +1,139 @@
+// The wire level of the 9P service: length-prefixed T/R frames over real
+// sockets. Everything below NinepServer::HandleBytes already speaks complete
+// packets; this module is what turns a byte *stream* (TCP or Unix-domain)
+// into those packets and back.
+//
+//   * FrameReader — an incremental deframer. 9P messages carry their own
+//     size[4] prefix, so framing is: buffer bytes, expose one complete
+//     message at a time. The reader treats the wire as hostile: a size field
+//     below the 7-byte minimum (size+type+tag) or above the frame cap —
+//     msize is negotiated downward from kDefaultMsize, so no honest peer
+//     ever sends more — poisons the stream permanently; the connection
+//     layer's only correct response is to hang up.
+//   * Dial/Listen helpers — thin fd-returning wrappers over the BSD socket
+//     calls, Plan 9-style error strings, SIGPIPE suppressed (MSG_NOSIGNAL).
+//   * SocketTransport — the synchronous client side: a NinepClient::Transport
+//     that writes one framed T-message and blocks for the matching R-message,
+//     so the same client code runs in-process or over the wire. Transport
+//     failures are surfaced as a synthesized Rerror carrying the request's
+//     own tag (the Transport signature has no side channel for errors).
+//
+// The server side — the epoll event loop multiplexing thousands of these
+// connections — lives in src/fs/listener.h.
+#ifndef SRC_FS_TRANSPORT_H_
+#define SRC_FS_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/fs/ninep.h"
+
+namespace help {
+
+// Smallest well-formed frame: size[4] type[1] tag[2].
+inline constexpr uint32_t kMinFrameSize = 7;
+// Hard inbound frame cap. The server never negotiates msize above
+// kDefaultMsize, so a frame claiming more is a protocol violation, not a big
+// message.
+inline constexpr uint32_t kMaxFrameSize = kDefaultMsize;
+
+// Incremental deframer for a length-prefixed 9P byte stream. Feed() raw
+// bytes as they arrive; Pop() yields complete frames in order. Once a frame
+// header lies (size out of [kMinFrameSize, max_frame]) the stream is
+// poisoned: every further Pop() returns kError and the caller must close the
+// connection — there is no way to resynchronize a framed stream after a bad
+// length.
+class FrameReader {
+ public:
+  enum class Next { kFrame, kNeedMore, kError };
+
+  explicit FrameReader(uint32_t max_frame = kMaxFrameSize)
+      : max_frame_(max_frame) {}
+
+  void Feed(std::string_view bytes);
+
+  // Extracts the next complete frame (including its size prefix).
+  Next Pop(std::string* frame);
+
+  bool poisoned() const { return poisoned_; }
+  const std::string& error() const { return error_; }
+  // Bytes buffered but not yet popped (bounded by max_frame once a header is
+  // visible; the connection layer stops reading on backpressure anyway).
+  size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+  uint32_t max_frame_;
+  bool poisoned_ = false;
+  std::string error_;
+};
+
+// --- fd-level socket helpers -------------------------------------------------
+
+// All return a connected/listening fd (CLOEXEC) or a Plan 9-style error.
+// Listeners bind+listen; port 0 picks an ephemeral port (read it back with
+// LocalPort). Unix listeners unlink a stale socket file first.
+Result<int> ListenTcp(const std::string& host, uint16_t port, int backlog = 512);
+Result<int> ListenUnix(const std::string& path, int backlog = 512);
+Result<int> DialTcp(const std::string& host, uint16_t port);
+Result<int> DialUnix(const std::string& path);
+
+// The port a listening TCP fd actually bound (for port 0 = ephemeral).
+Result<uint16_t> LocalPort(int fd);
+
+Status SetNonBlocking(int fd);
+
+// Blocking write of the whole buffer / read of exactly n bytes. ReadFull
+// returns the bytes read (short only at EOF-with-error). Both retry EINTR
+// and suppress SIGPIPE.
+Status WriteFull(int fd, std::string_view data);
+Result<std::string> ReadFull(int fd, size_t n);
+
+// Best-effort RLIMIT_NOFILE raise for C10K-scale drivers (bench, soak
+// tests): lifts the soft limit toward min(want, hard). Never fails hard.
+void RaiseFdLimit(uint64_t want);
+
+// --- Client side -------------------------------------------------------------
+
+// A synchronous socket-backed transport for NinepClient: one framed
+// T-message out, one framed R-message back, blocking. Not thread-safe — one
+// SocketTransport per client connection, which is also the protocol's
+// assumption (one logical client per connection).
+class SocketTransport {
+ public:
+  static Result<std::unique_ptr<SocketTransport>> ConnectTcp(
+      const std::string& host, uint16_t port);
+  static Result<std::unique_ptr<SocketTransport>> ConnectUnix(
+      const std::string& path);
+
+  ~SocketTransport() { Close(); }
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  // The full round trip. On any transport failure (send error, connection
+  // closed, unframeable reply) returns an encoded Rerror carrying the
+  // request's tag, so NinepClient surfaces it as an ordinary error Status.
+  std::string Rpc(std::string_view packet);
+
+  // Adapter for NinepClient's std::function transport. The returned callable
+  // borrows `this`; keep the SocketTransport alive for the client's life.
+  NinepClient::Transport AsTransport() {
+    return [this](std::string_view packet) { return Rpc(packet); };
+  }
+
+  void Close();
+  bool closed() const { return fd_ < 0; }
+  int fd() const { return fd_; }
+
+ private:
+  explicit SocketTransport(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace help
+
+#endif  // SRC_FS_TRANSPORT_H_

@@ -371,5 +371,32 @@ TEST(NinepServer, GarbageBytesYieldRerror) {
   EXPECT_EQ(r.value().type, MsgType::kRerror);
 }
 
+TEST(NinepClientTag, RejectsRepliesWithTagsNeverIssued) {
+  // A transport that answers every request with a *valid* R-message carrying
+  // a tag the client never sent — what a confused or malicious socket peer
+  // could do. The client must reject it rather than hand one request
+  // another's data; the in-process transport makes this unreachable, the
+  // wire makes it routine.
+  Vfs vfs;
+  NinepServer server(&vfs);
+  auto real = server.Transport();
+  int calls = 0;
+  NinepClient client([&](std::string_view packet) {
+    std::string reply = real(packet);
+    if (++calls <= 2) {
+      return reply;  // let version + attach through untouched
+    }
+    auto r = DecodeFcall(reply);
+    EXPECT_TRUE(r.ok());
+    Fcall forged = r.value();
+    forged.tag = static_cast<uint16_t>(forged.tag + 1000);  // never issued
+    return EncodeFcall(forged);
+  });
+  ASSERT_TRUE(client.Connect().ok());
+  auto fid = client.WalkFid("/");
+  ASSERT_FALSE(fid.ok());
+  EXPECT_NE(fid.message().find("never issued"), std::string::npos) << fid.message();
+}
+
 }  // namespace
 }  // namespace help

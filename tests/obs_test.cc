@@ -345,7 +345,14 @@ TEST(NinepMetricsCompat, StatsByteFormatPinnedExactly) {
             "flush_cancels 1\n"
             "shared_reads 1\n"
             "read_retries 0\n"
-            "lock_wait_p99us 0\n");
+            "lock_wait_p99us 0\n"
+            "net_accepts 0\n"
+            "net_active_conns 0\n"
+            "net_reaped 0\n"
+            "net_backpressure_stalls 0\n"
+            "net_frame_errors 0\n"
+            "net_bytes_in 0\n"
+            "net_bytes_out 0\n");
   // And the same numbers are visible through the registry's own file format.
   std::string metrics = Registry::Global().RenderText();
   EXPECT_NE(metrics.find("ninep.walk.count 2\n"), std::string::npos);
@@ -356,7 +363,10 @@ TEST(NinepMetricsCompat, StatsByteFormatPinnedExactly) {
   EXPECT_EQ(m.Render(),
             "op count errs p50us p99us\n"
             "bytes_in 0\nbytes_out 0\nin_flight 0\nflush_cancels 0\n"
-            "shared_reads 0\nread_retries 0\nlock_wait_p99us 0\n");
+            "shared_reads 0\nread_retries 0\nlock_wait_p99us 0\n"
+            "net_accepts 0\nnet_active_conns 0\nnet_reaped 0\n"
+            "net_backpressure_stalls 0\nnet_frame_errors 0\n"
+            "net_bytes_in 0\nnet_bytes_out 0\n");
 }
 
 TEST(ObsTracer, RenderTextLinesCarryAllStamps) {

@@ -508,6 +508,15 @@ TEST(Observability, StatsStillServedOverTheWire) {
   // PR 4: the read-path concurrency counters ride the same file.
   EXPECT_NE(stats.value().find("\nshared_reads "), std::string::npos);
   EXPECT_NE(stats.value().find("\nread_retries "), std::string::npos);
+  // PR 7: the socket connection layer's counters, appended after the older
+  // blocks so byte-offset consumers of those keep working.
+  EXPECT_NE(stats.value().find("\nnet_accepts "), std::string::npos);
+  EXPECT_NE(stats.value().find("\nnet_active_conns "), std::string::npos);
+  EXPECT_NE(stats.value().find("\nnet_reaped "), std::string::npos);
+  EXPECT_NE(stats.value().find("\nnet_backpressure_stalls "), std::string::npos);
+  EXPECT_NE(stats.value().find("\nnet_frame_errors "), std::string::npos);
+  EXPECT_NE(stats.value().find("\nnet_bytes_in "), std::string::npos);
+  EXPECT_NE(stats.value().find("\nnet_bytes_out "), std::string::npos);
   srv.CloseSession(sid);
 }
 
