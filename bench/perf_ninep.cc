@@ -20,6 +20,11 @@
 //                  its own session and pre-opened body fid — and round-robin
 //                  range reads across them. Exits nonzero on any protocol
 //                  error.
+//   --trace FILE   run with request tracing enabled and write the captured
+//                  ring as Chrome trace-event JSON to FILE when the runs
+//                  finish (open it in chrome://tracing or Perfetto; each
+//                  request's phases chain on one rid across the named
+//                  net.loop / net.worker threads)
 #include <unistd.h>
 
 #include <atomic>
@@ -37,6 +42,7 @@
 #include "src/fs/listener.h"
 #include "src/fs/server.h"
 #include "src/fs/transport.h"
+#include "src/obs/trace.h"
 
 namespace help {
 namespace {
@@ -410,6 +416,7 @@ int Main(int argc, char** argv) {
   bool json = false;
   bool sweep = false;
   bool socket = false;
+  std::string trace_path;
   int positional = 0;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--read-heavy") == 0) {
@@ -422,12 +429,14 @@ int Main(int argc, char** argv) {
       sweep = true;
     } else if (std::strcmp(argv[i], "--socket") == 0) {
       socket = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr,
                    "usage: perf_ninep [threads] [ops-per-thread] "
                    "[--read-heavy] [--serialized] [--sweep] [--json]\n"
                    "       perf_ninep --socket [conns] [ops-per-conn] "
-                   "[--json]\n");
+                   "[--json] [--trace FILE]\n");
       return 2;
     } else if (positional == 0) {
       threads = std::atoi(argv[i]);
@@ -452,6 +461,11 @@ int Main(int argc, char** argv) {
     return 2;
   }
 
+  if (!trace_path.empty()) {
+    obs::Tracer::Global().Clear();
+    obs::Tracer::Global().Enable();
+  }
+
   const char* workload = socket ? "socket" : read_heavy ? "read-heavy" : "mixed";
   uint64_t failures = 0;
   std::vector<RunResult> results;
@@ -468,6 +482,21 @@ int Main(int argc, char** argv) {
       }
     }
     results.push_back(r);
+  }
+
+  if (!trace_path.empty()) {
+    obs::Tracer::Global().Disable();
+    std::string trace = obs::Tracer::Global().RenderChromeJson();
+    std::FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "perf_ninep: cannot write %s\n", trace_path.c_str());
+      failures++;
+    } else {
+      std::fwrite(trace.data(), 1, trace.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "perf_ninep: wrote %zu-byte Chrome trace to %s\n",
+                   trace.size(), trace_path.c_str());
+    }
   }
 
   if (json) {

@@ -12,14 +12,27 @@
 //   3. The perf_ninep hot path (full byte path: walk/open/read/clunk over
 //      the wire) off vs on.
 //
+//   4. The socket read path (a real NinepListener + unix socket, the PR 8
+//      request-tracing instrumentation live on every frame) off vs on — the
+//      acceptance gate is TracingOn within 5% of TracingOff.
+//
 // Run: ./build/bench/perf_obs  — compare *_TracingOff vs *_TracingOn rows.
+// Passing --json appends one machine-readable line with every run, for the
+// CI bench-smoke artifact.
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
+#include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "src/base/strings.h"
 #include "src/core/help.h"
+#include "src/fs/listener.h"
 #include "src/fs/ninep.h"
 #include "src/fs/server.h"
+#include "src/fs/transport.h"
 #include "src/obs/trace.h"
 #include "src/text/text.h"
 
@@ -170,7 +183,118 @@ void BM_NinepReadFile_TracingOn(benchmark::State& state) {
 }
 BENCHMARK(BM_NinepReadFile_TracingOn);
 
+// --- 4. The socket read path, off vs on --------------------------------------
+
+// The same wire round through a real listener: frame reassembly, the inbox
+// hop to a worker, dispatch, and the outbox flush — i.e. every point where
+// PR 8 stamps a request id and measures a phase. TracingOn must stay within
+// 5% of TracingOff (the per-frame cost with capture off is a few relaxed
+// loads; with capture on, a handful of ring writes per request).
+void SocketRound(benchmark::State& state, bool tracing) {
+  Help h(Help::Options{.install_userland = false});
+  NinepListener lis(&h.ninep());
+  std::string path = StrFormat("perf_obs.%d.sock", getpid());
+  if (!lis.ListenUnix(path).ok() || !lis.Start().ok()) {
+    state.SkipWithError("listen failed");
+    return;
+  }
+  auto tr = SocketTransport::ConnectUnix(path);
+  if (!tr.ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  NinepClient client(tr.value()->AsTransport());
+  if (!client.Connect("perf").ok()) {
+    state.SkipWithError("handshake failed");
+    return;
+  }
+  if (tracing) {
+    Tracer::Global().Enable();
+  }
+  for (auto _ : state) {
+    NinepRound(client);
+  }
+  Tracer::Global().Disable();
+  state.SetItemsProcessed(state.iterations());
+  lis.Stop();
+  ::unlink(path.c_str());
+}
+
+void BM_SocketReadFile_TracingOff(benchmark::State& state) {
+  SocketRound(state, /*tracing=*/false);
+}
+BENCHMARK(BM_SocketReadFile_TracingOff);
+
+void BM_SocketReadFile_TracingOn(benchmark::State& state) {
+  SocketRound(state, /*tracing=*/true);
+}
+BENCHMARK(BM_SocketReadFile_TracingOn);
+
+// Console output as usual, plus a collected (name, per-iteration time,
+// items/sec) record per run for the trailing JSON line (same shape as
+// perf_text's).
+class JsonLineReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;
+    double real_time;
+    double items_per_second;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      Entry e;
+      e.name = run.benchmark_name();
+      e.real_time = run.GetAdjustedRealTime();
+      auto it = run.counters.find("items_per_second");
+      e.items_per_second = it != run.counters.end() ? it->second.value : 0.0;
+      entries_.push_back(std::move(e));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
 }  // namespace
 }  // namespace help
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool json = false;
+  // Strip --json before google-benchmark sees (and rejects) it.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; i++) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  help::JsonLineReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (json) {
+    std::string runs;
+    for (const auto& e : reporter.entries()) {
+      if (!runs.empty()) {
+        runs += ",";
+      }
+      runs += help::StrFormat(
+          "{\"name\":\"%s\",\"real_time\":%.1f,\"items_per_second\":%.1f}",
+          e.name.c_str(), e.real_time, e.items_per_second);
+    }
+    std::printf("{\"bench\":\"perf_obs\",\"runs\":[%s]}\n", runs.c_str());
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -385,6 +385,202 @@ class TraceCtlHandler : public FileHandler {
   std::atomic<bool> json_mode_{false};
 };
 
+// One live connection's status or stats file under /mnt/help/net/<cid>/.
+// Holds the cid, not the ConnInfo: the connection may die while the file is
+// open (or between Walk and Topen), and a re-lookup per open answers
+// "connection is gone" exactly like a window file whose window was deleted.
+// Like the other observability files, not Serialized — ConnInfo is all
+// relaxed atomics and the server queries are leaf-locked, so these stay
+// readable while a dispatch is stuck.
+class ConnFileHandler : public FileHandler {
+ public:
+  enum class Kind : uint8_t { kStatus, kStats };
+
+  ConnFileHandler(NinepServer* srv, uint64_t cid, Kind kind)
+      : srv_(srv), cid_(cid), kind_(kind) {}
+
+  Status Open(OpenFile& f, uint8_t mode) override {
+    std::shared_ptr<ConnInfo> info = srv_->net().Find(cid_);
+    if (info == nullptr) {
+      return Status::Error("connection is gone");
+    }
+    f.state = kind_ == Kind::kStatus ? info->RenderStatus() : info->RenderStats();
+    return Status::Ok();
+  }
+  Result<std::string> Read(OpenFile& f, uint64_t offset, uint32_t count) override {
+    if (offset >= f.state.size()) {
+      return std::string();
+    }
+    return f.state.substr(offset, count);
+  }
+  Result<uint32_t> Write(OpenFile& f, uint64_t offset, std::string_view data) override {
+    return ErrPerm("read-only file");
+  }
+
+ private:
+  NinepServer* srv_;
+  uint64_t cid_;
+  Kind kind_;
+};
+
+// Synthesizes /mnt/help/net/<cid>/ — one numbered directory per live
+// connection, the Plan 9 /net idiom. Nothing creates or destroys Vfs nodes
+// at accept/close time (the listener loop must never touch the tree);
+// instead lookups and listings consult the server's NetState and lazily
+// build a small cached subtree per connection, pruned when the connection
+// dies. Runs under the dispatch lock in *either* mode, so it carries its own
+// mutex. Qids live in a high range so they can't collide with the Vfs's
+// sequential ids.
+class NetDirSynth : public DirSynth {
+ public:
+  static constexpr uint64_t kQidBase = 1ull << 48;
+
+  NetDirSynth(NinepServer* srv, Node* parent) : srv_(srv), parent_(parent) {}
+
+  NodePtr Lookup(std::string_view name) override {
+    uint64_t cid = 0;
+    if (name.empty() || name.size() > 8) {
+      return nullptr;
+    }
+    for (char ch : name) {
+      if (ch < '0' || ch > '9') {
+        return nullptr;
+      }
+      cid = cid * 10 + static_cast<uint64_t>(ch - '0');
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    return DirForLocked(cid);
+  }
+
+  std::vector<NodePtr> List() override {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<NodePtr> out;
+    std::vector<std::shared_ptr<ConnInfo>> live = srv_->net().List();
+    for (const auto& info : live) {
+      NodePtr d = DirForLocked(info->cid());
+      if (d != nullptr) {
+        out.push_back(d);
+      }
+    }
+    // Prune directories of connections that have since closed.
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      bool alive = false;
+      for (const auto& info : live) {
+        if (info->cid() == it->first) {
+          alive = true;
+          break;
+        }
+      }
+      it = alive ? std::next(it) : cache_.erase(it);
+    }
+    return out;
+  }
+
+ private:
+  NodePtr DirForLocked(uint64_t cid) {
+    if (srv_->net().Find(cid) == nullptr) {
+      cache_.erase(cid);
+      return nullptr;
+    }
+    auto it = cache_.find(cid);
+    if (it != cache_.end()) {
+      return it->second;
+    }
+    auto dir = std::make_shared<Node>(std::to_string(cid), /*dir=*/true,
+                                      kQidBase + cid * 4);
+    dir->set_parent(parent_);
+    auto status = std::make_shared<Node>("status", /*dir=*/false,
+                                         kQidBase + cid * 4 + 1);
+    status->set_handler(std::make_shared<ConnFileHandler>(
+        srv_, cid, ConnFileHandler::Kind::kStatus));
+    auto stats = std::make_shared<Node>("stats", /*dir=*/false,
+                                        kQidBase + cid * 4 + 2);
+    stats->set_handler(std::make_shared<ConnFileHandler>(
+        srv_, cid, ConnFileHandler::Kind::kStats));
+    dir->AddChild(std::move(status));
+    dir->AddChild(std::move(stats));
+    cache_[cid] = dir;
+    return dir;
+  }
+
+  NinepServer* srv_;
+  Node* parent_;
+  std::mutex mu_;
+  std::map<uint64_t, NodePtr> cache_;
+};
+
+// /mnt/help/net/slowctl: reads show the flight recorder's settings; writes
+// accept "threshold <us>" and "clear".
+class SlowCtlHandler : public FileHandler {
+ public:
+  explicit SlowCtlHandler(NinepServer* srv) : srv_(srv) {}
+
+  Status Open(OpenFile& f, uint8_t mode) override {
+    f.state = srv_->net().recorder().RenderCtl();
+    return Status::Ok();
+  }
+  Result<std::string> Read(OpenFile& f, uint64_t offset, uint32_t count) override {
+    if (offset >= f.state.size()) {
+      return std::string();
+    }
+    return f.state.substr(offset, count);
+  }
+  Result<uint32_t> Write(OpenFile& f, uint64_t offset, std::string_view data) override {
+    FlightRecorder& rec = srv_->net().recorder();
+    for (const std::string& line : Split(data, '\n')) {
+      std::vector<std::string> words = Tokenize(line);
+      if (words.empty()) {
+        continue;
+      }
+      if (words[0] == "clear" && words.size() == 1) {
+        rec.Clear();
+      } else if (words[0] == "threshold" && words.size() == 2) {
+        long us = ParseInt(words[1]);
+        if (us < 0) {
+          return Status::Error("slowctl: bad threshold '" + words[1] + "'");
+        }
+        rec.set_threshold_us(static_cast<uint64_t>(us));
+      } else {
+        return Status::Error("slowctl: unknown command '" + words[0] + "'");
+      }
+    }
+    return static_cast<uint32_t>(data.size());
+  }
+
+ private:
+  NinepServer* srv_;
+};
+
+// /mnt/help/statsctl: "clear" zeroes the ninep.*/net.* counters and
+// histograms (the /mnt/help/stats view), so a bench can measure steady-state
+// percentiles without a process restart. Gauges (in_flight, active_conns)
+// are left alone.
+class StatsCtlHandler : public FileHandler {
+ public:
+  explicit StatsCtlHandler(NinepServer* srv) : srv_(srv) {}
+
+  Result<std::string> Read(OpenFile& f, uint64_t offset, uint32_t count) override {
+    return std::string();
+  }
+  Result<uint32_t> Write(OpenFile& f, uint64_t offset, std::string_view data) override {
+    for (const std::string& line : Split(data, '\n')) {
+      std::string_view cmd = TrimSpace(line);
+      if (cmd.empty()) {
+        continue;
+      }
+      if (cmd == "clear") {
+        srv_->metrics().Reset();
+      } else {
+        return Status::Error("statsctl: unknown command '" + std::string(cmd) + "'");
+      }
+    }
+    return static_cast<uint32_t>(data.size());
+  }
+
+ private:
+  NinepServer* srv_;
+};
+
 }  // namespace
 
 void InstallHelpFs(Help* h) {
@@ -422,6 +618,26 @@ void InstallHelpFs(Help* h) {
                       return obs::Tracer::Global().RenderText();
                     }));
   vfs.AttachHandler("/mnt/help/tracectl", std::make_shared<TraceCtlHandler>());
+  vfs.AttachHandler("/mnt/help/statsctl",
+                    std::make_shared<StatsCtlHandler>(&h->ninep()));
+  // The network introspection tree. None of these are Serialized: the whole
+  // point of /mnt/help/net is to stay readable while dispatch is wedged, and
+  // NetState/ConnInfo/FlightRecorder never touch the dispatch lock.
+  vfs.MkdirAll("/mnt/help/net");
+  vfs.AttachHandler("/mnt/help/net/clients",
+                    std::make_shared<SnapshotHandler>(
+                        [h] { return h->ninep().net().RenderClients(); }));
+  vfs.AttachHandler("/mnt/help/net/slow",
+                    std::make_shared<SnapshotHandler>([h] {
+                      return h->ninep().net().recorder().RenderText();
+                    }));
+  vfs.AttachHandler("/mnt/help/net/slowctl",
+                    std::make_shared<SlowCtlHandler>(&h->ninep()));
+  auto net = vfs.Walk("/mnt/help/net");
+  if (net.ok()) {
+    net.value()->set_dir_synth(
+        std::make_shared<NetDirSynth>(&h->ninep(), net.value().get()));
+  }
 }
 
 // --- Help member functions that form the file-server surface ----------------

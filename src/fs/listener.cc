@@ -140,6 +140,35 @@ std::unique_ptr<Poller> MakePoller(PollerKind kind) {
 
 // --- Connection state --------------------------------------------------------
 
+// One inbound frame plus its request context, minted on the loop thread the
+// moment the FrameReader yields it: the trace id that stamps every phase
+// event of this request, and the arrival time the queue-wait phase starts
+// from.
+struct InFrame {
+  std::string bytes;
+  uint64_t rid = 0;
+  uint16_t tag = 0;
+  uint64_t arrive_ns = 0;
+};
+
+// A dispatched reply whose bytes are in (or entering) the outbox but not yet
+// on the wire. end_total is the connection's outbox_appended watermark after
+// this reply; once outbox_written reaches it, the reply — and therefore the
+// request — is complete: the outbox-drain phase event fires and the record
+// goes to the flight recorder.
+struct PendingReply {
+  uint64_t rid = 0;
+  uint16_t tag = 0;
+  NinepOp op = NinepOp::kBad;
+  uint64_t arrive_ns = 0;
+  uint64_t queue_ns = 0;
+  uint64_t lock_ns = 0;
+  uint64_t handler_ns = 0;
+  uint64_t encode_ns = 0;
+  uint64_t append_ns = 0;  // when the reply entered the outbox
+  uint64_t end_total = 0;
+};
+
 struct NinepListener::Conn {
   explicit Conn(uint32_t max_frame) : reader(max_frame) {}
 
@@ -150,14 +179,19 @@ struct NinepListener::Conn {
   uint64_t last_active_ms = 0;
   bool want_read = true;    // interest currently registered
   bool want_write = false;
+  uint64_t next_req_seq = 1;  // per-conn rid sequence; 1 so rid is never 0
 
   NinepServer::SessionId sid = 0;  // written once before the conn is shared
+  std::shared_ptr<ConnInfo> info;  // ditto; registered in the server's NetState
 
   // Shared state (worker pool + loop), guarded by mu.
   std::mutex mu;
-  std::deque<std::string> inbox;  // complete frames awaiting dispatch
+  std::deque<InFrame> inbox;      // complete frames awaiting dispatch
   std::string outbox;             // encoded replies awaiting the wire
   size_t outbox_off = 0;          // already-written prefix of outbox
+  uint64_t outbox_appended = 0;   // lifetime bytes ever appended
+  uint64_t outbox_written = 0;    // lifetime bytes ever sent
+  std::deque<PendingReply> pending;  // appended, not yet fully written
   bool busy = false;              // queued for / held by a dispatch worker
   bool stalled = false;           // backpressure: dispatch and reads parked
   bool closing = false;           // loop tore the socket down
@@ -243,7 +277,7 @@ Status NinepListener::Start() {
   loop_ = std::thread(&NinepListener::LoopMain, this);
   workers_.reserve(static_cast<size_t>(opt_.workers));
   for (int i = 0; i < opt_.workers; i++) {
-    workers_.emplace_back(&NinepListener::WorkerMain, this);
+    workers_.emplace_back(&NinepListener::WorkerMain, this, i);
   }
   return Status::Ok();
 }
@@ -280,6 +314,8 @@ void NinepListener::Stop() {
   }
   for (auto& [fd, c] : leftover) {
     close(fd);
+    c->info->set_state(ConnState::kClosing);
+    srv_->net().Deregister(c->sid);
     srv_->metrics().RecordDisconnect();
     if (!c->session_closed) {
       c->session_closed = true;
@@ -336,6 +372,7 @@ void NinepListener::EnqueueReady(const ConnPtr& c) {
 // --- Event loop --------------------------------------------------------------
 
 void NinepListener::LoopMain() {
+  obs::Tracer::Global().SetThreadName("net.loop");
   std::vector<Poller::Event> events;
   while (!stop_.load()) {
     events.clear();
@@ -433,9 +470,11 @@ void NinepListener::HandleAccept(int listen_fd) {
     auto c = std::make_shared<Conn>(opt_.max_frame);
     c->fd = fd;
     c->sid = srv_->OpenSession();
+    c->info = srv_->net().Register(c->sid, PeerString(fd));
     c->last_active_ms = NowMs();
     if (!poller_->Add(fd, /*want_read=*/true, /*want_write=*/false).ok()) {
       close(fd);
+      srv_->net().Deregister(c->sid);
       srv_->CloseSession(c->sid);
       continue;
     }
@@ -450,9 +489,10 @@ void NinepListener::HandleAccept(int listen_fd) {
 
 void NinepListener::HandleReadable(const ConnPtr& c) {
   char buf[64 * 1024];
-  std::vector<std::string> frames;
+  std::vector<InFrame> frames;
   bool frame_error = false;
   bool peer_gone = false;
+  obs::Tracer& tr = obs::Tracer::Global();
   for (int i = 0; i < 4; i++) {  // fairness cap; level-trigger re-fires
     ssize_t n = recv(c->fd, buf, sizeof(buf), 0);
     if (n < 0) {
@@ -470,11 +510,24 @@ void NinepListener::HandleReadable(const ConnPtr& c) {
     }
     c->last_active_ms = NowMs();
     srv_->metrics().AddNetBytesIn(static_cast<uint64_t>(n));
+    c->info->AddBytesIn(static_cast<uint64_t>(n));
     c->reader.Feed(std::string_view(buf, static_cast<size_t>(n)));
     std::string frame;
     FrameReader::Next next;
     while ((next = c->reader.Pop(&frame)) == FrameReader::Next::kFrame) {
-      frames.push_back(std::move(frame));
+      // The request context is born here, on the loop thread, before any
+      // decode: cid + the frame's own tag bytes + a per-conn sequence.
+      InFrame inf;
+      inf.tag = FrameTag(frame);
+      inf.rid = MakeRequestId(c->sid, inf.tag, c->next_req_seq++);
+      inf.arrive_ns = tr.NowNs();
+      inf.bytes = std::move(frame);
+      c->info->AddFrameIn();
+      if (tr.enabled()) {
+        tr.EmitAt(obs::EventKind::kInstant, "req.frame", inf.bytes.size(),
+                  inf.rid, inf.arrive_ns);
+      }
+      frames.push_back(std::move(inf));
     }
     if (next == FrameReader::Next::kError) {
       frame_error = true;
@@ -486,7 +539,7 @@ void NinepListener::HandleReadable(const ConnPtr& c) {
   }
   if (!frames.empty()) {
     std::lock_guard<std::mutex> lk(c->mu);
-    for (std::string& f : frames) {
+    for (InFrame& f : frames) {
       c->inbox.push_back(std::move(f));
     }
     if (!c->busy && !c->stalled && !c->closing) {
@@ -523,18 +576,49 @@ void NinepListener::FlushConn(const ConnPtr& c) {
         break;
       }
       c->outbox_off += static_cast<size_t>(n);
+      c->outbox_written += static_cast<uint64_t>(n);
       c->last_active_ms = NowMs();
       srv_->metrics().AddNetBytesOut(static_cast<uint64_t>(n));
+      c->info->AddBytesOut(static_cast<uint64_t>(n));
     }
     if (c->outbox_bytes() == 0) {
       c->outbox.clear();
       c->outbox_off = 0;
+    }
+    // Requests whose reply bytes have now fully entered the kernel socket
+    // buffer are complete: close their outbox-drain phase and offer them to
+    // the flight recorder. pending is FIFO in append order and end_total is
+    // monotonic, so a prefix scan is exact.
+    obs::Tracer& tr = obs::Tracer::Global();
+    while (!c->pending.empty() &&
+           c->pending.front().end_total <= c->outbox_written) {
+      PendingReply p = c->pending.front();
+      c->pending.pop_front();
+      uint64_t now = tr.NowNs();
+      uint64_t outbox_ns = now - p.append_ns;
+      if (tr.enabled() && p.rid != 0) {
+        tr.EmitAt(obs::EventKind::kComplete, "req.outbox", outbox_ns, p.rid,
+                  p.append_ns);
+      }
+      RequestRecord rec;
+      rec.rid = p.rid;
+      rec.cid = c->sid;
+      rec.tag = p.tag;
+      rec.op = p.op;
+      rec.total_ns = now - p.arrive_ns;
+      rec.queue_ns = p.queue_ns;
+      rec.lock_ns = p.lock_ns;
+      rec.handler_ns = p.handler_ns;
+      rec.encode_ns = p.encode_ns;
+      rec.outbox_ns = outbox_ns;
+      srv_->net().recorder().Record(rec);
     }
     if (!broken) {
       // Backpressure release: half the bound, so a stream of replies can't
       // flap the stall on and off per frame.
       if (c->stalled && c->outbox_bytes() <= opt_.max_outbox_bytes / 2) {
         c->stalled = false;
+        c->info->set_state(ConnState::kActive);
         OBS_INSTANT("net.unstall", c->sid);
         if (!c->inbox.empty() && !c->busy) {
           c->busy = true;
@@ -573,6 +657,8 @@ void NinepListener::CloseConn(const ConnPtr& c, bool reaped) {
     std::lock_guard<std::mutex> lk(conns_mu_);
     conns_.erase(c->fd);
   }
+  c->info->set_state(ConnState::kClosing);
+  srv_->net().Deregister(c->sid);
   srv_->metrics().RecordDisconnect();
   if (reaped) {
     srv_->metrics().RecordReap();
@@ -585,7 +671,12 @@ void NinepListener::CloseConn(const ConnPtr& c, bool reaped) {
 
 // --- Worker pool -------------------------------------------------------------
 
-void NinepListener::WorkerMain() {
+void NinepListener::WorkerMain(int idx) {
+  {
+    char name[32];
+    snprintf(name, sizeof(name), "net.worker%d", idx);
+    obs::Tracer::Global().SetThreadName(name);
+  }
   while (true) {
     ConnPtr c;
     {
@@ -599,7 +690,7 @@ void NinepListener::WorkerMain() {
     }
     bool teardown = false;
     while (true) {
-      std::string frame;
+      InFrame frame;
       {
         std::lock_guard<std::mutex> lk(c->mu);
         if (c->closing) {
@@ -613,6 +704,7 @@ void NinepListener::WorkerMain() {
           // drops read interest and requeues once the outbox drains.
           if (!c->stalled) {
             c->stalled = true;
+            c->info->set_state(ConnState::kStalled);
             srv_->metrics().RecordBackpressureStall();
             OBS_INSTANT("net.backpressure_stall", c->sid);
           }
@@ -626,12 +718,38 @@ void NinepListener::WorkerMain() {
         frame = std::move(c->inbox.front());
         c->inbox.pop_front();
       }
-      std::string reply = srv_->HandleBytes(c->sid, frame);
+      obs::Tracer& tr = obs::Tracer::Global();
+      uint64_t pickup = tr.NowNs();
+      uint64_t queue_ns = pickup - frame.arrive_ns;
+      if (tr.enabled() && frame.rid != 0) {
+        tr.EmitAt(obs::EventKind::kComplete, "req.queue", queue_ns, frame.rid,
+                  frame.arrive_ns);
+      }
+      RequestObs obs;
+      obs.rid = frame.rid;
+      std::string reply = srv_->HandleBytes(c->sid, frame.bytes, &obs);
+      uint64_t done = tr.NowNs();
+      c->info->RecordOp(obs.op, (done - pickup) / 1000, obs.error);
+      c->info->RecordQueueWait(queue_ns / 1000);
+      srv_->metrics().RecordNetQueueWait(queue_ns / 1000);
       bool notify;
       {
         std::lock_guard<std::mutex> lk(c->mu);
         notify = c->outbox_bytes() == 0;  // loop has nothing armed for us
         c->outbox += reply;
+        c->outbox_appended += reply.size();
+        PendingReply p;
+        p.rid = frame.rid;
+        p.tag = frame.tag;
+        p.op = obs.op;
+        p.arrive_ns = frame.arrive_ns;
+        p.queue_ns = queue_ns;
+        p.lock_ns = obs.lock_wait_ns;
+        p.handler_ns = obs.handler_ns;
+        p.encode_ns = obs.encode_ns;
+        p.append_ns = done;
+        p.end_total = c->outbox_appended;
+        c->pending.push_back(p);
       }
       if (notify) {
         std::lock_guard<std::mutex> lk(notify_mu_);

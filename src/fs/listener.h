@@ -127,7 +127,7 @@ class NinepListener {
   using ConnPtr = std::shared_ptr<Conn>;
 
   void LoopMain();
-  void WorkerMain();
+  void WorkerMain(int idx);
   void HandleAccept(int listen_fd);
   void HandleReadable(const ConnPtr& c);
   // Flushes c->outbox as far as the socket allows; updates interest.

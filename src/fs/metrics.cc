@@ -93,6 +93,7 @@ NinepMetrics::NinepMetrics() {
   net_frame_errors_ = reg.GetCounter("net.frame_errors");
   net_bytes_in_ = reg.GetCounter("net.bytes_in");
   net_bytes_out_ = reg.GetCounter("net.bytes_out");
+  net_queue_wait_ = reg.GetHistogram("net.queue_wait_us");
 }
 
 void NinepMetrics::RecordOp(NinepOp op, uint64_t latency_us, bool error) {
@@ -195,6 +196,7 @@ void NinepMetrics::Reset() {
   net_frame_errors_->Store(0);
   net_bytes_in_->Store(0);
   net_bytes_out_->Store(0);
+  net_queue_wait_->Reset();
   // in_flight_ and net_active_ are live gauges; leave them alone.
 }
 

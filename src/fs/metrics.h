@@ -73,6 +73,10 @@ class NinepMetrics {
   void RecordFrameError() { net_frame_errors_->Add(); }
   void AddNetBytesIn(uint64_t n) { net_bytes_in_->Add(n); }
   void AddNetBytesOut(uint64_t n) { net_bytes_out_->Add(n); }
+  // PR 8 request tracing: time a frame sat in a connection's inbox before a
+  // worker picked it up ("net.queue_wait_us" — the registry/metrics view;
+  // per-connection copies live in ConnInfo).
+  void RecordNetQueueWait(uint64_t us) { net_queue_wait_->Record(us); }
 
   uint64_t count(NinepOp op) const { return ops_[Idx(op)].count->value(); }
   uint64_t errors(NinepOp op) const { return ops_[Idx(op)].errors->value(); }
@@ -128,6 +132,7 @@ class NinepMetrics {
   obs::Counter* net_frame_errors_;
   obs::Counter* net_bytes_in_;
   obs::Counter* net_bytes_out_;
+  obs::Histogram* net_queue_wait_;
 };
 
 }  // namespace help

@@ -459,8 +459,9 @@ Fcall Session::Dispatch(const Fcall& t) {
   switch (t.type) {
     case MsgType::kTversion: {
       r.type = MsgType::kRversion;
-      msize_ = std::min(std::max(t.msize, kIoHeader + 1), kDefaultMsize);
-      r.msize = msize_;
+      msize_.store(std::min(std::max(t.msize, kIoHeader + 1), kDefaultMsize),
+                   std::memory_order_relaxed);
+      r.msize = msize();
       r.version = "9P.help";
       std::map<uint32_t, FidState> doomed;  // version resets the session
       {
@@ -570,7 +571,7 @@ Fcall Session::Dispatch(const Fcall& t) {
       }
       r.type = MsgType::kRopen;
       r.qid = st->node->qid();
-      r.iounit = msize_ - kIoHeader;
+      r.iounit = msize() - kIoHeader;
       return r;
     }
 
@@ -603,7 +604,7 @@ Fcall Session::Dispatch(const Fcall& t) {
       }
       r.type = MsgType::kRcreate;
       r.qid = st->node->qid();
-      r.iounit = msize_ - kIoHeader;
+      r.iounit = msize() - kIoHeader;
       return r;
     }
 
@@ -613,7 +614,7 @@ Fcall Session::Dispatch(const Fcall& t) {
         return Error(t.tag, "unknown fid");
       }
       FidState& st = *stp;
-      uint32_t count = std::min(t.count, msize_ - kIoHeader);
+      uint32_t count = std::min(t.count, msize() - kIoHeader);
       if (st.node->dir()) {
         if (!st.dirbuf_valid) {
           st.dirbuf.clear();

@@ -34,6 +34,7 @@
 #ifndef SRC_FS_NINEP_H_
 #define SRC_FS_NINEP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -154,7 +155,10 @@ class Session {
   OpClass Classify(const Fcall& t) const;
 
   uint64_t id() const { return id_; }
-  uint32_t msize() const { return msize_; }
+  // Relaxed load: read by /mnt/help/net status handlers on other threads
+  // while Tversion may be renegotiating. Any stale value is a value the
+  // session legitimately had.
+  uint32_t msize() const { return msize_.load(std::memory_order_relaxed); }
   bool attached() const { return attached_; }
   const std::string& uname() const { return uname_; }
   size_t open_fids() const;
@@ -196,7 +200,7 @@ class Session {
   std::string uname_;
   bool attached_ = false;
   std::map<uint32_t, FidState> fids_;
-  uint32_t msize_ = kDefaultMsize;
+  std::atomic<uint32_t> msize_{kDefaultMsize};
   std::set<uint16_t> inflight_;
   std::set<uint16_t> flushed_;
 

@@ -17,6 +17,12 @@ struct TlsHolder {
 };
 thread_local TlsHolder tls_holder;
 
+// The RequestObs of the request this thread is currently dispatching, set by
+// HandleBytes around Process so Acquire and DispatchUnderLock can attribute
+// lock-wait and handler time to it without threading a parameter through the
+// dispatch chain. Null on the in-process transports and the UI thread.
+thread_local RequestObs* tls_req_obs = nullptr;
+
 }  // namespace
 
 NinepServer::NinepServer(Vfs* vfs) : vfs_(vfs) {}
@@ -67,6 +73,11 @@ size_t NinepServer::open_fids(SessionId id) const {
   return s == nullptr ? 0 : s->open_fids();
 }
 
+uint32_t NinepServer::session_msize(SessionId id) const {
+  std::shared_ptr<Session> s = FindSession(id);
+  return s == nullptr ? 0 : s->msize();
+}
+
 size_t NinepServer::open_fids() const {
   SessionId id;
   {
@@ -109,10 +120,19 @@ NinepServer::DispatchGuard NinepServer::Acquire(LockMode mode) {
   } else {
     dispatch_mu_.lock_shared();
   }
-  auto us = std::chrono::duration_cast<std::chrono::microseconds>(
-                std::chrono::steady_clock::now() - start)
-                .count();
-  metrics_.RecordLockWait(static_cast<uint64_t>(us));
+  auto wait_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  metrics_.RecordLockWait(wait_ns / 1000);
+  if (tls_req_obs != nullptr) {
+    tls_req_obs->lock_wait_ns += wait_ns;
+    obs::Tracer& tr = obs::Tracer::Global();
+    if (tls_req_obs->rid != 0 && tr.enabled()) {
+      tr.EmitAt(obs::EventKind::kComplete, "req.lock", wait_ns,
+                tls_req_obs->rid, tr.NowNs() - wait_ns);
+    }
+  }
   tls_holder = TlsHolder{this, mode};
   return DispatchGuard(this, mode);
 }
@@ -162,7 +182,19 @@ Fcall NinepServer::DispatchUnderLock(const std::shared_ptr<Session>& s,
         reclassified = true;
       } else {
         OBS_SPAN("ninep.dispatch");
-        r = s->Dispatch(t);
+        if (tls_req_obs != nullptr) {
+          obs::Tracer& tr = obs::Tracer::Global();
+          uint64_t h0 = tr.NowNs();
+          r = s->Dispatch(t);
+          uint64_t dur = tr.NowNs() - h0;
+          tls_req_obs->handler_ns += dur;
+          if (tls_req_obs->rid != 0 && tr.enabled()) {
+            tr.EmitAt(obs::EventKind::kComplete, "req.handler", dur,
+                      tls_req_obs->rid, h0);
+          }
+        } else {
+          r = s->Dispatch(t);
+        }
       }
     }
     if (reclassified) {
@@ -232,6 +264,11 @@ Fcall NinepServer::Dispatch(const Fcall& t) {
 }
 
 std::string NinepServer::HandleBytes(SessionId id, std::string_view packet) {
+  return HandleBytes(id, packet, nullptr);
+}
+
+std::string NinepServer::HandleBytes(SessionId id, std::string_view packet,
+                                     RequestObs* obs) {
   metrics_.AddBytesIn(packet.size());
   metrics_.BeginRequest();
   auto start = std::chrono::steady_clock::now();
@@ -245,17 +282,38 @@ std::string NinepServer::HandleBytes(SessionId id, std::string_view packet) {
     r = ErrorFcall(kNoTag, t.message());
   } else {
     op = OpOfMsgType(t.value().type);
+    if (obs != nullptr) {
+      obs->op = op;
+      tls_req_obs = obs;
+    }
     r = Process(id, t.value());
+    tls_req_obs = nullptr;
   }
   auto us = std::chrono::duration_cast<std::chrono::microseconds>(
                 std::chrono::steady_clock::now() - start)
                 .count();
   metrics_.RecordOp(op, static_cast<uint64_t>(us), r.type == MsgType::kRerror);
   metrics_.EndRequest();
-  std::string out = [&] {
+  if (obs != nullptr) {
+    obs->error = r.type == MsgType::kRerror;
+  }
+  std::string out;
+  if (obs != nullptr) {
+    obs::Tracer& tr = obs::Tracer::Global();
+    uint64_t e0 = tr.NowNs();
+    {
+      OBS_SPAN("ninep.encode");
+      out = EncodeFcall(r);
+    }
+    obs->encode_ns = tr.NowNs() - e0;
+    if (obs->rid != 0 && tr.enabled()) {
+      tr.EmitAt(obs::EventKind::kComplete, "req.encode", obs->encode_ns,
+                obs->rid, e0);
+    }
+  } else {
     OBS_SPAN("ninep.encode");
-    return EncodeFcall(r);
-  }();
+    out = EncodeFcall(r);
+  }
   metrics_.AddBytesOut(out.size());
   return out;
 }

@@ -57,9 +57,24 @@
 #include <string_view>
 
 #include "src/fs/metrics.h"
+#include "src/fs/netinfo.h"
 #include "src/fs/ninep.h"
 
 namespace help {
+
+// Per-request observability context the socket listener threads through
+// HandleBytes: the request trace id goes in, the phase breakdown comes out
+// (for the flight recorder). The in-process transports pass nullptr and pay
+// nothing. Phase trace events are additionally emitted — stamped with `rid`
+// — when the tracer is enabled.
+struct RequestObs {
+  uint64_t rid = 0;                // in: trace id (0 = unscoped)
+  NinepOp op = NinepOp::kBad;      // out: decoded op
+  bool error = false;              // out: reply was Rerror
+  uint64_t lock_wait_ns = 0;       // out: dispatch-lock wait, summed over retries
+  uint64_t handler_ns = 0;         // out: Session::Dispatch, summed over retries
+  uint64_t encode_ns = 0;          // out: reply encode
+};
 
 // Error string a shared-mode read handler returns when its seqlock
 // validation observed a concurrent edit; never reaches a client — the server
@@ -122,6 +137,9 @@ class NinepServer {
   // protocol assumes one logical client per connection); different sessions'
   // read-only requests run in parallel.
   std::string HandleBytes(SessionId id, std::string_view packet);
+  // As above, with a request-observability context (see RequestObs). The
+  // listener's workers pass one per frame; `obs` may be null.
+  std::string HandleBytes(SessionId id, std::string_view packet, RequestObs* obs);
 
   // A Transport for NinepClient bound to one session of this server.
   NinepClient::Transport TransportFor(SessionId id);
@@ -136,6 +154,11 @@ class NinepServer {
 
   // Per-session fid count (0 for unknown sessions).
   size_t open_fids(SessionId id) const;
+
+  // The msize a session negotiated via Tversion (kDefaultMsize before, 0 for
+  // unknown sessions). Leaf locks + one relaxed load — safe from the
+  // /mnt/help/net status handlers, which must not touch the dispatch lock.
+  uint32_t session_msize(SessionId id) const;
 
   // Serializes arbitrary work with protocol dispatch: acquires the dispatch
   // lock exclusively, or — when this thread already holds it in either mode
@@ -157,6 +180,11 @@ class NinepServer {
   NinepMetrics& metrics() { return metrics_; }
   const NinepMetrics& metrics() const { return metrics_; }
 
+  // This server's live-connection table and slow-request flight recorder
+  // (populated by NinepListener, served by /mnt/help/net/).
+  NetState& net() { return net_; }
+  const NetState& net() const { return net_; }
+
   // Test hook: is `tag` currently in flight on `id`?
   bool TagInFlight(SessionId id, uint16_t tag) const;
 
@@ -174,6 +202,7 @@ class NinepServer {
 
   Vfs* vfs_;
   NinepMetrics metrics_;
+  NetState net_{this};
   std::atomic<bool> force_exclusive_{false};
 
   // state_mu_ guards the session table only; per-session bookkeeping lives

@@ -64,6 +64,38 @@ FrameReader::Next FrameReader::Pop(std::string* frame) {
   return Next::kFrame;
 }
 
+uint16_t FrameTag(std::string_view frame) {
+  if (frame.size() < kMinFrameSize) {
+    return kNoTag;
+  }
+  return static_cast<uint16_t>(static_cast<uint8_t>(frame[5])) |
+         static_cast<uint16_t>(static_cast<uint8_t>(frame[6])) << 8;
+}
+
+std::string PeerString(int fd) {
+  sockaddr_storage ss{};
+  socklen_t len = sizeof(ss);
+  if (getpeername(fd, reinterpret_cast<sockaddr*>(&ss), &len) < 0) {
+    return "?";
+  }
+  if (ss.ss_family == AF_UNIX) {
+    return "unix";
+  }
+  if (ss.ss_family == AF_INET) {
+    const auto* in = reinterpret_cast<const sockaddr_in*>(&ss);
+    char ip[INET_ADDRSTRLEN] = "?";
+    inet_ntop(AF_INET, &in->sin_addr, ip, sizeof(ip));
+    return StrFormat("%s:%u", ip, ntohs(in->sin_port));
+  }
+  if (ss.ss_family == AF_INET6) {
+    const auto* in6 = reinterpret_cast<const sockaddr_in6*>(&ss);
+    char ip[INET6_ADDRSTRLEN] = "?";
+    inet_ntop(AF_INET6, &in6->sin6_addr, ip, sizeof(ip));
+    return StrFormat("%s:%u", ip, ntohs(in6->sin6_port));
+  }
+  return "?";
+}
+
 // --- fd-level helpers --------------------------------------------------------
 
 Status SetNonBlocking(int fd) {

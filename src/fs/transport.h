@@ -71,6 +71,16 @@ class FrameReader {
   std::string error_;
 };
 
+// The 9P tag of a complete frame (size[4] type[1] tag[2] — bytes 5..6,
+// little-endian). The listener stamps request trace ids with this before any
+// decode happens. Returns kNoTag for impossibly short frames (the deframer
+// never yields one, but hostile-input paths shouldn't trust that).
+uint16_t FrameTag(std::string_view frame);
+
+// Human-readable peer of a connected socket: "ip:port" for TCP, "unix" for
+// Unix-domain, "?" when getpeername fails. For /mnt/help/net status files.
+std::string PeerString(int fd);
+
 // --- fd-level socket helpers -------------------------------------------------
 
 // All return a connected/listening fd (CLOEXEC) or a Plan 9-style error.

@@ -12,7 +12,13 @@ Node::Node(std::string name, bool dir, uint64_t qid_path) : name_(std::move(name
 
 NodePtr Node::Child(std::string_view name) const {
   auto it = children_.find(std::string(name));
-  return it == children_.end() ? nullptr : it->second;
+  if (it != children_.end()) {
+    return it->second;
+  }
+  if (dir_synth_ != nullptr) {
+    return dir_synth_->Lookup(name);
+  }
+  return nullptr;
 }
 
 void Node::AddChild(NodePtr child) {
@@ -182,6 +188,16 @@ std::vector<StatInfo> Vfs::ListDir(const Node& n) {
   std::vector<StatInfo> out;
   for (const auto& [name, child] : n.children()) {
     out.push_back(StatOf(*child));
+  }
+  if (n.dir_synth() != nullptr) {
+    // Synthesized entries merge after the static ones; the whole listing is
+    // re-sorted so it stays in name order (static names win a collision via
+    // Child(), but a sane synth never shadows a static child).
+    for (const NodePtr& child : n.dir_synth()->List()) {
+      out.push_back(StatOf(*child));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const StatInfo& a, const StatInfo& b) { return a.name < b.name; });
   }
   return out;
 }

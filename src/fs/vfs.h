@@ -84,6 +84,22 @@ class FileHandler {
   virtual bool OpenNeedsExclusive() const { return false; }
 };
 
+// Synthesizes a directory's children on demand — the Plan 9 /net and /proc
+// idiom, where a listing reflects live objects (one numbered directory per
+// connection) instead of nodes something had to create and destroy. A
+// directory with a DirSynth answers Child() and ListDir() from the synth
+// after its static children. Lookups run under the 9P dispatch lock in
+// either mode and from the UI thread, so implementations must be internally
+// thread-safe and must never acquire the dispatch lock.
+class DirSynth {
+ public:
+  virtual ~DirSynth() = default;
+  // Resolves one name; nullptr when it doesn't (or no longer) exists.
+  virtual NodePtr Lookup(std::string_view name) = 0;
+  // All currently live synthesized children.
+  virtual std::vector<NodePtr> List() = 0;
+};
+
 class Node : public std::enable_shared_from_this<Node> {
  public:
   Node(std::string name, bool dir, uint64_t qid_path);
@@ -106,11 +122,19 @@ class Node : public std::enable_shared_from_this<Node> {
   void set_handler(std::shared_ptr<FileHandler> h) { handler_ = std::move(h); }
 
   // Directory contents, sorted by name (help lists directories in order).
+  // Child() and Vfs::ListDir also consult the DirSynth, if one is set;
+  // children() is the static map only.
   const std::map<std::string, NodePtr>& children() const { return children_; }
   NodePtr Child(std::string_view name) const;
   void AddChild(NodePtr child);
   void RemoveChild(std::string_view name);
   Node* parent() const { return parent_; }
+  // For synthesized subtrees: gives a node built outside AddChild a parent so
+  // FullPath resolves. The parent must outlive the child.
+  void set_parent(Node* p) { parent_ = p; }
+
+  DirSynth* dir_synth() const { return dir_synth_.get(); }
+  void set_dir_synth(std::shared_ptr<DirSynth> s) { dir_synth_ = std::move(s); }
 
   uint64_t length() const;
 
@@ -120,6 +144,7 @@ class Node : public std::enable_shared_from_this<Node> {
   uint64_t mtime_ = 0;
   std::string data_;
   std::shared_ptr<FileHandler> handler_;
+  std::shared_ptr<DirSynth> dir_synth_;
   std::map<std::string, NodePtr> children_;
   Node* parent_ = nullptr;
 };

@@ -166,6 +166,21 @@ void Tracer::UnbindClock(const Clock* c) {
 uint64_t Tracer::dropped() const { return dropped_counter_->value(); }
 
 void Tracer::Emit(EventKind kind, const char* name, uint64_t arg) {
+  EmitAt(kind, name, arg, 0, NowNs());
+}
+
+void Tracer::SetThreadName(std::string name) {
+  std::lock_guard<std::mutex> lk(names_mu_);
+  thread_names_[ThreadId()] = std::move(name);
+}
+
+std::map<uint32_t, std::string> Tracer::ThreadNames() const {
+  std::lock_guard<std::mutex> lk(names_mu_);
+  return thread_names_;
+}
+
+void Tracer::EmitAt(EventKind kind, const char* name, uint64_t arg,
+                    uint64_t rid, uint64_t ns) {
   if (!enabled()) {
     return;
   }
@@ -205,9 +220,10 @@ void Tracer::Emit(EventKind kind, const char* name, uint64_t arg) {
     }
   }
   const Clock* c = clock_.load(std::memory_order_acquire);
-  s.ns.store(NowNs(), std::memory_order_relaxed);
+  s.ns.store(ns, std::memory_order_relaxed);
   s.tick.store(c != nullptr ? c->Now() : 0, std::memory_order_relaxed);
   s.arg.store(arg, std::memory_order_relaxed);
+  s.rid.store(rid, std::memory_order_relaxed);
   s.name.store(name, std::memory_order_relaxed);
   s.tid.store(ThreadId(), std::memory_order_relaxed);
   s.kind.store(static_cast<uint8_t>(kind), std::memory_order_relaxed);
@@ -250,6 +266,7 @@ std::vector<TraceEvent> Tracer::Snapshot() const {
     e.ns = s.ns.load(std::memory_order_relaxed);
     e.tick = s.tick.load(std::memory_order_relaxed);
     e.arg = s.arg.load(std::memory_order_relaxed);
+    e.rid = s.rid.load(std::memory_order_relaxed);
     e.tid = s.tid.load(std::memory_order_relaxed);
     e.kind = static_cast<EventKind>(s.kind.load(std::memory_order_relaxed));
     e.name = s.name.load(std::memory_order_relaxed);
@@ -273,6 +290,8 @@ char KindChar(EventKind k) {
       return 'I';
     case EventKind::kCounter:
       return 'C';
+    case EventKind::kComplete:
+      return 'X';
   }
   return '?';
 }
@@ -287,6 +306,8 @@ const char* KindPh(EventKind k) {
       return "i";
     case EventKind::kCounter:
       return "C";
+    case EventKind::kComplete:
+      return "X";
   }
   return "i";
 }
@@ -297,12 +318,24 @@ std::string Tracer::RenderText() const {
   std::string out;
   char line[224];
   for (const TraceEvent& e : Snapshot()) {
-    std::snprintf(line, sizeof(line), "%llu %llu %llu %u %c %s %llu\n",
-                  static_cast<unsigned long long>(e.seq),
-                  static_cast<unsigned long long>(e.ns),
-                  static_cast<unsigned long long>(e.tick), e.tid, KindChar(e.kind),
-                  e.name != nullptr ? e.name : "?",
-                  static_cast<unsigned long long>(e.arg));
+    // Request-scoped events carry one extra trailing column, the trace id in
+    // hex; plain events keep the PR 3 seven-column format.
+    if (e.rid != 0) {
+      std::snprintf(line, sizeof(line), "%llu %llu %llu %u %c %s %llu 0x%llx\n",
+                    static_cast<unsigned long long>(e.seq),
+                    static_cast<unsigned long long>(e.ns),
+                    static_cast<unsigned long long>(e.tick), e.tid,
+                    KindChar(e.kind), e.name != nullptr ? e.name : "?",
+                    static_cast<unsigned long long>(e.arg),
+                    static_cast<unsigned long long>(e.rid));
+    } else {
+      std::snprintf(line, sizeof(line), "%llu %llu %llu %u %c %s %llu\n",
+                    static_cast<unsigned long long>(e.seq),
+                    static_cast<unsigned long long>(e.ns),
+                    static_cast<unsigned long long>(e.tick), e.tid,
+                    KindChar(e.kind), e.name != nullptr ? e.name : "?",
+                    static_cast<unsigned long long>(e.arg));
+    }
     out += line;
   }
   return out;
@@ -311,23 +344,64 @@ std::string Tracer::RenderText() const {
 std::string Tracer::RenderChromeJson() const {
   // Chrome trace-event format (the JSON Array Format wrapped in an object),
   // loadable in chrome://tracing and Perfetto. Event names are C string
-  // literals from instrumentation sites — no JSON escaping is required.
+  // literals from instrumentation sites — no JSON escaping is required for
+  // them; thread names come from SetThreadName callers and are plain
+  // identifiers by convention.
   std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
-  char buf[288];
+  char buf[320];
   bool first = true;
+  // Metadata first: name the process and every registered thread so loop vs.
+  // worker lanes are readable.
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+                "\"args\":{\"name\":\"help\"}}");
+  out += buf;
+  first = false;
+  for (const auto& [tid, name] : ThreadNames()) {
+    std::snprintf(buf, sizeof(buf),
+                  ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+                  tid, name.c_str());
+    out += buf;
+  }
+  // Request trace ids become flow events: the first sighting of a rid opens
+  // the flow ("s"), every later phase continues it ("t"), so one request
+  // renders as a connected arrow chain across the loop and worker lanes.
+  std::map<uint64_t, bool> seen_rid;
   for (const TraceEvent& e : Snapshot()) {
     double ts_us = static_cast<double>(e.ns) / 1000.0;
     const char* extra = e.kind == EventKind::kInstant ? ",\"s\":\"t\"" : "";
+    char dur[48] = "";
+    if (e.kind == EventKind::kComplete) {
+      std::snprintf(dur, sizeof(dur), ",\"dur\":%.3f",
+                    static_cast<double>(e.arg) / 1000.0);
+    }
+    char rid[48] = "";
+    if (e.rid != 0) {
+      std::snprintf(rid, sizeof(rid), ",\"rid\":\"0x%llx\"",
+                    static_cast<unsigned long long>(e.rid));
+    }
     std::snprintf(buf, sizeof(buf),
                   "%s{\"name\":\"%s\",\"cat\":\"help\",\"ph\":\"%s\",\"pid\":1,"
-                  "\"tid\":%u,\"ts\":%.3f%s,\"args\":{\"seq\":%llu,\"tick\":%llu,"
-                  "\"arg\":%llu}}",
+                  "\"tid\":%u,\"ts\":%.3f%s%s,\"args\":{\"seq\":%llu,"
+                  "\"tick\":%llu,\"arg\":%llu%s}}",
                   first ? "" : ",", e.name != nullptr ? e.name : "?", KindPh(e.kind),
-                  e.tid, ts_us, extra, static_cast<unsigned long long>(e.seq),
+                  e.tid, ts_us, extra, dur, static_cast<unsigned long long>(e.seq),
                   static_cast<unsigned long long>(e.tick),
-                  static_cast<unsigned long long>(e.arg));
+                  static_cast<unsigned long long>(e.arg), rid);
     out += buf;
     first = false;
+    if (e.rid != 0 && e.kind != EventKind::kCounter) {
+      bool& opened = seen_rid[e.rid];
+      std::snprintf(buf, sizeof(buf),
+                    ",{\"name\":\"req\",\"cat\":\"help\",\"ph\":\"%s\",\"pid\":1,"
+                    "\"tid\":%u,\"ts\":%.3f,\"id\":\"0x%llx\"%s}",
+                    opened ? "t" : "s", e.tid, ts_us,
+                    static_cast<unsigned long long>(e.rid),
+                    opened ? ",\"bp\":\"e\"" : "");
+      out += buf;
+      opened = true;
+    }
   }
   out += "]}\n";
   return out;

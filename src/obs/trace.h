@@ -106,13 +106,19 @@ class Registry {
 
 // --- Trace events and the ring buffer ----------------------------------------
 
-enum class EventKind : uint8_t { kBegin, kEnd, kInstant, kCounter };
+// kComplete is a retroactive span: emitted once at phase end with the start
+// time in `ns` and the duration in `arg`, so a phase that begins on one
+// thread (a frame arriving on the event loop) and ends on another (a worker
+// picking it up) still renders as a single slice in Chrome tracing.
+enum class EventKind : uint8_t { kBegin, kEnd, kInstant, kCounter, kComplete };
 
 struct TraceEvent {
   uint64_t seq;     // global emit order — THE ordering key
   uint64_t ns;      // steady-clock ns since tracer construction
+                    // (kComplete: phase START, not emit time)
   uint64_t tick;    // logical Clock tick at emit (0 if no clock bound)
-  uint64_t arg;     // kEnd: span duration ns; otherwise event-specific
+  uint64_t arg;     // kEnd/kComplete: duration ns; otherwise event-specific
+  uint64_t rid;     // request trace id (0 = not request-scoped)
   uint32_t tid;     // small per-thread id (first-emit order)
   EventKind kind;
   const char* name;  // string literal owned by the instrumentation site
@@ -147,6 +153,16 @@ class Tracer {
   // Appends one event if capture is enabled. `name` must be a string literal
   // (or otherwise immortal): the ring stores the pointer, not the bytes.
   void Emit(EventKind kind, const char* name, uint64_t arg = 0);
+  // Full-control variant: stamps the request trace id and an explicit
+  // timestamp (NowNs domain). kComplete events pass the phase start here and
+  // the duration in `arg`; every other kind passes NowNs().
+  void EmitAt(EventKind kind, const char* name, uint64_t arg, uint64_t rid,
+              uint64_t ns);
+
+  // Names the calling thread in Chrome trace output ("net.loop",
+  // "net.worker0"). Idempotent; later calls for the same thread win.
+  void SetThreadName(std::string name);
+  std::map<uint32_t, std::string> ThreadNames() const;
 
   // All currently-readable events, ascending by seq.
   std::vector<TraceEvent> Snapshot() const;
@@ -174,6 +190,7 @@ class Tracer {
     std::atomic<uint64_t> ns{0};
     std::atomic<uint64_t> tick{0};
     std::atomic<uint64_t> arg{0};
+    std::atomic<uint64_t> rid{0};
     std::atomic<const char*> name{nullptr};
     std::atomic<uint32_t> tid{0};
     std::atomic<uint8_t> kind{0};
@@ -187,6 +204,8 @@ class Tracer {
   Counter* dropped_counter_;  // trace.dropped
   uint64_t epoch_ns_;         // steady-clock origin
   std::unique_ptr<Slot[]> slots_;
+  mutable std::mutex names_mu_;
+  std::map<uint32_t, std::string> thread_names_;
 };
 
 // --- Spans -------------------------------------------------------------------
