@@ -177,6 +177,16 @@ struct RunResult {
   uint64_t read_retries = 0;
   uint64_t conns = 0;       // --socket: concurrent socket connections held
   uint64_t peak_conns = 0;  // --socket: listener's live gauge at full load
+  // PR 9 pipeline pairs: which config this run measured, plus the zero-copy
+  // accounting. staged_body_delta is ninep.bytes_staged growth across the
+  // timed read phase alone — the CI gate pins it to 0 for zero-copy runs
+  // (setup traffic like new/ctl reads stages by design).
+  std::string label;
+  uint64_t bytes_zero_copy = 0;
+  uint64_t bytes_staged = 0;
+  uint64_t staged_body_delta = 0;
+  uint64_t ooo_completions = 0;
+  uint64_t writev_calls = 0;
   double ops_per_sec() const { return static_cast<double>(client_ops) / secs; }
   double msgs_per_sec() const { return static_cast<double>(msgs) / secs; }
 };
@@ -329,6 +339,107 @@ RunResult RunSocketOnce(int conns, int ops) {
   return r;
 }
 
+// PR 9 pipeline pair runs: one Unix-socket connection, `ops` random 512-byte
+// body reads. `pipelined` issues them through ReadFidPipelined with a
+// 16-deep window against the out-of-order scheduler; the baseline caps the
+// connection at one worker (the pre-PR 9 in-order path) and a window of 1
+// (one RTT per read). `zero_copy` toggles the scatter-gather Rread path vs.
+// the staged escape hatch. On one CPU the pipelined win is syscall and
+// wakeup amortization — the client keeps the window full while the listener
+// drains coalesced replies with one writev per wakeup.
+RunResult RunPipelineOnce(const char* label, bool pipelined, bool zero_copy,
+                          int ops) {
+  Help::Options opt;
+  opt.install_userland = false;
+  Help h(opt);
+  h.ninep().metrics().Reset();  // registry entries are process-global
+  h.ninep().set_disable_zero_copy(!zero_copy);
+  ListenerOptions lopt;
+  lopt.workers = 4;
+  lopt.max_conn_workers = pipelined ? 0 : 1;
+  NinepListener lis(&h.ninep(), lopt);
+  std::string path = StrFormat("perf_pipe.%d.sock", getpid());
+  RunResult r;
+  r.label = label;
+  r.threads = 1;
+  if (!lis.ListenUnix(path).ok() || !lis.Start().ok()) {
+    r.failures = 1;
+    return r;
+  }
+
+  auto tr = SocketTransport::ConnectUnix(path);
+  if (!tr.ok()) {
+    r.failures = 1;
+    return r;
+  }
+  NinepClient client(tr.value()->AsTransport());
+  auto strp = tr.take();
+  client.set_pipe_io(strp->AsPipeIo());
+  constexpr size_t kBodyBytes = 32 * 1024;
+  std::string base;
+  uint32_t fid = kNoFid;
+  {
+    std::string seed;
+    while (seed.size() < kBodyBytes) {
+      seed += "a line of body text about like this one here, window body\n";
+    }
+    auto ctl = client.Connect("pipe").ok()
+                   ? client.ReadFile("/mnt/help/new/ctl")
+                   : Result<std::string>(Status::Error("connect failed"));
+    if (!ctl.ok()) {
+      r.failures = 1;
+      return r;
+    }
+    base = "/mnt/help/" + std::string(TrimSpace(ctl.value()));
+    if (!client.WriteFile(base + "/bodyapp", seed).ok()) {
+      r.failures = 1;
+      return r;
+    }
+    auto f = client.WalkFid(base + "/body");
+    if (!f.ok() || !client.OpenFid(f.value(), kOread).ok()) {
+      r.failures = 1;
+      return r;
+    }
+    fid = f.value();
+  }
+
+  const NinepMetrics& m = h.ninep().metrics();
+  const uint64_t staged0 = m.bytes_staged();
+  const int window = pipelined ? 16 : 1;
+  Lcg rng(97);
+  auto start = std::chrono::steady_clock::now();
+  int done = 0;
+  while (done < ops) {
+    std::vector<NinepClient::ReadRange> ranges;
+    while (static_cast<int>(ranges.size()) < window &&
+           done + static_cast<int>(ranges.size()) < ops) {
+      ranges.push_back({rng.Next() % (kBodyBytes / 2), 512});
+    }
+    auto got = client.ReadFidPipelined(fid, ranges, window);
+    if (!got.ok()) {
+      r.failures++;
+      break;
+    }
+    done += static_cast<int>(ranges.size());
+  }
+  r.secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+               .count();
+  r.client_ops = static_cast<uint64_t>(done);
+  r.msgs = m.total_ops();
+  r.p50_us = m.OverallPercentileUs(50);
+  r.p99_us = m.OverallPercentileUs(99);
+  r.shared_reads = m.shared_reads();
+  r.read_retries = m.read_retries();
+  r.staged_body_delta = m.bytes_staged() - staged0;
+  r.bytes_zero_copy = m.bytes_zero_copy();
+  r.bytes_staged = m.bytes_staged();
+  r.ooo_completions = m.ooo_completions();
+  r.writev_calls = m.net_writev_calls();
+  strp.reset();  // close the socket before the listener stops
+  lis.Stop();
+  return r;
+}
+
 RunResult RunOnce(int threads, int ops, bool read_heavy, bool serialized) {
   Help::Options opt;
   opt.install_userland = false;  // just the file service, no coreutils needed
@@ -364,6 +475,9 @@ RunResult RunOnce(int threads, int ops, bool read_heavy, bool serialized) {
 }
 
 void PrintHuman(const RunResult& r, const char* workload, bool serialized) {
+  if (!r.label.empty()) {
+    std::printf("config             %s\n", r.label.c_str());
+  }
   if (r.conns > 0) {
     std::printf("connections        %llu concurrent (%llu live at peak), "
                 "%d driver threads\n",
@@ -385,6 +499,16 @@ void PrintHuman(const RunResult& r, const char* workload, bool serialized) {
   std::printf("shared reads       %llu (%llu retried exclusively)\n",
               static_cast<unsigned long long>(r.shared_reads),
               static_cast<unsigned long long>(r.read_retries));
+  if (!r.label.empty()) {
+    std::printf("zero-copy bytes    %llu (%llu staged, %llu staged during "
+                "reads)\n",
+                static_cast<unsigned long long>(r.bytes_zero_copy),
+                static_cast<unsigned long long>(r.bytes_staged),
+                static_cast<unsigned long long>(r.staged_body_delta));
+    std::printf("ooo completions    %llu, writev calls %llu\n",
+                static_cast<unsigned long long>(r.ooo_completions),
+                static_cast<unsigned long long>(r.writev_calls));
+  }
 }
 
 std::string JsonOf(const RunResult& r) {
@@ -405,6 +529,17 @@ std::string JsonOf(const RunResult& r) {
                       static_cast<unsigned long long>(r.conns),
                       static_cast<unsigned long long>(r.peak_conns));
   }
+  if (!r.label.empty()) {
+    json += StrFormat(
+        ",\"label\":\"%s\",\"bytes_zero_copy\":%llu,\"bytes_staged\":%llu,"
+        "\"staged_body_delta\":%llu,\"ooo_completions\":%llu,"
+        "\"writev_calls\":%llu",
+        r.label.c_str(), static_cast<unsigned long long>(r.bytes_zero_copy),
+        static_cast<unsigned long long>(r.bytes_staged),
+        static_cast<unsigned long long>(r.staged_body_delta),
+        static_cast<unsigned long long>(r.ooo_completions),
+        static_cast<unsigned long long>(r.writev_calls));
+  }
   return json + "}";
 }
 
@@ -416,6 +551,7 @@ int Main(int argc, char** argv) {
   bool json = false;
   bool sweep = false;
   bool socket = false;
+  bool pipeline = false;
   std::string trace_path;
   int positional = 0;
   for (int i = 1; i < argc; i++) {
@@ -429,6 +565,8 @@ int Main(int argc, char** argv) {
       sweep = true;
     } else if (std::strcmp(argv[i], "--socket") == 0) {
       socket = true;
+    } else if (std::strcmp(argv[i], "--pipeline") == 0) {
+      pipeline = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (argv[i][0] == '-') {
@@ -436,7 +574,8 @@ int Main(int argc, char** argv) {
                    "usage: perf_ninep [threads] [ops-per-thread] "
                    "[--read-heavy] [--serialized] [--sweep] [--json]\n"
                    "       perf_ninep --socket [conns] [ops-per-conn] "
-                   "[--json] [--trace FILE]\n");
+                   "[--json] [--trace FILE]\n"
+                   "       perf_ninep --pipeline [_] [ops] [--json]\n");
       return 2;
     } else if (positional == 0) {
       threads = std::atoi(argv[i]);
@@ -466,22 +605,54 @@ int Main(int argc, char** argv) {
     obs::Tracer::Global().Enable();
   }
 
-  const char* workload = socket ? "socket" : read_heavy ? "read-heavy" : "mixed";
+  const char* workload = socket     ? "socket"
+                         : pipeline ? "pipeline"
+                         : read_heavy ? "read-heavy"
+                                      : "mixed";
   uint64_t failures = 0;
   std::vector<RunResult> results;
-  std::vector<int> counts = sweep && !socket ? std::vector<int>{1, 2, 4, 8}
-                                             : std::vector<int>{threads};
-  for (int n : counts) {
-    RunResult r = socket ? RunSocketOnce(n, ops)
-                         : RunOnce(n, ops, read_heavy, serialized);
-    failures += r.failures;
-    if (!json) {
-      PrintHuman(r, workload, serialized);
-      if (sweep) {
+  if (!pipeline) {
+    std::vector<int> counts = sweep && !socket ? std::vector<int>{1, 2, 4, 8}
+                                               : std::vector<int>{threads};
+    for (int n : counts) {
+      RunResult r = socket ? RunSocketOnce(n, ops)
+                           : RunOnce(n, ops, read_heavy, serialized);
+      failures += r.failures;
+      if (!json) {
+        PrintHuman(r, workload, serialized);
+        if (sweep) {
+          std::printf("\n");
+        }
+      }
+      results.push_back(r);
+    }
+  }
+  // The PR 9 comparison pairs: zero-copy vs staged on the pipelined path,
+  // and pipelined vs the pre-PR 9 in-order baseline. `--pipeline` runs just
+  // these; a non-socket `--sweep` appends them after the thread sweep.
+  if (pipeline || (sweep && !socket)) {
+    int pops = pipeline && positional >= 2 ? ops : 4000;
+    struct Cfg {
+      const char* label;
+      bool pipelined;
+      bool zero_copy;
+    };
+    const Cfg cfgs[] = {
+        {"pipelined_zero_copy", true, true},
+        {"pipelined_staged", true, false},
+        {"inorder_zero_copy", false, true},
+        {"inorder_staged", false, false},
+    };
+    for (const Cfg& cfg : cfgs) {
+      RunResult r = RunPipelineOnce(cfg.label, cfg.pipelined, cfg.zero_copy,
+                                    pops);
+      failures += r.failures;
+      if (!json) {
+        PrintHuman(r, "pipeline", false);
         std::printf("\n");
       }
+      results.push_back(r);
     }
-    results.push_back(r);
   }
 
   if (!trace_path.empty()) {

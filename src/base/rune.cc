@@ -87,14 +87,18 @@ std::string Utf8FromRunes(RuneStringView runes) {
 
 std::string Utf8FromRunes(const RuneSpans& spans) {
   std::string out;
-  out.reserve(spans.size());
+  AppendUtf8FromRunes(spans, &out);
+  return out;
+}
+
+void AppendUtf8FromRunes(const RuneSpans& spans, std::string* out) {
+  out->reserve(out->size() + spans.size());
   for (Rune r : spans.a) {
-    EncodeRune(r, &out);
+    EncodeRune(r, out);
   }
   for (Rune r : spans.b) {
-    EncodeRune(r, &out);
+    EncodeRune(r, out);
   }
-  return out;
 }
 
 size_t FindRunes(const RuneSpans& text, RuneStringView needle, size_t start) {

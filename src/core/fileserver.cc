@@ -34,6 +34,11 @@ class SerializedHandler : public FileHandler {
     auto lock = h_->ninep().LockDispatch();
     return inner_->Read(f, offset, count);
   }
+  bool Gather(OpenFile& f, uint64_t offset, uint32_t count,
+              GatherView* out) override {
+    auto lock = h_->ninep().LockDispatch();
+    return inner_->Gather(f, offset, count, out);
+  }
   Result<uint32_t> Write(OpenFile& f, uint64_t offset, std::string_view data) override {
     auto lock = h_->ninep().LockDispatch();
     return inner_->Write(f, offset, data);
@@ -245,6 +250,60 @@ class WindowFileHandler : public FileHandler {
       }
     }
     return std::string();
+  }
+
+  // Zero-copy body/tag reads: resolve the byte range to the gap buffer's two
+  // rune spans plus owned fringe bytes, with the same seqlock discipline as
+  // SeqValidatedSubstr — in shared mode the view carries a validation token
+  // the server re-checks after encoding; any mismatch falls back to the
+  // staged path (which re-runs validation and, on persistent racing, routes
+  // the request through the exclusive lock). kBodyApp (always empty) and
+  // kCtl (a few bytes) keep the staged path.
+  bool Gather(OpenFile& f, uint64_t offset, uint32_t count,
+              GatherView* out) override {
+    Window* w = Win();
+    if (w == nullptr) {
+      return false;  // the Read fallback produces the error
+    }
+    const Text* t = nullptr;
+    switch (kind_) {
+      case Kind::kTag:
+        t = w->tag().text.get();
+        break;
+      case Kind::kBody:
+        t = w->body().text.get();
+        break;
+      case Kind::kBodyApp:
+      case Kind::kCtl:
+        return false;
+    }
+    const bool shared = h_->ninep().SharedDispatchOnThisThread();
+    uint64_t seq = 0;
+    if (shared) {
+      for (int attempt = 0;; attempt++) {
+        seq = t->edit_seq();
+        if ((seq & 1) == 0) {
+          break;
+        }
+        if (attempt >= 2) {
+          return false;  // edit mid-flight: staged fallback handles retries
+        }
+      }
+    }
+    Text::GatherResult g = t->GatherUtf8(offset, count);
+    *out = GatherView();
+    out->prefix = std::move(g.prefix);
+    out->runes = g.runes;
+    out->suffix = std::move(g.suffix);
+    out->bytes = g.bytes;
+    if (shared) {
+      out->seq_source = t->edit_seq_cell();
+      out->seq_expected = seq;
+      if (!out->Validate()) {
+        return false;  // raced during resolve; staged fallback re-runs
+      }
+    }
+    return true;
   }
 
   Result<uint32_t> Write(OpenFile& f, uint64_t offset, std::string_view data) override {

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <set>
 
 #if defined(__linux__)
 #include <sys/epoll.h>
@@ -169,6 +170,21 @@ struct PendingReply {
   uint64_t end_total = 0;
 };
 
+// One segment of a connection's outbound queue. Replies at least kSealBytes
+// long enter the deque as their own segment via move — a zero-copy Rread's
+// payload is never copied again after encode — while small replies append
+// onto the tail segment so one writev drains many of them.
+struct OutSeg {
+  std::string bytes;
+  size_t off = 0;  // already-written prefix
+};
+
+inline constexpr size_t kSealBytes = 1024;
+// Longest run of consecutive same-fid Twrites popped as one batch.
+inline constexpr size_t kMaxWriteBatch = 8;
+// iovec fan-in per sendmsg call.
+inline constexpr size_t kMaxIov = 64;
+
 struct NinepListener::Conn {
   explicit Conn(uint32_t max_frame) : reader(max_frame) {}
 
@@ -187,17 +203,39 @@ struct NinepListener::Conn {
   // Shared state (worker pool + loop), guarded by mu.
   std::mutex mu;
   std::deque<InFrame> inbox;      // complete frames awaiting dispatch
-  std::string outbox;             // encoded replies awaiting the wire
-  size_t outbox_off = 0;          // already-written prefix of outbox
+  std::deque<OutSeg> outbox;      // encoded replies awaiting the wire
+  size_t outbox_pending = 0;      // unwritten bytes across all segments
   uint64_t outbox_appended = 0;   // lifetime bytes ever appended
   uint64_t outbox_written = 0;    // lifetime bytes ever sent
   std::deque<PendingReply> pending;  // appended, not yet fully written
-  bool busy = false;              // queued for / held by a dispatch worker
+  // PR 9 scheduler state (see the header comment): how many workers hold a
+  // claim on this conn, how many frames are out being dispatched right now,
+  // and whether one of them is a fence (mutation or write batch).
+  int workers_active = 0;
+  int dispatching = 0;
+  bool fence_inflight = false;
+  // Arrival-order bookkeeping for ninep.ooo_completions: each popped frame
+  // gets the next seq; a frame whose completion leaves a SMALLER seq still
+  // in flight finished before an earlier-arrived request did.
+  uint64_t next_dispatch_seq = 0;
+  std::set<uint64_t> inflight_seqs;
   bool stalled = false;           // backpressure: dispatch and reads parked
   bool closing = false;           // loop tore the socket down
   bool session_closed = false;    // CloseSession already ran
 
-  size_t outbox_bytes() const { return outbox.size() - outbox_off; }
+  size_t outbox_bytes() const { return outbox_pending; }
+
+  // Caller holds mu. Appends one encoded reply to the outbox, sealing large
+  // payloads as their own moved segment.
+  void AppendReplyLocked(std::string&& bytes) {
+    outbox_pending += bytes.size();
+    outbox_appended += bytes.size();
+    if (bytes.size() >= kSealBytes || outbox.empty()) {
+      outbox.push_back(OutSeg{std::move(bytes), 0});
+    } else {
+      outbox.back().bytes += bytes;
+    }
+  }
 };
 
 // --- NinepListener -----------------------------------------------------------
@@ -542,10 +580,7 @@ void NinepListener::HandleReadable(const ConnPtr& c) {
     for (InFrame& f : frames) {
       c->inbox.push_back(std::move(f));
     }
-    if (!c->busy && !c->stalled && !c->closing) {
-      c->busy = true;
-      EnqueueReady(c);
-    }
+    MaybeSpawnWorkerLocked(c);
   }
   if (frame_error) {
     srv_->metrics().RecordFrameError();
@@ -563,9 +598,24 @@ void NinepListener::FlushConn(const ConnPtr& c) {
     if (c->closing) {
       return;
     }
-    while (c->outbox_bytes() > 0) {
-      ssize_t n = send(c->fd, c->outbox.data() + c->outbox_off,
-                       c->outbox_bytes(), MSG_NOSIGNAL);
+    while (c->outbox_pending > 0) {
+      // Scatter-gather drain: one sendmsg covers up to kMaxIov segments, so
+      // a batch of small replies — or a sealed zero-copy payload sandwiched
+      // between them — leaves in one syscall.
+      struct iovec iov[kMaxIov];
+      size_t niov = 0;
+      for (const OutSeg& s : c->outbox) {
+        if (niov == kMaxIov) {
+          break;
+        }
+        iov[niov].iov_base = const_cast<char*>(s.bytes.data() + s.off);
+        iov[niov].iov_len = s.bytes.size() - s.off;
+        niov++;
+      }
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = niov;
+      ssize_t n = sendmsg(c->fd, &msg, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) {
           continue;
@@ -575,15 +625,23 @@ void NinepListener::FlushConn(const ConnPtr& c) {
         }
         break;
       }
-      c->outbox_off += static_cast<size_t>(n);
+      srv_->metrics().RecordWritev();
+      c->info->RecordWritev();
+      size_t left = static_cast<size_t>(n);
+      while (left > 0) {
+        OutSeg& s = c->outbox.front();
+        size_t take = std::min(s.bytes.size() - s.off, left);
+        s.off += take;
+        left -= take;
+        if (s.off == s.bytes.size()) {
+          c->outbox.pop_front();
+        }
+      }
+      c->outbox_pending -= static_cast<size_t>(n);
       c->outbox_written += static_cast<uint64_t>(n);
       c->last_active_ms = NowMs();
       srv_->metrics().AddNetBytesOut(static_cast<uint64_t>(n));
       c->info->AddBytesOut(static_cast<uint64_t>(n));
-    }
-    if (c->outbox_bytes() == 0) {
-      c->outbox.clear();
-      c->outbox_off = 0;
     }
     // Requests whose reply bytes have now fully entered the kernel socket
     // buffer are complete: close their outbox-drain phase and offer them to
@@ -620,10 +678,7 @@ void NinepListener::FlushConn(const ConnPtr& c) {
         c->stalled = false;
         c->info->set_state(ConnState::kActive);
         OBS_INSTANT("net.unstall", c->sid);
-        if (!c->inbox.empty() && !c->busy) {
-          c->busy = true;
-          EnqueueReady(c);
-        }
+        MaybeSpawnWorkerLocked(c);
       }
       UpdateInterest(c);
     }
@@ -665,11 +720,52 @@ void NinepListener::CloseConn(const ConnPtr& c, bool reaped) {
   }
   // Session teardown happens on a worker: CloseSession waits for the
   // exclusive dispatch lock (draining any request this connection still has
-  // mid-dispatch), and the loop must never block on that.
-  EnqueueReady(c);
+  // mid-dispatch), and the loop must never block on that. If workers are
+  // already active on this conn, the next one to loop observes `closing` and
+  // claims the teardown instead.
+  {
+    std::lock_guard<std::mutex> lk(c->mu);
+    MaybeSpawnWorkerLocked(c);
+  }
 }
 
 // --- Worker pool -------------------------------------------------------------
+
+int NinepListener::ConnWorkerCap() const {
+  if (opt_.max_conn_workers <= 0) {
+    return opt_.workers;
+  }
+  return std::min(opt_.max_conn_workers, opt_.workers);
+}
+
+void NinepListener::MaybeSpawnWorkerLocked(const ConnPtr& c) {
+  if (c->workers_active >= ConnWorkerCap()) {
+    return;
+  }
+  if (c->closing) {
+    // Teardown needs exactly one worker; if any is active it will observe
+    // `closing` on its next loop and claim the job.
+    if (c->session_closed || c->workers_active > 0) {
+      return;
+    }
+  } else {
+    if (c->stalled || c->inbox.empty() || c->fence_inflight) {
+      return;
+    }
+    // Beyond the first worker, only spawn when the front frame could
+    // actually start now — a fence waits for dispatching == 0 regardless,
+    // so an extra worker would wake just to go back to sleep.
+    if (c->workers_active > 0) {
+      uint32_t wfid = 0;
+      if (srv_->ClassifyFrame(c->sid, c->inbox.front().bytes, &wfid) !=
+          NinepServer::FrameClass::kReorderable) {
+        return;
+      }
+    }
+  }
+  c->workers_active++;
+  EnqueueReady(c);
+}
 
 void NinepListener::WorkerMain(int idx) {
   {
@@ -688,91 +784,187 @@ void NinepListener::WorkerMain(int idx) {
     if (c == nullptr) {
       return;  // shutdown sentinel
     }
-    bool teardown = false;
-    while (true) {
-      InFrame frame;
-      {
-        std::lock_guard<std::mutex> lk(c->mu);
-        if (c->closing) {
-          teardown = !c->session_closed;
-          c->session_closed = true;
-          c->busy = false;
+    DrainConn(c);
+  }
+}
+
+// One worker's visit: pop whatever the ordering model lets this conn start —
+// a reorderable frame (concurrently with other workers on the same conn), a
+// fence once every in-flight dispatch drains, or a run of consecutive
+// same-fid Twrites as one batch — dispatch it outside c->mu, append the
+// replies, repeat. Returns when nothing is poppable; whichever worker
+// finishes the blocking dispatch resumes the queue, so no frame is stranded.
+void NinepListener::DrainConn(const ConnPtr& c) {
+  obs::Tracer& tr = obs::Tracer::Global();
+  bool teardown = false;
+  while (true) {
+    std::vector<InFrame> batch;  // one frame, or a coalesced Twrite run
+    std::vector<uint64_t> seqs;  // arrival seq of each frame in `batch`
+    bool is_fence = false;
+    {
+      std::lock_guard<std::mutex> lk(c->mu);
+      if (c->closing) {
+        teardown = !c->session_closed;
+        c->session_closed = true;
+        c->workers_active--;
+        break;
+      }
+      if (c->outbox_bytes() > opt_.max_outbox_bytes) {
+        // Slow reader: park dispatch with the inbox intact. The loop
+        // drops read interest and requeues once the outbox drains.
+        if (!c->stalled) {
+          c->stalled = true;
+          c->info->set_state(ConnState::kStalled);
+          srv_->metrics().RecordBackpressureStall();
+          OBS_INSTANT("net.backpressure_stall", c->sid);
+        }
+        c->workers_active--;
+        break;
+      }
+      if (c->inbox.empty()) {
+        c->workers_active--;
+        break;
+      }
+      uint32_t wfid = 0;
+      NinepServer::FrameClass cls =
+          srv_->ClassifyFrame(c->sid, c->inbox.front().bytes, &wfid);
+      if (cls == NinepServer::FrameClass::kReorderable) {
+        if (c->fence_inflight) {
+          // The fence's worker loops back here when it completes.
+          c->workers_active--;
           break;
         }
-        if (c->outbox_bytes() > opt_.max_outbox_bytes) {
-          // Slow reader: park dispatch with the inbox intact. The loop
-          // drops read interest and requeues once the outbox drains.
-          if (!c->stalled) {
-            c->stalled = true;
-            c->info->set_state(ConnState::kStalled);
-            srv_->metrics().RecordBackpressureStall();
-            OBS_INSTANT("net.backpressure_stall", c->sid);
-          }
-          c->busy = false;
-          break;
-        }
-        if (c->inbox.empty()) {
-          c->busy = false;
-          break;
-        }
-        frame = std::move(c->inbox.front());
+        batch.push_back(std::move(c->inbox.front()));
         c->inbox.pop_front();
+        seqs.push_back(c->next_dispatch_seq++);
+        c->inflight_seqs.insert(seqs.back());
+        c->dispatching++;
+        // Fan out: if the next frame can also start, wake another worker to
+        // run it while we dispatch this one.
+        MaybeSpawnWorkerLocked(c);
+      } else {
+        if (c->dispatching > 0) {
+          // The last in-flight dispatcher loops back and pops this fence.
+          c->workers_active--;
+          break;
+        }
+        is_fence = true;
+        c->fence_inflight = true;
+        batch.push_back(std::move(c->inbox.front()));
+        c->inbox.pop_front();
+        seqs.push_back(c->next_dispatch_seq++);
+        c->inflight_seqs.insert(seqs.back());
+        c->dispatching++;
+        if (cls == NinepServer::FrameClass::kWrite) {
+          // Coalesce the run of consecutive writes to the same fid; they
+          // dispatch under one lock acquisition in HandleWriteBatch.
+          while (batch.size() < kMaxWriteBatch && !c->inbox.empty()) {
+            uint32_t nfid = 0;
+            if (srv_->ClassifyFrame(c->sid, c->inbox.front().bytes, &nfid) !=
+                    NinepServer::FrameClass::kWrite ||
+                nfid != wfid) {
+              break;
+            }
+            batch.push_back(std::move(c->inbox.front()));
+            c->inbox.pop_front();
+            seqs.push_back(c->next_dispatch_seq++);
+            c->inflight_seqs.insert(seqs.back());
+            c->dispatching++;
+          }
+        }
       }
-      obs::Tracer& tr = obs::Tracer::Global();
-      uint64_t pickup = tr.NowNs();
-      uint64_t queue_ns = pickup - frame.arrive_ns;
-      if (tr.enabled() && frame.rid != 0) {
-        tr.EmitAt(obs::EventKind::kComplete, "req.queue", queue_ns, frame.rid,
-                  frame.arrive_ns);
+    }
+    // Dispatch outside c->mu.
+    uint64_t pickup = tr.NowNs();
+    std::vector<RequestObs> obsv(batch.size());
+    for (size_t i = 0; i < batch.size(); i++) {
+      obsv[i].rid = batch[i].rid;
+      if (tr.enabled() && batch[i].rid != 0) {
+        tr.EmitAt(obs::EventKind::kComplete, "req.queue",
+                  pickup - batch[i].arrive_ns, batch[i].rid,
+                  batch[i].arrive_ns);
       }
-      RequestObs obs;
-      obs.rid = frame.rid;
-      std::string reply = srv_->HandleBytes(c->sid, frame.bytes, &obs);
-      uint64_t done = tr.NowNs();
-      c->info->RecordOp(obs.op, (done - pickup) / 1000, obs.error);
+    }
+    std::vector<ReplyFrame> replies;
+    if (batch.size() == 1) {
+      replies.resize(1);
+      srv_->HandleBytes(c->sid, batch[0].bytes, &obsv[0], &replies[0]);
+    } else {
+      std::vector<std::string_view> views;
+      std::vector<RequestObs*> obsp;
+      views.reserve(batch.size());
+      obsp.reserve(batch.size());
+      for (size_t i = 0; i < batch.size(); i++) {
+        views.push_back(batch[i].bytes);
+        obsp.push_back(&obsv[i]);
+      }
+      srv_->HandleWriteBatch(c->sid, views, obsp, &replies);
+      srv_->metrics().RecordBodyappCoalesced(batch.size() - 1);
+    }
+    uint64_t done = tr.NowNs();
+    for (size_t i = 0; i < batch.size(); i++) {
+      uint64_t queue_ns = pickup - batch[i].arrive_ns;
+      c->info->RecordOp(obsv[i].op, (done - pickup) / 1000, obsv[i].error);
       c->info->RecordQueueWait(queue_ns / 1000);
       srv_->metrics().RecordNetQueueWait(queue_ns / 1000);
-      bool notify;
-      {
-        std::lock_guard<std::mutex> lk(c->mu);
-        notify = c->outbox_bytes() == 0;  // loop has nothing armed for us
-        c->outbox += reply;
-        c->outbox_appended += reply.size();
+      if (replies[i].zero_copy) {
+        c->info->AddBytesZeroCopy(replies[i].payload_bytes);
+      }
+    }
+    bool notify;
+    {
+      std::lock_guard<std::mutex> lk(c->mu);
+      notify = c->outbox_bytes() == 0;  // loop has nothing armed for us
+      for (size_t i = 0; i < batch.size(); i++) {
         PendingReply p;
-        p.rid = frame.rid;
-        p.tag = frame.tag;
-        p.op = obs.op;
-        p.arrive_ns = frame.arrive_ns;
-        p.queue_ns = queue_ns;
-        p.lock_ns = obs.lock_wait_ns;
-        p.handler_ns = obs.handler_ns;
-        p.encode_ns = obs.encode_ns;
+        p.rid = batch[i].rid;
+        p.tag = batch[i].tag;
+        p.op = obsv[i].op;
+        p.arrive_ns = batch[i].arrive_ns;
+        p.queue_ns = pickup - batch[i].arrive_ns;
+        p.lock_ns = obsv[i].lock_wait_ns;
+        p.handler_ns = obsv[i].handler_ns;
+        p.encode_ns = obsv[i].encode_ns;
         p.append_ns = done;
+        c->AppendReplyLocked(std::move(replies[i].bytes));
         p.end_total = c->outbox_appended;
         c->pending.push_back(p);
+        // Completing while an earlier-arrived request is still in flight is
+        // an out-of-order completion. (A fence batch never records one: it
+        // only popped once dispatching hit zero, so the set holds nothing
+        // older than itself.)
+        c->inflight_seqs.erase(seqs[i]);
+        if (!c->inflight_seqs.empty() &&
+            *c->inflight_seqs.begin() < seqs[i]) {
+          srv_->metrics().RecordOooCompletion();
+        }
       }
-      if (notify) {
+      c->dispatching -= static_cast<int>(batch.size());
+      if (is_fence) {
+        c->fence_inflight = false;
+      }
+    }
+    if (notify) {
+      {
         std::lock_guard<std::mutex> lk(notify_mu_);
         notify_.push_back(c);
       }
-      if (notify) {
-        WakeLoop();
-      }
+      WakeLoop();
     }
-    if (teardown) {
-      // Outside c->mu: CloseSession blocks on the exclusive dispatch lock
-      // (draining this connection's mid-flight request, if any), and the
-      // loop must stay free to lock c->mu meanwhile.
-      srv_->CloseSession(c->sid);
-    }
-    // A stall or teardown decision above may have raced a FlushConn; one
-    // extra notification is cheap and keeps interest fresh.
-    {
-      std::lock_guard<std::mutex> lk(notify_mu_);
-      notify_.push_back(c);
-    }
-    WakeLoop();
   }
+  if (teardown) {
+    // Outside c->mu: CloseSession blocks on the exclusive dispatch lock
+    // (draining this connection's mid-flight requests, if any), and the
+    // loop must stay free to lock c->mu meanwhile.
+    srv_->CloseSession(c->sid);
+  }
+  // A stall or teardown decision above may have raced a FlushConn; one
+  // extra notification is cheap and keeps interest fresh.
+  {
+    std::lock_guard<std::mutex> lk(notify_mu_);
+    notify_.push_back(c);
+  }
+  WakeLoop();
 }
 
 }  // namespace help

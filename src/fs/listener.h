@@ -16,11 +16,20 @@
 //                  session teardown (CloseSession blocks on the exclusive
 //                  dispatch lock — not the loop's job).
 //
-// Per-connection frames dispatch strictly in order (a connection is enqueued
-// to at most one worker at a time), preserving the protocol's
-// one-logical-client-per-connection ordering; different connections'
-// requests run concurrently, which is what finally exercises the PR 4
-// reader-writer dispatch across real connections.
+// Per-connection ordering (PR 9, DESIGN.md §16): frames are *picked up* in
+// arrival order, but read-only requests (Tread on a read-only fid, Tstat,
+// fid-minting Twalk) may dispatch on several workers at once and complete
+// out of order between mutation barriers. A mutation (Twrite, ctl writes,
+// Tclunk, attach/open/...) is a fence: it waits for every in-flight dispatch
+// on the connection to finish and excludes new pickups while it runs, so a
+// read issued after a write always sees that write. The scheduler encodes
+// this with three per-conn fields (dispatching count, fence_inflight flag,
+// workers_active fan-out count) and asks NinepServer::ClassifyFrame — a
+// bytes-level peek, no decode — which class the frame at the front of the
+// inbox is. Runs of consecutive Twrites to one fid are popped together and
+// dispatched through HandleWriteBatch under a single dispatch-lock
+// acquisition (ninep.bodyapp_coalesced counts the riders). Different
+// connections' requests run concurrently as before.
 //
 // Backpressure: each connection's outbound queue is bounded. When appending
 // a reply would exceed max_outbox_bytes the worker parks the connection
@@ -96,6 +105,10 @@ struct ListenerOptions {
   int idle_timeout_ms = 0;             // 0 = never reap idle connections
   int tick_ms = 50;                    // loop wakeup granularity (reap scan)
   PollerKind poller = PollerKind::kAuto;
+  // Cap on workers dispatching ONE connection's frames concurrently. 0 means
+  // "no per-conn cap" (bounded by `workers`); 1 restores the pre-PR 9
+  // strictly-in-order dispatch, which the benchmarks use as a baseline.
+  int max_conn_workers = 0;
 };
 
 class NinepListener {
@@ -130,8 +143,15 @@ class NinepListener {
   void WorkerMain(int idx);
   void HandleAccept(int listen_fd);
   void HandleReadable(const ConnPtr& c);
-  // Flushes c->outbox as far as the socket allows; updates interest.
+  // Flushes c->outbox as far as the socket allows (scatter-gather over the
+  // segment deque); updates interest.
   void FlushConn(const ConnPtr& c);
+  // One worker's visit to a connection: pop/dispatch until nothing poppable.
+  void DrainConn(const ConnPtr& c);
+  // Caller holds c->mu: claims a fan-out slot and enqueues the connection if
+  // work is available and the per-conn worker cap allows another.
+  void MaybeSpawnWorkerLocked(const ConnPtr& c);
+  int ConnWorkerCap() const;
   void UpdateInterest(const ConnPtr& c);
   // Loop-side teardown: deregister + schedule close(fd) after this event
   // batch, erase from the table, hand session teardown to a worker.

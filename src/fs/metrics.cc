@@ -94,6 +94,11 @@ NinepMetrics::NinepMetrics() {
   net_bytes_in_ = reg.GetCounter("net.bytes_in");
   net_bytes_out_ = reg.GetCounter("net.bytes_out");
   net_queue_wait_ = reg.GetHistogram("net.queue_wait_us");
+  ooo_completions_ = reg.GetCounter("ninep.ooo_completions");
+  bytes_zero_copy_ = reg.GetCounter("ninep.bytes_zero_copy");
+  bytes_staged_ = reg.GetCounter("ninep.bytes_staged");
+  bodyapp_coalesced_ = reg.GetCounter("ninep.bodyapp_coalesced");
+  net_writev_calls_ = reg.GetCounter("net.writev_calls");
 }
 
 void NinepMetrics::RecordOp(NinepOp op, uint64_t latency_us, bool error) {
@@ -175,6 +180,18 @@ std::string NinepMetrics::Render() const {
                 static_cast<unsigned long long>(net_bytes_in()),
                 static_cast<unsigned long long>(net_bytes_out()));
   out += line;
+  // PR 9 pipelined dispatch + zero-copy reads, appended last for the same
+  // reason.
+  std::snprintf(line, sizeof(line),
+                "ooo_completions %llu\nbytes_zero_copy %llu\n"
+                "bytes_staged %llu\nbodyapp_coalesced %llu\n"
+                "net_writev_calls %llu\n",
+                static_cast<unsigned long long>(ooo_completions()),
+                static_cast<unsigned long long>(bytes_zero_copy()),
+                static_cast<unsigned long long>(bytes_staged()),
+                static_cast<unsigned long long>(bodyapp_coalesced()),
+                static_cast<unsigned long long>(net_writev_calls()));
+  out += line;
   return out;
 }
 
@@ -197,6 +214,11 @@ void NinepMetrics::Reset() {
   net_bytes_in_->Store(0);
   net_bytes_out_->Store(0);
   net_queue_wait_->Reset();
+  ooo_completions_->Store(0);
+  bytes_zero_copy_->Store(0);
+  bytes_staged_->Store(0);
+  bodyapp_coalesced_->Store(0);
+  net_writev_calls_->Store(0);
   // in_flight_ and net_active_ are live gauges; leave them alone.
 }
 

@@ -77,6 +77,17 @@ class NinepMetrics {
   // worker picked it up ("net.queue_wait_us" — the registry/metrics view;
   // per-connection copies live in ConnInfo).
   void RecordNetQueueWait(uint64_t us) { net_queue_wait_->Record(us); }
+  // PR 9 pipelined dispatch + zero-copy reads: a request that completed
+  // while an earlier-arrived request from the same connection was still
+  // mid-dispatch (counted by the listener from arrival seqs); the
+  // Rread payload bytes that reached the wire frame via the gather path vs.
+  // staged through an intermediate string; bodyapp writes that rode a
+  // coalesced batch; and writev() calls draining listener outboxes.
+  void RecordOooCompletion() { ooo_completions_->Add(); }
+  void AddBytesZeroCopy(uint64_t n) { bytes_zero_copy_->Add(n); }
+  void AddBytesStaged(uint64_t n) { bytes_staged_->Add(n); }
+  void RecordBodyappCoalesced(uint64_t n) { bodyapp_coalesced_->Add(n); }
+  void RecordWritev() { net_writev_calls_->Add(); }
 
   uint64_t count(NinepOp op) const { return ops_[Idx(op)].count->value(); }
   uint64_t errors(NinepOp op) const { return ops_[Idx(op)].errors->value(); }
@@ -93,6 +104,11 @@ class NinepMetrics {
   uint64_t net_frame_errors() const { return net_frame_errors_->value(); }
   uint64_t net_bytes_in() const { return net_bytes_in_->value(); }
   uint64_t net_bytes_out() const { return net_bytes_out_->value(); }
+  uint64_t ooo_completions() const { return ooo_completions_->value(); }
+  uint64_t bytes_zero_copy() const { return bytes_zero_copy_->value(); }
+  uint64_t bytes_staged() const { return bytes_staged_->value(); }
+  uint64_t bodyapp_coalesced() const { return bodyapp_coalesced_->value(); }
+  uint64_t net_writev_calls() const { return net_writev_calls_->value(); }
   uint64_t total_ops() const;
 
   // Approximate percentile (0 < p <= 100) of one op's latency, in
@@ -133,6 +149,11 @@ class NinepMetrics {
   obs::Counter* net_bytes_in_;
   obs::Counter* net_bytes_out_;
   obs::Histogram* net_queue_wait_;
+  obs::Counter* ooo_completions_;
+  obs::Counter* bytes_zero_copy_;
+  obs::Counter* bytes_staged_;
+  obs::Counter* bodyapp_coalesced_;
+  obs::Counter* net_writev_calls_;
 };
 
 }  // namespace help

@@ -34,6 +34,16 @@ void PutQid(std::string* out, const Qid& q) {
   PutU64(out, q.path);
 }
 
+// Appends a complete Rread header (size, type, tag, count) for a payload of
+// `count` bytes; the caller appends the payload itself. Must stay bit-
+// identical to EncodeFcall's Rread layout — ninep_test pins that.
+void AppendRreadHeader(uint16_t tag, uint32_t count, std::string* out) {
+  PutU32(out, 4 + 1 + 2 + 4 + count);
+  PutU8(out, static_cast<uint8_t>(MsgType::kRread));
+  PutU16(out, tag);
+  PutU32(out, count);
+}
+
 class Reader {
  public:
   explicit Reader(std::string_view data) : data_(data) {}
@@ -448,12 +458,49 @@ Session::OpClass Session::Classify(const Fcall& t) const {
   }
 }
 
+bool Session::ReorderableRead(uint32_t fid) const {
+  std::lock_guard<std::mutex> lk(fid_mu_);
+  auto it = fids_.find(fid);
+  if (it == fids_.end()) {
+    return true;  // "unknown fid" error reply; touches nothing
+  }
+  if (it->second.node->dir()) {
+    return false;  // dir reads lazily rebuild dirbuf scratch under no lock
+  }
+  if (it->second.open == nullptr) {
+    return true;  // "fid not open" error reply
+  }
+  return it->second.read_only;
+}
+
+bool Session::FidAbsent(uint32_t fid) const {
+  std::lock_guard<std::mutex> lk(fid_mu_);
+  return fids_.count(fid) == 0;
+}
+
+bool Session::ReorderOk(const Fcall& t) const {
+  switch (t.type) {
+    case MsgType::kTstat:
+      return true;
+    case MsgType::kTread:
+      return ReorderableRead(t.fid);
+    case MsgType::kTwalk:
+      // Only walks that would insert a fresh fid; a rebind (newfid == fid or
+      // newfid already bound) destroys the old state — a mutation. A racing
+      // reorderable walk on the same newfid is caught at dispatch: the
+      // check-and-insert is atomic under fid_mu_, the loser errors out.
+      return t.newfid != t.fid && FidAbsent(t.newfid);
+    default:
+      return false;
+  }
+}
+
 // fid_mu_ discipline inside Dispatch: the map structure and the fields
 // Classify reads (node, open, read_only) are only touched under fid_mu_, and
 // fid_mu_ is never held across a Vfs or handler call (those can re-enter the
 // server's dispatch lock). Per-fid scratch state Classify never looks at
 // (dirbuf) needs no lock: same-session dispatches are serialized.
-Fcall Session::Dispatch(const Fcall& t) {
+Fcall Session::Dispatch(const Fcall& t, ReadSink* sink) {
   Fcall r;
   r.tag = t.tag;
   switch (t.type) {
@@ -633,6 +680,45 @@ Fcall Session::Dispatch(const Fcall& t) {
       }
       if (st.open == nullptr) {
         return Error(t.tag, "fid not open");
+      }
+      if (sink != nullptr) {
+        GatherView gv;
+        if (st.open->Gather(t.offset, count, &gv)) {
+          // Encode the reply packet straight from the borrowed views: header,
+          // then one transcode/copy of the payload into the wire bytes. The
+          // spans alias live storage, so validate after consuming them; a
+          // failed validation discards the frame and falls through to the
+          // staged path (whose own validation escalates persistent races to
+          // the exclusive retry).
+          AppendRreadHeader(t.tag, static_cast<uint32_t>(gv.bytes),
+                            &sink->frame);
+          sink->frame += gv.prefix;
+          if (!gv.raw.empty()) {
+            sink->frame.append(gv.raw);
+          } else {
+            AppendUtf8FromRunes(gv.runes, &sink->frame);
+          }
+          sink->frame += gv.suffix;
+          if (gv.Validate()) {
+            sink->used = true;
+            sink->zero_copy = true;
+            sink->payload_bytes = gv.bytes;
+            r.type = MsgType::kRread;
+            return r;
+          }
+          sink->frame.clear();
+        }
+        auto data = st.open->Read(t.offset, count);
+        if (!data.ok()) {
+          return Error(t.tag, data.message());
+        }
+        AppendRreadHeader(t.tag, static_cast<uint32_t>(data.value().size()),
+                          &sink->frame);
+        sink->frame += data.value();
+        sink->used = true;
+        sink->payload_bytes = data.value().size();
+        r.type = MsgType::kRread;
+        return r;
       }
       auto data = st.open->Read(t.offset, count);
       if (!data.ok()) {
@@ -823,6 +909,71 @@ Status NinepClient::Flush(uint16_t oldtag) {
   t.type = MsgType::kTflush;
   t.oldtag = oldtag;
   return Rpc(t).status();
+}
+
+Result<std::vector<std::string>> NinepClient::ReadFidPipelined(
+    uint32_t fid, const std::vector<ReadRange>& ranges, int window) {
+  std::vector<std::string> out(ranges.size());
+  if (!pipe_.send || !pipe_.recv) {
+    for (size_t i = 0; i < ranges.size(); i++) {
+      auto r = ReadFid(fid, ranges[i].offset, ranges[i].count);
+      if (!r.ok()) {
+        return r.status();
+      }
+      out[i] = r.take();
+    }
+    return out;
+  }
+  if (window < 1) {
+    window = 1;
+  }
+  std::map<uint16_t, size_t> pending;  // in-flight tag -> result slot
+  size_t next = 0;
+  while (next < ranges.size() || !pending.empty()) {
+    while (next < ranges.size() && pending.size() < static_cast<size_t>(window)) {
+      Fcall t;
+      t.type = MsgType::kTread;
+      t.fid = fid;
+      t.offset = ranges[next].offset;
+      t.count = ranges[next].count;
+      t.tag = next_tag_++;
+      if (next_tag_ == kNoTag) {
+        next_tag_ = 1;
+      }
+      rpcs_++;
+      Status s = pipe_.send(EncodeFcall(t));
+      if (!s.ok()) {
+        return s;
+      }
+      pending[t.tag] = next++;
+    }
+    auto packet = pipe_.recv();
+    if (!packet.ok()) {
+      return packet.status();
+    }
+    auto rr = DecodeFcall(packet.value());
+    if (!rr.ok()) {
+      return rr.status();
+    }
+    Fcall rc = rr.take();
+    auto it = pending.find(rc.tag);
+    if (it == pending.end()) {
+      // Same hostile-peer check as the lockstep Rpc: an unknown (or
+      // double-answered) tag means the peer is off the rails.
+      return Status::Error(
+          StrFormat("ninep: reply tag %u was never issued", rc.tag));
+    }
+    size_t slot = it->second;
+    pending.erase(it);
+    if (rc.type == MsgType::kRerror) {
+      return Status::Error(rc.ename);
+    }
+    if (rc.type != MsgType::kRread) {
+      return Status::Error("ninep: Tread answered by a non-Rread");
+    }
+    out[slot] = std::move(rc.data);
+  }
+  return out;
 }
 
 Status NinepClient::RemoveFid(uint32_t fid) {

@@ -40,6 +40,7 @@
 #include <map>
 #include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -120,6 +121,20 @@ Result<std::vector<StatInfo>> DecodeDirEntries(std::string_view data);
 // Makes an Rerror reply for `tag`.
 Fcall ErrorFcall(uint16_t tag, std::string_view msg);
 
+// Out-of-band reply channel for the zero-copy read path. When a caller hands
+// Dispatch a sink and the request is a successful file Tread, the complete
+// Rread packet is encoded directly into `frame` — for gatherable files
+// straight from the gap buffer's borrowed spans (one transcode into the wire
+// bytes, no staging string) — and `used` is set; the returned Fcall then
+// carries only type/tag for bookkeeping. Directory reads, non-read requests,
+// and error replies leave the sink untouched and answer through the Fcall.
+struct ReadSink {
+  std::string frame;            // complete Rread packet, ready for the wire
+  bool used = false;            // frame holds the reply
+  bool zero_copy = false;       // payload arrived via FileHandler::Gather
+  uint64_t payload_bytes = 0;   // Rread count
+};
+
 // ---------------------------------------------------------------------------
 
 // One client connection's protocol state: fid table, negotiated msize,
@@ -139,9 +154,11 @@ class Session {
 
   // Handles one T-message (everything except Tflush, which the server
   // answers without entering the dispatch path). Callers must hold
-  // dispatch_mu() — NinepServer does — and the dispatch lock of the server
-  // in the mode Classify(t) demands.
-  Fcall Dispatch(const Fcall& t);
+  // dispatch_mu() — NinepServer does; shared for ReorderOk requests,
+  // exclusive otherwise — and the dispatch lock of the server in the mode
+  // Classify(t) demands. With a non-null `sink`, successful file Treads
+  // encode their complete reply packet into it (see ReadSink).
+  Fcall Dispatch(const Fcall& t, ReadSink* sink = nullptr);
 
   // Classifies `t` without dispatching it: version/attach/walk/stat/clunk
   // are always read-only; Tread is shared iff the fid is a directory or was
@@ -154,6 +171,21 @@ class Session {
   // read — the seqlock validation in the read handlers catches those.
   OpClass Classify(const Fcall& t) const;
 
+  // --- Out-of-order dispatch classification (fid_mu_ only) -----------------
+  // True when `t` may dispatch under this session's dispatch_mu() in shared
+  // mode, out of order with its neighbors: Tstat always; Tread when the fid
+  // is absent, unopened (both error replies that touch nothing), or an open
+  // read-only file — directory reads lazily rebuild per-fid dirbuf scratch,
+  // so they fence; Twalk when it would insert a fresh fid (rebinding an
+  // existing newfid destroys its open file — a mutation). Everything else
+  // fences. Like Classify this is advisory: fid state it reads can only be
+  // changed by fences, which never run concurrently with reorderable ops,
+  // and concurrent reorderable Twalks keep their check-and-insert atomic
+  // under fid_mu_ (the loser gets "newfid in use").
+  bool ReorderOk(const Fcall& t) const;
+  bool ReorderableRead(uint32_t fid) const;
+  bool FidAbsent(uint32_t fid) const;
+
   uint64_t id() const { return id_; }
   // Relaxed load: read by /mnt/help/net status handlers on other threads
   // while Tversion may be renegotiating. Any stale value is a value the
@@ -163,9 +195,11 @@ class Session {
   const std::string& uname() const { return uname_; }
   size_t open_fids() const;
 
-  // Serializes this session's dispatches (held by NinepServer around every
-  // Dispatch call, after the server-wide dispatch lock).
-  std::mutex& dispatch_mu() { return dispatch_mu_; }
+  // Orders this session's dispatches (held by NinepServer around every
+  // Dispatch call, after the server-wide dispatch lock): shared for
+  // ReorderOk requests — which therefore complete out of order between
+  // fences — exclusive for everything else.
+  std::shared_mutex& dispatch_mu() { return dispatch_mu_; }
 
   // --- In-flight tag bookkeeping (thread-safe; tag_mu_ is a leaf lock) -----
   // Registers `tag` as in flight; false if that tag is already in flight
@@ -204,7 +238,10 @@ class Session {
   std::set<uint16_t> inflight_;
   std::set<uint16_t> flushed_;
 
-  std::mutex dispatch_mu_;      // serializes Dispatch (guards msize_, attached_)
+  // Orders Dispatch calls (guards msize_, attached_, per-fid dirbuf — all
+  // only touched by exclusive holders). Reorderable read-only requests hold
+  // it shared and rely on fid_mu_ for the map.
+  std::shared_mutex dispatch_mu_;
   mutable std::mutex fid_mu_;   // guards the fids_ map structure
   mutable std::mutex tag_mu_;   // guards inflight_/flushed_; leaf
 };
@@ -217,9 +254,22 @@ class NinepClient {
  public:
   using Transport = std::function<std::string(std::string_view)>;
 
+  // Pipelined half of a full-duplex transport: send one framed T-message
+  // without waiting for its reply, receive the next complete R-message
+  // (whichever request it answers). The lockstep Transport cannot express N
+  // requests in flight; socket transports provide this pair
+  // (SocketTransport::AsPipeIo).
+  struct PipeIo {
+    std::function<Status(std::string_view)> send;
+    std::function<Result<std::string>()> recv;
+  };
+
   explicit NinepClient(Transport transport) : transport_(std::move(transport)) {}
 
   Status Connect(std::string_view uname = "user");
+
+  // Enables pipelined helpers; without it they fall back to lockstep RPCs.
+  void set_pipe_io(PipeIo io) { pipe_ = std::move(io); }
 
   // Low-level operations; fids are allocated by the client.
   Result<uint32_t> WalkFid(std::string_view path);           // returns new fid
@@ -233,6 +283,19 @@ class NinepClient {
   // completed). The synchronous client never has its own request in flight;
   // this exists for callers sharing a session across threads.
   Status Flush(uint16_t oldtag);
+
+  // Issues one Tread per range on `fid`, keeping up to `window` requests in
+  // flight, and returns the replies in issue order. Replies may arrive in
+  // any order — the server completes read-only requests out of order — and
+  // are matched by tag; a reply carrying a tag that was never issued (or
+  // already answered) fails the whole call, the same hostile-peer check the
+  // lockstep Rpc applies. Without PipeIo, degrades to sequential ReadFid.
+  struct ReadRange {
+    uint64_t offset = 0;
+    uint32_t count = 0;
+  };
+  Result<std::vector<std::string>> ReadFidPipelined(
+      uint32_t fid, const std::vector<ReadRange>& ranges, int window = 8);
 
   // High-level conveniences (walk + open + transfer + clunk).
   Result<std::string> ReadFile(std::string_view path);
@@ -250,6 +313,7 @@ class NinepClient {
   uint32_t NextFid() { return next_fid_++; }
 
   Transport transport_;
+  PipeIo pipe_;
   uint32_t root_fid_ = kNoFid;
   uint32_t next_fid_ = 1;
   uint16_t next_tag_ = 1;

@@ -146,12 +146,16 @@ bool NinepServer::SharedDispatchOnThisThread() const {
 }
 
 Fcall NinepServer::DispatchUnderLock(const std::shared_ptr<Session>& s,
-                                     SessionId id, const Fcall& t) {
-  LockMode mode = force_exclusive_.load(std::memory_order_relaxed)
-                      ? LockMode::kExclusive
-                      : (s->Classify(t) == Session::OpClass::kShared
-                             ? LockMode::kShared
-                             : LockMode::kExclusive);
+                                     SessionId id, const Fcall& t,
+                                     ReadSink* sink) {
+  bool force = force_exclusive_.load(std::memory_order_relaxed);
+  LockMode mode = force ? LockMode::kExclusive
+                        : (s->Classify(t) == Session::OpClass::kShared
+                               ? LockMode::kShared
+                               : LockMode::kExclusive);
+  // Whether this request may hold the session lock shared and complete out
+  // of order with its same-session neighbors (fences hold it exclusively).
+  bool reorder = !force && mode == LockMode::kShared && s->ReorderOk(t);
   while (true) {
     Fcall r;
     bool reclassified = false;
@@ -163,10 +167,29 @@ Fcall NinepServer::DispatchUnderLock(const std::shared_ptr<Session>& s,
       if (FindSession(id) == nullptr) {
         return ErrorFcall(t.tag, "unknown session");
       }
-      // Serialize against this session's other in-flight requests. The flush
+      // Order against this session's other in-flight requests: shared for
+      // reorderable read-only requests, exclusive for fences. The flush
       // check sits under this lock — the blocking point — so a Tflush issued
       // while we queued here still cancels us.
-      std::lock_guard<std::mutex> sl(s->dispatch_mu());
+      bool shared_session = reorder && mode == LockMode::kShared;
+      std::shared_lock<std::shared_mutex> ssl(s->dispatch_mu(),
+                                              std::defer_lock);
+      std::unique_lock<std::shared_mutex> usl(s->dispatch_mu(),
+                                              std::defer_lock);
+      if (shared_session) {
+        ssl.lock();
+        // A fence may have finished between classification and this lock
+        // (e.g. a pipelined Topen changed the fid's read-only mark). Fences
+        // are excluded while we hold the lock shared, so this re-check is
+        // stable for the whole dispatch; a stale verdict re-runs with the
+        // session lock held exclusively instead of racing a dirbuf rebuild.
+        if (!s->ReorderOk(t)) {
+          reorder = false;
+          continue;
+        }
+      } else {
+        usl.lock();
+      }
       if (s->ConsumeFlushed(t.tag)) {
         metrics_.RecordFlushCancel();
         OBS_INSTANT("ninep.flush_cancel", t.tag);
@@ -185,7 +208,7 @@ Fcall NinepServer::DispatchUnderLock(const std::shared_ptr<Session>& s,
         if (tls_req_obs != nullptr) {
           obs::Tracer& tr = obs::Tracer::Global();
           uint64_t h0 = tr.NowNs();
-          r = s->Dispatch(t);
+          r = s->Dispatch(t, sink);
           uint64_t dur = tr.NowNs() - h0;
           tls_req_obs->handler_ns += dur;
           if (tls_req_obs->rid != 0 && tr.enabled()) {
@@ -193,12 +216,13 @@ Fcall NinepServer::DispatchUnderLock(const std::shared_ptr<Session>& s,
                       tls_req_obs->rid, h0);
           }
         } else {
-          r = s->Dispatch(t);
+          r = s->Dispatch(t, sink);
         }
       }
     }
     if (reclassified) {
       mode = LockMode::kExclusive;
+      reorder = false;
       continue;
     }
     if (mode == LockMode::kShared) {
@@ -209,6 +233,7 @@ Fcall NinepServer::DispatchUnderLock(const std::shared_ptr<Session>& s,
         metrics_.RecordReadRetry();
         OBS_INSTANT("ninep.read.retry", t.tag);
         mode = LockMode::kExclusive;
+        reorder = false;
         continue;
       }
     }
@@ -216,7 +241,7 @@ Fcall NinepServer::DispatchUnderLock(const std::shared_ptr<Session>& s,
   }
 }
 
-Fcall NinepServer::Process(SessionId id, const Fcall& t) {
+Fcall NinepServer::Process(SessionId id, const Fcall& t, ReadSink* sink) {
   // Tag bookkeeping and Tflush run against the session's tag table only —
   // never under any dispatch lock — so a client can cancel or be rejected
   // while another request is executing.
@@ -234,7 +259,7 @@ Fcall NinepServer::Process(SessionId id, const Fcall& t) {
   if (!s->BeginTag(t.tag)) {
     return ErrorFcall(t.tag, "duplicate tag");
   }
-  Fcall r = DispatchUnderLock(s, id, t);
+  Fcall r = DispatchUnderLock(s, id, t, sink);
   s->EndTag(t.tag);
   return r;
 }
@@ -269,11 +294,21 @@ std::string NinepServer::HandleBytes(SessionId id, std::string_view packet) {
 
 std::string NinepServer::HandleBytes(SessionId id, std::string_view packet,
                                      RequestObs* obs) {
+  ReplyFrame rf;
+  HandleBytes(id, packet, obs, &rf);
+  return std::move(rf.bytes);
+}
+
+void NinepServer::HandleBytes(SessionId id, std::string_view packet,
+                              RequestObs* obs, ReplyFrame* out) {
   metrics_.AddBytesIn(packet.size());
   metrics_.BeginRequest();
   auto start = std::chrono::steady_clock::now();
   Fcall r;
   NinepOp op = NinepOp::kBad;
+  ReadSink sink;
+  ReadSink* sp =
+      disable_zero_copy_.load(std::memory_order_relaxed) ? nullptr : &sink;
   auto t = [&] {
     OBS_SPAN("ninep.decode");
     return DecodeFcall(packet);
@@ -286,7 +321,7 @@ std::string NinepServer::HandleBytes(SessionId id, std::string_view packet,
       obs->op = op;
       tls_req_obs = obs;
     }
-    r = Process(id, t.value());
+    r = Process(id, t.value(), sp);
     tls_req_obs = nullptr;
   }
   auto us = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -297,29 +332,200 @@ std::string NinepServer::HandleBytes(SessionId id, std::string_view packet,
   if (obs != nullptr) {
     obs->error = r.type == MsgType::kRerror;
   }
-  std::string out;
-  if (obs != nullptr) {
-    obs::Tracer& tr = obs::Tracer::Global();
-    uint64_t e0 = tr.NowNs();
-    {
-      OBS_SPAN("ninep.encode");
-      out = EncodeFcall(r);
+  // Encode phase. A used sink already holds the complete reply packet — its
+  // payload was written once, inside the dispatch, straight from the file's
+  // storage — so "encode" is just adoption; the phase event still fires to
+  // keep every rid's chain complete.
+  obs::Tracer& tr = obs::Tracer::Global();
+  uint64_t e0 = (obs != nullptr) ? tr.NowNs() : 0;
+  if (sink.used) {
+    out->bytes = std::move(sink.frame);
+    out->zero_copy = sink.zero_copy;
+    out->payload_bytes = sink.payload_bytes;
+    if (sink.zero_copy) {
+      metrics_.AddBytesZeroCopy(sink.payload_bytes);
+    } else {
+      metrics_.AddBytesStaged(sink.payload_bytes);
     }
+  } else {
+    OBS_SPAN("ninep.encode");
+    out->bytes = EncodeFcall(r);
+    out->zero_copy = false;
+    out->payload_bytes = r.type == MsgType::kRread ? r.data.size() : 0;
+    if (r.type == MsgType::kRread) {
+      metrics_.AddBytesStaged(r.data.size());
+    }
+  }
+  if (obs != nullptr) {
     obs->encode_ns = tr.NowNs() - e0;
     if (obs->rid != 0 && tr.enabled()) {
       tr.EmitAt(obs::EventKind::kComplete, "req.encode", obs->encode_ns,
                 obs->rid, e0);
     }
-  } else {
-    OBS_SPAN("ninep.encode");
-    out = EncodeFcall(r);
   }
-  metrics_.AddBytesOut(out.size());
-  return out;
+  metrics_.AddBytesOut(out->bytes.size());
 }
 
 std::string NinepServer::HandleBytes(std::string_view packet) {
   return HandleBytes(EnsureDefaultSession(), packet);
+}
+
+void NinepServer::HandleWriteBatch(SessionId id,
+                                   const std::vector<std::string_view>& packets,
+                                   const std::vector<RequestObs*>& obs,
+                                   std::vector<ReplyFrame>* replies) {
+  replies->clear();
+  replies->resize(packets.size());
+  std::shared_ptr<Session> s = FindSession(id);
+  obs::Tracer& tr = obs::Tracer::Global();
+  // Decode outside the locks; undecodable packets answer immediately.
+  std::vector<Fcall> ts(packets.size());
+  std::vector<bool> bad(packets.size(), false);
+  for (size_t i = 0; i < packets.size(); i++) {
+    metrics_.AddBytesIn(packets[i].size());
+    auto d = [&] {
+      OBS_SPAN("ninep.decode");
+      return DecodeFcall(packets[i]);
+    }();
+    if (!d.ok()) {
+      bad[i] = true;
+      (*replies)[i].bytes = EncodeFcall(ErrorFcall(kNoTag, d.message()));
+      metrics_.RecordOp(NinepOp::kBad, 0, true);
+      metrics_.AddBytesOut((*replies)[i].bytes.size());
+      if (obs[i] != nullptr) {
+        obs[i]->error = true;
+      }
+    } else {
+      ts[i] = d.take();
+    }
+  }
+  // One exclusive dispatch-lock + session-lock acquisition for the run. The
+  // first request owns the real lock wait (Acquire attributes it through
+  // tls_req_obs); riders get zero-duration req.lock events below so each
+  // rid's phase chain stays complete.
+  tls_req_obs = obs.empty() ? nullptr : obs[0];
+  DispatchGuard dl = Acquire(LockMode::kExclusive);
+  tls_req_obs = nullptr;
+  const bool session_ok = s != nullptr && FindSession(id) != nullptr;
+  std::unique_lock<std::shared_mutex> usl;
+  if (session_ok) {
+    usl = std::unique_lock<std::shared_mutex>(s->dispatch_mu());
+  }
+  for (size_t i = 0; i < packets.size(); i++) {
+    if (bad[i]) {
+      continue;
+    }
+    const Fcall& t = ts[i];
+    RequestObs* ro = obs[i];
+    metrics_.BeginRequest();
+    auto start = std::chrono::steady_clock::now();
+    Fcall r;
+    if (!session_ok) {
+      r = ErrorFcall(t.tag, "unknown session");
+    } else if (t.type == MsgType::kTflush) {
+      s->FlushTag(t.oldtag);
+      r.type = MsgType::kRflush;
+      r.tag = t.tag;
+    } else if (!s->BeginTag(t.tag)) {
+      r = ErrorFcall(t.tag, "duplicate tag");
+    } else {
+      if (s->ConsumeFlushed(t.tag)) {
+        metrics_.RecordFlushCancel();
+        OBS_INSTANT("ninep.flush_cancel", t.tag);
+        r = ErrorFcall(t.tag, "interrupted");
+      } else {
+        if (ro != nullptr && i > 0 && ro->rid != 0 && tr.enabled()) {
+          tr.EmitAt(obs::EventKind::kComplete, "req.lock", 0, ro->rid,
+                    tr.NowNs());
+        }
+        OBS_SPAN("ninep.dispatch");
+        uint64_t h0 = tr.NowNs();
+        r = s->Dispatch(t);
+        uint64_t dur = tr.NowNs() - h0;
+        if (ro != nullptr) {
+          ro->handler_ns += dur;
+          if (ro->rid != 0 && tr.enabled()) {
+            tr.EmitAt(obs::EventKind::kComplete, "req.handler", dur, ro->rid,
+                      h0);
+          }
+        }
+      }
+      s->EndTag(t.tag);
+    }
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+    metrics_.RecordOp(OpOfMsgType(t.type), static_cast<uint64_t>(us),
+                      r.type == MsgType::kRerror);
+    metrics_.EndRequest();
+    uint64_t e0 = tr.NowNs();
+    {
+      OBS_SPAN("ninep.encode");
+      (*replies)[i].bytes = EncodeFcall(r);
+    }
+    if (ro != nullptr) {
+      ro->op = OpOfMsgType(t.type);
+      ro->error = r.type == MsgType::kRerror;
+      ro->encode_ns = tr.NowNs() - e0;
+      if (ro->rid != 0 && tr.enabled()) {
+        tr.EmitAt(obs::EventKind::kComplete, "req.encode", ro->encode_ns,
+                  ro->rid, e0);
+      }
+    }
+    metrics_.AddBytesOut((*replies)[i].bytes.size());
+  }
+}
+
+NinepServer::FrameClass NinepServer::ClassifyFrame(SessionId id,
+                                                   std::string_view frame,
+                                                   uint32_t* write_fid) const {
+  if (frame.size() < 7 || force_exclusive_.load(std::memory_order_relaxed)) {
+    return FrameClass::kFence;
+  }
+  auto u32at = [&frame](size_t off) {
+    return static_cast<uint32_t>(static_cast<uint8_t>(frame[off])) |
+           static_cast<uint32_t>(static_cast<uint8_t>(frame[off + 1])) << 8 |
+           static_cast<uint32_t>(static_cast<uint8_t>(frame[off + 2])) << 16 |
+           static_cast<uint32_t>(static_cast<uint8_t>(frame[off + 3])) << 24;
+  };
+  std::shared_ptr<Session> s = FindSession(id);
+  if (s == nullptr) {
+    return FrameClass::kFence;
+  }
+  switch (static_cast<MsgType>(static_cast<uint8_t>(frame[4]))) {
+    case MsgType::kTstat:
+      return FrameClass::kReorderable;
+    case MsgType::kTflush:
+      // Answered from the tag table without any dispatch lock; letting it
+      // overtake queued requests is the point — that is what makes a flush
+      // able to cancel them.
+      return FrameClass::kReorderable;
+    case MsgType::kTread:
+      if (frame.size() < 11) {
+        return FrameClass::kFence;
+      }
+      return s->ReorderableRead(u32at(7)) ? FrameClass::kReorderable
+                                          : FrameClass::kFence;
+    case MsgType::kTwalk: {
+      if (frame.size() < 15) {
+        return FrameClass::kFence;
+      }
+      uint32_t fid = u32at(7);
+      uint32_t newfid = u32at(11);
+      return newfid != fid && s->FidAbsent(newfid) ? FrameClass::kReorderable
+                                                   : FrameClass::kFence;
+    }
+    case MsgType::kTwrite:
+      if (frame.size() < 11) {
+        return FrameClass::kFence;
+      }
+      if (write_fid != nullptr) {
+        *write_fid = u32at(7);
+      }
+      return FrameClass::kWrite;
+    default:
+      return FrameClass::kFence;
+  }
 }
 
 NinepClient::Transport NinepServer::TransportFor(SessionId id) {

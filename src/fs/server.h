@@ -31,7 +31,9 @@
 // above them but never hold anything themselves):
 //   1. dispatch_mu_          the reader–writer dispatch lock (shared or
 //                            exclusive; never upgraded while held)
-//   2. Session::dispatch_mu_ per-session serialization of Dispatch
+//   2. Session::dispatch_mu_ per-session ordering of Dispatch (reader–writer
+//                            since PR 9: read-only requests hold it shared
+//                            and complete out of order, fences exclusively)
 //   3. Session::fid_mu_      per-session fid-table bookkeeping; held only
 //                            around map lookups/mutations, never across a
 //                            handler call
@@ -55,6 +57,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string_view>
+#include <vector>
 
 #include "src/fs/metrics.h"
 #include "src/fs/netinfo.h"
@@ -80,6 +83,15 @@ struct RequestObs {
 // validation observed a concurrent edit; never reaches a client — the server
 // consumes it and retries the request under the exclusive dispatch lock.
 inline constexpr std::string_view kSharedReadRaced = "help: shared read raced an edit";
+
+// One complete reply packet plus how its payload got there, so the listener
+// can splice large zero-copy Rreads into its outbox as owned segments (moved,
+// never re-copied) and the metrics layer can attribute the bytes.
+struct ReplyFrame {
+  std::string bytes;           // the full reply packet
+  bool zero_copy = false;      // Rread payload encoded via the gather path
+  uint64_t payload_bytes = 0;  // Rread count; 0 for every other reply
+};
 
 class NinepServer {
  public:
@@ -140,6 +152,36 @@ class NinepServer {
   // As above, with a request-observability context (see RequestObs). The
   // listener's workers pass one per frame; `obs` may be null.
   std::string HandleBytes(SessionId id, std::string_view packet, RequestObs* obs);
+  // The primary form the other two wrap: fills a ReplyFrame so callers can
+  // see how the payload was produced. File Treads encode their reply packet
+  // inside the dispatch (zero-copy from gatherable files); everything else
+  // encodes from the Fcall as before — the bytes are identical either way.
+  void HandleBytes(SessionId id, std::string_view packet, RequestObs* obs,
+                   ReplyFrame* out);
+
+  // Dispatches a run of same-session requests (the listener batches
+  // consecutive Twrites on one fid) under a single exclusive dispatch-lock +
+  // session-lock acquisition. Per-request tag bookkeeping, flush checks,
+  // metrics, and phase events still happen individually; riders after the
+  // first get zero-duration req.lock events so every rid keeps the full
+  // phase chain. `obs` entries may be null; `obs.size()` must equal
+  // `packets.size()`. Coalesced riders are counted in
+  // ninep.bodyapp_coalesced by the caller (which knows what it batched).
+  void HandleWriteBatch(SessionId id,
+                        const std::vector<std::string_view>& packets,
+                        const std::vector<RequestObs*>& obs,
+                        std::vector<ReplyFrame>* replies);
+
+  // Raw-frame dispatch classification for the listener's scheduler: peeks
+  // the fixed-offset type/fid fields (no full decode) and asks the session.
+  // kReorderable requests may run concurrently with each other and complete
+  // out of order; kWrite requests (Twrite only — *write_fid receives the
+  // fid) may coalesce into one HandleWriteBatch; everything else is a
+  // kFence: it must run alone, after every earlier request from the session
+  // completed. Undecodable or unknown frames classify as fences.
+  enum class FrameClass : uint8_t { kReorderable, kWrite, kFence };
+  FrameClass ClassifyFrame(SessionId id, std::string_view frame,
+                           uint32_t* write_fid) const;
 
   // A Transport for NinepClient bound to one session of this server.
   NinepClient::Transport TransportFor(SessionId id);
@@ -177,6 +219,11 @@ class NinepServer {
   // fully serialized dispatch. The perf_ninep --serialized baseline.
   void set_force_exclusive(bool on) { force_exclusive_ = on; }
 
+  // Bench hook: stage every Rread payload through an intermediate string
+  // (the pre-PR 9 encode path) instead of gathering into the wire frame.
+  // The perf_ninep zero-copy-vs-staged baseline.
+  void set_disable_zero_copy(bool on) { disable_zero_copy_ = on; }
+
   NinepMetrics& metrics() { return metrics_; }
   const NinepMetrics& metrics() const { return metrics_; }
 
@@ -191,11 +238,13 @@ class NinepServer {
  private:
   std::shared_ptr<Session> FindSession(SessionId id) const;
   SessionId EnsureDefaultSession();
-  Fcall Process(SessionId id, const Fcall& t);
+  Fcall Process(SessionId id, const Fcall& t, ReadSink* sink = nullptr);
   // One locked dispatch attempt chain: acquire in `mode`, run, and retry
-  // under the exclusive lock if a shared read raced an edit.
+  // under the exclusive lock if a shared read raced an edit. The session
+  // lock is held shared for ReorderOk requests (out-of-order completion
+  // between fences), exclusive otherwise.
   Fcall DispatchUnderLock(const std::shared_ptr<Session>& s, SessionId id,
-                          const Fcall& t);
+                          const Fcall& t, ReadSink* sink = nullptr);
   // Acquires the dispatch lock in `mode` (no-op guard on re-entry), timing
   // the wait into ninep.lock.wait.
   DispatchGuard Acquire(LockMode mode);
@@ -204,6 +253,7 @@ class NinepServer {
   NinepMetrics metrics_;
   NetState net_{this};
   std::atomic<bool> force_exclusive_{false};
+  std::atomic<bool> disable_zero_copy_{false};
 
   // state_mu_ guards the session table only; per-session bookkeeping lives
   // behind each Session's own locks (see ninep.h), so sessions never contend

@@ -280,23 +280,51 @@ void SocketTransport::Close() {
 }
 
 std::string SocketTransport::Rpc(std::string_view packet) {
-  // The T-message's own tag (size[4] type[1] tag[2]) rides any synthesized
-  // error so NinepClient's tag check still accepts it.
+  // A failed Send still records the tag, so RecvReply pairs the synthesized
+  // error with this request.
+  (void)Send(packet);
+  return RecvReply();
+}
+
+Status SocketTransport::Send(std::string_view packet) {
+  // Remember the T-message's own tag (size[4] type[1] tag[2]) before
+  // touching the wire: even a failed send gets a synthesized reply, and that
+  // reply must carry this request's tag for NinepClient's tag check.
   uint16_t tag = kNoTag;
   if (packet.size() >= kMinFrameSize) {
     tag = static_cast<uint16_t>(static_cast<uint8_t>(packet[5])) |
           static_cast<uint16_t>(static_cast<uint8_t>(packet[6])) << 8;
   }
+  inflight_.push_back(tag);
+  if (fd_ < 0) {
+    return Status::Error("ninep: transport closed");
+  }
+  Status w = WriteFull(fd_, packet);
+  if (!w.ok()) {
+    send_error_ = w.message();
+    Close();
+    return w;
+  }
+  return Status::Ok();
+}
+
+std::string SocketTransport::RecvReply() {
+  // On failure the synthesized Rerror answers the OLDEST outstanding
+  // request. Replies arrive in some server order, but once the stream is
+  // dead no reply is coming for *any* of them, and the caller collects
+  // failures in the order it sent — front-of-queue is the only pairing that
+  // gives every in-flight request exactly one reply with its own tag.
   auto fail = [&](std::string_view why) {
+    uint16_t tag = inflight_.empty() ? kNoTag : inflight_.front();
+    if (!inflight_.empty()) {
+      inflight_.pop_front();
+    }
     Close();
     return EncodeFcall(ErrorFcall(tag, why));
   };
   if (fd_ < 0) {
-    return fail("ninep: transport closed");
-  }
-  Status w = WriteFull(fd_, packet);
-  if (!w.ok()) {
-    return fail(w.message());
+    return fail(send_error_.empty() ? std::string("ninep: transport closed")
+                                    : send_error_);
   }
   auto hdr = ReadFull(fd_, 4);
   if (!hdr.ok()) {
@@ -310,7 +338,24 @@ std::string SocketTransport::Rpc(std::string_view packet) {
   if (!rest.ok()) {
     return fail(rest.message());
   }
-  return hdr.take() + rest.take();
+  std::string reply = hdr.take() + rest.take();
+  // A real reply retires its own tag wherever it sits in the queue (the
+  // server may answer out of order since the dispatch layer pipelines).
+  uint16_t rtag = FrameTag(reply);
+  for (auto it = inflight_.begin(); it != inflight_.end(); ++it) {
+    if (*it == rtag) {
+      inflight_.erase(it);
+      break;
+    }
+  }
+  return reply;
+}
+
+NinepClient::PipeIo SocketTransport::AsPipeIo() {
+  NinepClient::PipeIo io;
+  io.send = [this](std::string_view packet) { return Send(packet); };
+  io.recv = [this]() -> Result<std::string> { return RecvReply(); };
+  return io;
 }
 
 }  // namespace help

@@ -24,6 +24,7 @@
 #define SRC_FS_TRANSPORT_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -108,9 +109,10 @@ void RaiseFdLimit(uint64_t want);
 
 // --- Client side -------------------------------------------------------------
 
-// A synchronous socket-backed transport for NinepClient: one framed
-// T-message out, one framed R-message back, blocking. Not thread-safe — one
-// SocketTransport per client connection, which is also the protocol's
+// A socket-backed transport for NinepClient: framed T-messages out, framed
+// R-messages back. Usable synchronously (Rpc: one out, one back, blocking)
+// or pipelined (Send N packets, then RecvReply N times). Not thread-safe —
+// one SocketTransport per client connection, which is also the protocol's
 // assumption (one logical client per connection).
 class SocketTransport {
  public:
@@ -126,13 +128,29 @@ class SocketTransport {
   // The full round trip. On any transport failure (send error, connection
   // closed, unframeable reply) returns an encoded Rerror carrying the
   // request's tag, so NinepClient surfaces it as an ordinary error Status.
+  // Equivalent to Send + RecvReply; requires no other requests in flight.
   std::string Rpc(std::string_view packet);
+
+  // Pipelined half-calls. Send frames the T-message onto the wire and
+  // remembers its tag; RecvReply blocks for the next R-message. When the
+  // transport dies mid-stream, each RecvReply synthesizes an Rerror for the
+  // *oldest* tag still in flight — with several requests outstanding the
+  // failure belongs to the reply the server would have sent next, not to
+  // whichever packet happened to be written last. Every Send is eventually
+  // answered by exactly one RecvReply, real or synthesized.
+  Status Send(std::string_view packet);
+  std::string RecvReply();
+  size_t inflight() const { return inflight_.size(); }
 
   // Adapter for NinepClient's std::function transport. The returned callable
   // borrows `this`; keep the SocketTransport alive for the client's life.
   NinepClient::Transport AsTransport() {
     return [this](std::string_view packet) { return Rpc(packet); };
   }
+
+  // Adapter for NinepClient's pipelined send/recv pair (ReadFidPipelined).
+  // Borrows `this` the same way.
+  NinepClient::PipeIo AsPipeIo();
 
   void Close();
   bool closed() const { return fd_ < 0; }
@@ -142,6 +160,14 @@ class SocketTransport {
   explicit SocketTransport(int fd) : fd_(fd) {}
 
   int fd_ = -1;
+  // First send failure's message; later synthesized replies carry it so the
+  // root cause isn't masked by "transport closed".
+  std::string send_error_;
+  // Tags of sent-but-unanswered requests, oldest first. Rerror synthesis on
+  // transport failure pops from the front so errors pair with requests in
+  // FIFO order (the server answers a dead connection's requests never; the
+  // client sees them fail oldest-first, matching its collect loop).
+  std::deque<uint16_t> inflight_;
 };
 
 }  // namespace help

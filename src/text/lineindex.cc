@@ -312,6 +312,60 @@ std::string LineIndex::Utf8Substr(const GapBuffer& buf, uint64_t byte_off,
   return out;
 }
 
+LineIndex::Utf8Slice LineIndex::Utf8Resolve(const GapBuffer& buf,
+                                            uint64_t byte_off,
+                                            size_t count) const {
+  Utf8Slice out;
+  if (count == 0 || byte_off >= total_.bytes) {
+    return out;
+  }
+  const uint64_t end =
+      std::min<uint64_t>(byte_off + count, total_.bytes);
+  Counts before;
+  size_t i = DescendBytes(byte_off, &before);
+  (void)i;
+  // Advance within the chunk to the rune whose encoding covers byte_off.
+  size_t p = static_cast<size_t>(before.runes);
+  uint64_t b = before.bytes;
+  size_t n = buf.size();
+  while (p < n) {
+    uint64_t len = Utf8RuneLen(buf.At(p));
+    if (b + len > byte_off) {
+      break;
+    }
+    b += len;
+    p++;
+  }
+  if (b < byte_off && p < n) {
+    // The rune at p straddles the start: keep the tail of its encoding (and
+    // only up to `end` — the whole range may land inside one rune).
+    std::string enc;
+    EncodeRune(buf.At(p), &enc);
+    size_t skip = static_cast<size_t>(byte_off - b);
+    out.prefix = enc.substr(skip, static_cast<size_t>(end - byte_off));
+    b += enc.size();
+    p++;
+  }
+  out.rune_begin = p;
+  while (p < n) {
+    uint64_t len = Utf8RuneLen(buf.At(p));
+    if (b + len > end) {
+      break;
+    }
+    b += len;
+    p++;
+  }
+  out.rune_end = p;
+  if (b < end && p < n) {
+    // The rune at p straddles the end: keep the head of its encoding.
+    std::string enc;
+    EncodeRune(buf.At(p), &enc);
+    out.suffix = enc.substr(0, static_cast<size_t>(end - b));
+  }
+  out.bytes = end - byte_off;
+  return out;
+}
+
 bool LineIndex::CheckConsistent(const GapBuffer& buf) const {
   Counts sum;
   size_t start = 0;

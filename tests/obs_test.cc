@@ -352,7 +352,12 @@ TEST(NinepMetricsCompat, StatsByteFormatPinnedExactly) {
             "net_backpressure_stalls 0\n"
             "net_frame_errors 0\n"
             "net_bytes_in 0\n"
-            "net_bytes_out 0\n");
+            "net_bytes_out 0\n"
+            "ooo_completions 0\n"
+            "bytes_zero_copy 0\n"
+            "bytes_staged 0\n"
+            "bodyapp_coalesced 0\n"
+            "net_writev_calls 0\n");
   // And the same numbers are visible through the registry's own file format.
   std::string metrics = Registry::Global().RenderText();
   EXPECT_NE(metrics.find("ninep.walk.count 2\n"), std::string::npos);
@@ -366,7 +371,9 @@ TEST(NinepMetricsCompat, StatsByteFormatPinnedExactly) {
             "shared_reads 0\nread_retries 0\nlock_wait_p99us 0\n"
             "net_accepts 0\nnet_active_conns 0\nnet_reaped 0\n"
             "net_backpressure_stalls 0\nnet_frame_errors 0\n"
-            "net_bytes_in 0\nnet_bytes_out 0\n");
+            "net_bytes_in 0\nnet_bytes_out 0\n"
+            "ooo_completions 0\nbytes_zero_copy 0\nbytes_staged 0\n"
+            "bodyapp_coalesced 0\nnet_writev_calls 0\n");
 }
 
 TEST(ObsTracer, RenderTextLinesCarryAllStamps) {

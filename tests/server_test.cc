@@ -223,12 +223,30 @@ struct GateRig {
 };
 
 // Tflush cancels a request that is still waiting for the dispatch lock: the
-// flushed request is answered "interrupted" instead of running.
+// flushed request is answered "interrupted" instead of running. Since PR 9 a
+// read-only request would dispatch concurrently with the parked gate read
+// instead of queueing, so the queued request is a mutation — a fence that
+// genuinely waits for the shared holders to drain.
 TEST(NinepServerConcurrent, FlushCancelsQueuedRequest) {
   GateRig rig;
   // The metrics registry is process-global now, so the counter may carry
   // traffic from earlier tests: assert the delta, not the absolute value.
   uint64_t cancels_before = rig.srv.metrics().flush_cancels();
+  // A writable fid for the request that must queue.
+  Fcall tw;
+  tw.type = MsgType::kTwalk;
+  tw.tag = 3;
+  tw.fid = 0;
+  tw.newfid = 10;
+  tw.wname = {"f"};
+  ASSERT_EQ(rig.Send(tw).type, MsgType::kRwalk);
+  Fcall to;
+  to.type = MsgType::kTopen;
+  to.tag = 3;
+  to.fid = 10;
+  to.mode = kOwrite;
+  ASSERT_EQ(rig.Send(to).type, MsgType::kRopen);
+
   // Thread A enters the gate read and parks inside dispatch.
   std::thread blocker([&] {
     Fcall r = rig.Send(TreadOf(rig.gate_fid, 50));
@@ -237,9 +255,17 @@ TEST(NinepServerConcurrent, FlushCancelsQueuedRequest) {
   });
   rig.gate->WaitEntered();
 
-  // Thread B queues a read of /f with tag 60 behind the held dispatch lock.
+  // Thread B queues a write of /f with tag 60 behind the held dispatch lock.
   Fcall queued_reply;
-  std::thread queued([&] { queued_reply = rig.Send(TreadOf(rig.file_fid, 60)); });
+  std::thread queued([&] {
+    Fcall w;
+    w.type = MsgType::kTwrite;
+    w.tag = 60;
+    w.fid = 10;
+    w.offset = 0;
+    w.data = "never lands";
+    queued_reply = rig.Send(w);
+  });
   while (!rig.srv.TagInFlight(rig.sid, 60)) {
     std::this_thread::yield();
   }
@@ -517,6 +543,89 @@ TEST(Observability, StatsStillServedOverTheWire) {
   EXPECT_NE(stats.value().find("\nnet_frame_errors "), std::string::npos);
   EXPECT_NE(stats.value().find("\nnet_bytes_in "), std::string::npos);
   EXPECT_NE(stats.value().find("\nnet_bytes_out "), std::string::npos);
+  // PR 9: pipelined dispatch + zero-copy read counters, appended last.
+  EXPECT_NE(stats.value().find("\nooo_completions "), std::string::npos);
+  EXPECT_NE(stats.value().find("\nbytes_zero_copy "), std::string::npos);
+  EXPECT_NE(stats.value().find("\nbytes_staged "), std::string::npos);
+  EXPECT_NE(stats.value().find("\nbodyapp_coalesced "), std::string::npos);
+  EXPECT_NE(stats.value().find("\nnet_writev_calls "), std::string::npos);
+  srv.CloseSession(sid);
+}
+
+// The tentpole's zero-copy half, in-process: body reads transcode straight
+// from the gap buffer's rune spans into the Rread frame, and every payload
+// byte shows up in ninep.bytes_zero_copy. Flipping the escape hatch routes
+// the same reads through the staged path instead.
+TEST(ZeroCopyRead, BodyReadsAreGatheredAndAccounted) {
+  Help h;
+  NinepServer& srv = h.ninep();
+  NinepServer::SessionId sid = srv.OpenSession();
+  NinepClient client(srv.TransportFor(sid));
+  ASSERT_TRUE(client.Connect("zc").ok());
+
+  auto ctl = client.ReadFile("/mnt/help/new/ctl");
+  ASSERT_TRUE(ctl.ok());
+  std::string base = "/mnt/help/" + std::string(TrimSpace(ctl.value()));
+  std::string mirror;
+  for (int i = 0; i < 40; i++) {
+    mirror += StrFormat("ζεῖ %02d — zero copy naïveté\n", i);
+  }
+  ASSERT_TRUE(client.WriteFile(base + "/bodyapp", mirror).ok());
+
+  auto fid = client.WalkFid(base + "/body");
+  ASSERT_TRUE(fid.ok());
+  ASSERT_TRUE(client.OpenFid(fid.value(), kOread).ok());
+
+  uint64_t zc0 = srv.metrics().bytes_zero_copy();
+  uint64_t st0 = srv.metrics().bytes_staged();
+  uint64_t payload = 0;
+  for (uint64_t off = 0; off < mirror.size(); off += 613) {
+    uint32_t count = 613;
+    auto got = client.ReadFid(fid.value(), off, count);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), mirror.substr(off, count));
+    payload += got.value().size();
+  }
+  // Every body payload byte above went through the gather path; none were
+  // staged through an intermediate string.
+  EXPECT_EQ(srv.metrics().bytes_zero_copy() - zc0, payload);
+  EXPECT_EQ(srv.metrics().bytes_staged() - st0, 0u);
+
+  srv.set_disable_zero_copy(true);
+  uint64_t zc1 = srv.metrics().bytes_zero_copy();
+  auto staged = client.ReadFid(fid.value(), 0, 613);
+  ASSERT_TRUE(staged.ok());
+  EXPECT_EQ(staged.value(), mirror.substr(0, 613));
+  EXPECT_EQ(srv.metrics().bytes_zero_copy(), zc1);
+  EXPECT_GE(srv.metrics().bytes_staged() - st0, staged.value().size());
+  srv.set_disable_zero_copy(false);
+  srv.CloseSession(sid);
+}
+
+// Without a pipelined transport the multi-tag read helper degrades to the
+// one-at-a-time RPC loop — same bytes, no pipe required.
+TEST(ZeroCopyRead, ReadFidPipelinedFallsBackWithoutPipeIo) {
+  Help h;
+  NinepServer& srv = h.ninep();
+  NinepServer::SessionId sid = srv.OpenSession();
+  NinepClient client(srv.TransportFor(sid));
+  ASSERT_TRUE(client.Connect("fb").ok());
+
+  auto ctl = client.ReadFile("/mnt/help/new/ctl");
+  ASSERT_TRUE(ctl.ok());
+  std::string base = "/mnt/help/" + std::string(TrimSpace(ctl.value()));
+  std::string body = "fallback body: plain bytes, no pipe\n";
+  ASSERT_TRUE(client.WriteFile(base + "/bodyapp", body).ok());
+  auto fid = client.WalkFid(base + "/body");
+  ASSERT_TRUE(fid.ok());
+  ASSERT_TRUE(client.OpenFid(fid.value(), kOread).ok());
+
+  auto got = client.ReadFidPipelined(fid.value(), {{0, 8}, {8, 8}, {16, 64}});
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got.value().size(), 3u);
+  EXPECT_EQ(got.value()[0], body.substr(0, 8));
+  EXPECT_EQ(got.value()[1], body.substr(8, 8));
+  EXPECT_EQ(got.value()[2], body.substr(16, 64));
   srv.CloseSession(sid);
 }
 

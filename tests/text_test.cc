@@ -412,5 +412,37 @@ TEST(Text, Utf8SubstrMatchesFullEncode) {
   EXPECT_EQ(t.Utf8Substr(e_acute + 1, 3), full.substr(e_acute + 1, 3));
 }
 
+// Reassembling a GatherResult (prefix + encoded rune spans + suffix) must be
+// byte-identical to Utf8Substr for every window, including ones that split a
+// multi-byte rune at either or both edges. This is the zero-copy Rread path's
+// correctness core: the server encodes exactly these three pieces.
+TEST(Text, GatherUtf8ReassemblesEveryWindow) {
+  Text t("naïve 你好 😀 plain ascii tail\nsecond ünicode line\n");
+  std::string full = t.Utf8();
+  for (size_t off = 0; off <= full.size() + 2; off++) {
+    for (size_t count : {0u, 1u, 2u, 3u, 5u, 17u, 4096u}) {
+      Text::GatherResult g = t.GatherUtf8(off, count);
+      std::string got = g.prefix;
+      got += Utf8FromRunes(g.runes);
+      got += g.suffix;
+      std::string want = off < full.size() ? full.substr(off, count) : "";
+      ASSERT_EQ(got, want) << "off " << off << " count " << count;
+      ASSERT_EQ(g.bytes, want.size()) << "off " << off << " count " << count;
+    }
+  }
+}
+
+// The borrowed middle really borrows: for a window of whole ASCII runes the
+// prefix and suffix are empty and the spans cover exactly count runes.
+TEST(Text, GatherUtf8MiddleIsBorrowedSpans) {
+  Text t("0123456789");
+  Text::GatherResult g = t.GatherUtf8(2, 5);
+  EXPECT_TRUE(g.prefix.empty());
+  EXPECT_TRUE(g.suffix.empty());
+  EXPECT_EQ(g.runes.size(), 5u);
+  EXPECT_EQ(g.bytes, 5u);
+  EXPECT_EQ(Utf8FromRunes(g.runes), "23456");
+}
+
 }  // namespace
 }  // namespace help

@@ -6,6 +6,7 @@
 // that stalls and then recovers, and the re-pinned /mnt/help/stats format
 // with the net.* block.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -20,6 +21,7 @@
 #include "src/fs/listener.h"
 #include "src/fs/server.h"
 #include "src/fs/transport.h"
+#include "src/fs/vfs.h"
 
 namespace help {
 namespace {
@@ -415,6 +417,7 @@ TEST(NinepListenerTest, BackpressureStallsSlowReaderAndRecovers) {
 
   NinepListener::Options lopt;
   lopt.max_outbox_bytes = 8 * 1024;  // tiny bound so one big reply stalls
+  lopt.max_conn_workers = 1;  // strict in-order so the tag check below holds
   NinepListener lis(&srv, lopt);
   std::string path = SockPath("bp");
   ASSERT_TRUE(lis.ListenUnix(path).ok());
@@ -479,6 +482,305 @@ TEST(NinepListenerTest, BackpressureStallsSlowReaderAndRecovers) {
   ASSERT_TRUE(rs.ok());
   EXPECT_EQ(rs.value().type, MsgType::kRstat);
   close(fd.value());
+}
+
+// --- PR 9: pipelined dispatch and zero-copy reads ----------------------------
+
+class SlowReadHandler : public FileHandler {
+ public:
+  Result<std::string> Read(OpenFile& f, uint64_t offset, uint32_t count) override {
+    if (offset > 0) {
+      return std::string();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    return std::string("slow\n");
+  }
+  Result<uint32_t> Write(OpenFile& f, uint64_t offset, std::string_view data) override {
+    return Status::Error("read-only");
+  }
+};
+
+class FastReadHandler : public FileHandler {
+ public:
+  Result<std::string> Read(OpenFile& f, uint64_t offset, uint32_t count) override {
+    return offset > 0 ? std::string() : std::string("fast\n");
+  }
+  Result<uint32_t> Write(OpenFile& f, uint64_t offset, std::string_view data) override {
+    return Status::Error("read-only");
+  }
+};
+
+// The tentpole's ordering half: two Treads pipelined on ONE connection, the
+// first against a handler that sleeps 100ms. Under the PR 9 scheduler the
+// second read dispatches on another worker, so its reply overtakes the slow
+// one — and ninep.ooo_completions records the overlap.
+TEST(PipelinedDispatch, ReadsCompleteOutOfOrderWithinOneConnection) {
+  Help::Options opt;
+  opt.install_userland = false;
+  Help h(opt);
+  NinepServer& srv = h.ninep();
+  ASSERT_TRUE(
+      h.vfs().AttachHandler("/mnt/help/slow9", std::make_shared<SlowReadHandler>()).ok());
+  ASSERT_TRUE(
+      h.vfs().AttachHandler("/mnt/help/fast9", std::make_shared<FastReadHandler>()).ok());
+  uint64_t ooo0 = srv.metrics().ooo_completions();
+
+  NinepListener lis(&srv);  // default two workers, no per-conn cap
+  std::string path = SockPath("ooo");
+  ASSERT_TRUE(lis.ListenUnix(path).ok());
+  ASSERT_TRUE(lis.Start().ok());
+
+  auto fd = DialUnix(path);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(RawHandshake(fd.value()));
+  uint32_t slow = RawOpenRead(fd.value(), {"mnt", "help", "slow9"}, 1);
+  uint32_t fast = RawOpenRead(fd.value(), {"mnt", "help", "fast9"}, 2);
+  ASSERT_NE(slow, kNoFid);
+  ASSERT_NE(fast, kNoFid);
+
+  Fcall t1;
+  t1.type = MsgType::kTread;
+  t1.tag = 10;
+  t1.fid = slow;
+  t1.offset = 0;
+  t1.count = 128;
+  Fcall t2 = t1;
+  t2.tag = 11;
+  t2.fid = fast;
+  ASSERT_TRUE(WriteFull(fd.value(), EncodeFcall(t1) + EncodeFcall(t2)).ok());
+
+  auto first = DecodeFcall(RecvFrame(fd.value()));
+  auto second = DecodeFcall(RecvFrame(fd.value()));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().tag, 11) << "fast read did not overtake the slow one";
+  EXPECT_EQ(first.value().data, "fast\n");
+  EXPECT_EQ(second.value().tag, 10);
+  EXPECT_EQ(second.value().data, "slow\n");
+  EXPECT_GT(srv.metrics().ooo_completions(), ooo0);
+  close(fd.value());
+  lis.Stop();
+  ::unlink(path.c_str());
+}
+
+// Satellite (b): with several requests in flight, a dead transport answers
+// each RecvReply with a synthesized Rerror for the OLDEST outstanding tag —
+// FIFO pairing, one reply per request, each carrying its own tag.
+TEST(SocketTransportTest, SynthesizedRerrorsCarryInflightTagsFifo) {
+  std::string path = SockPath("fifotag");
+  auto lfd = help::ListenUnix(path);
+  ASSERT_TRUE(lfd.ok());
+  // Accept one connection and slam it shut without reading.
+  std::thread acceptor([&] {
+    int cfd = accept(lfd.value(), nullptr, nullptr);
+    if (cfd >= 0) {
+      close(cfd);
+    }
+  });
+  auto tr = SocketTransport::ConnectUnix(path);
+  ASSERT_TRUE(tr.ok());
+  acceptor.join();
+
+  Fcall t1;
+  t1.type = MsgType::kTversion;
+  t1.tag = 1;
+  t1.msize = kDefaultMsize;
+  t1.version = "9P.help";
+  Fcall t2;
+  t2.type = MsgType::kTstat;
+  t2.tag = 2;
+  t2.fid = 0;
+  // Both sends are attempted before any receive: two requests in flight.
+  // (Either send may "succeed" into a doomed socket buffer; that must not
+  // change the reply pairing.)
+  (void)tr.value()->Send(EncodeFcall(t1));
+  (void)tr.value()->Send(EncodeFcall(t2));
+  EXPECT_EQ(tr.value()->inflight(), 2u);
+
+  auto r1 = DecodeFcall(tr.value()->RecvReply());
+  auto r2 = DecodeFcall(tr.value()->RecvReply());
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().type, MsgType::kRerror);
+  EXPECT_EQ(r1.value().tag, 1) << r1.value().ename;
+  EXPECT_EQ(r2.value().type, MsgType::kRerror);
+  EXPECT_EQ(r2.value().tag, 2) << r2.value().ename;
+  close(lfd.value());
+  ::unlink(path.c_str());
+}
+
+// Satellite (a): the pipelined multi-tag read helper returns byte-exact
+// results in issue order over a real socket, and the zero-copy accounting
+// sees every body payload byte (ninep.bytes_zero_copy, per-conn copy, and
+// writev-drained outboxes).
+TEST(PipelinedDispatch, ReadFidPipelinedMatchesOracleAndCountsZeroCopy) {
+  Help::Options opt;
+  opt.install_userland = false;
+  Help h(opt);
+  NinepServer& srv = h.ninep();
+  uint64_t zc0 = srv.metrics().bytes_zero_copy();
+
+  NinepListener lis(&srv);
+  std::string path = SockPath("pipe");
+  ASSERT_TRUE(lis.ListenUnix(path).ok());
+  ASSERT_TRUE(lis.Start().ok());
+
+  auto tr = SocketTransport::ConnectUnix(path);
+  ASSERT_TRUE(tr.ok());
+  NinepClient client(tr.value()->AsTransport());
+  client.set_pipe_io(tr.value()->AsPipeIo());
+  ASSERT_TRUE(client.Connect("pipe").ok());
+
+  auto ctl = client.ReadFile("/mnt/help/new/ctl");
+  ASSERT_TRUE(ctl.ok());
+  std::string base = "/mnt/help/" + std::string(TrimSpace(ctl.value()));
+  // Multi-byte runes so gathered windows straddle rune boundaries.
+  std::string mirror;
+  for (int i = 0; i < 200; i++) {
+    mirror += StrFormat("ligne %03d — naïve 你好 😀 padding padding\n", i);
+  }
+  ASSERT_TRUE(client.WriteFile(base + "/bodyapp", mirror).ok());
+
+  auto fid = client.WalkFid(base + "/body");
+  ASSERT_TRUE(fid.ok());
+  ASSERT_TRUE(client.OpenFid(fid.value(), kOread).ok());
+
+  std::vector<NinepClient::ReadRange> ranges;
+  uint64_t payload = 0;
+  for (uint64_t off = 3; off + 1000 < mirror.size(); off += 997) {
+    ranges.push_back({off, 1000});
+    payload += 1000;
+  }
+  ranges.push_back({mirror.size() - 5, 4096});  // tail, short read
+  payload += 5;
+  ASSERT_GE(ranges.size(), 8u);
+
+  auto got = client.ReadFidPipelined(fid.value(), ranges, /*window=*/6);
+  ASSERT_TRUE(got.ok()) << got.status().message();
+  ASSERT_EQ(got.value().size(), ranges.size());
+  for (size_t i = 0; i < ranges.size(); i++) {
+    EXPECT_EQ(got.value()[i],
+              mirror.substr(ranges[i].offset, ranges[i].count))
+        << "range " << i;
+  }
+
+  // Every body payload byte above arrived via the gather path.
+  EXPECT_GE(srv.metrics().bytes_zero_copy() - zc0, payload);
+  auto conns = srv.net().List();
+  ASSERT_EQ(conns.size(), 1u);
+  EXPECT_GE(conns[0]->bytes_zero_copy(), payload);
+  EXPECT_GT(conns[0]->writev_calls(), 0u);
+  EXPECT_GT(srv.metrics().net_writev_calls(), 0u);
+  lis.Stop();
+  ::unlink(path.c_str());
+}
+
+// A reply carrying a tag that was never issued fails the pipelined collect —
+// the PR 7 hostile-peer discipline survives the multi-tag path.
+TEST(PipelinedDispatch, ReadFidPipelinedRejectsUnknownTags) {
+  NinepClient client([](std::string_view) { return std::string(); });
+  NinepClient::PipeIo io;
+  io.send = [](std::string_view) { return Status::Ok(); };
+  io.recv = []() -> Result<std::string> {
+    Fcall r;
+    r.type = MsgType::kRread;
+    r.tag = 999;  // never issued
+    r.data = "bogus";
+    return EncodeFcall(r);
+  };
+  client.set_pipe_io(std::move(io));
+  auto got = client.ReadFidPipelined(7, {{0, 16}, {16, 16}});
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.status().message().find("never issued"), std::string::npos)
+      << got.status().message();
+}
+
+// Consecutive Twrites to one fid arriving together dispatch as one batch
+// under a single dispatch-lock acquisition; ninep.bodyapp_coalesced counts
+// the riders and the bytes all land, in order.
+TEST(PipelinedDispatch, ConsecutiveBodyappWritesCoalesce) {
+  Help::Options opt;
+  opt.install_userland = false;
+  Help h(opt);
+  NinepServer& srv = h.ninep();
+  uint64_t co0 = srv.metrics().bodyapp_coalesced();
+
+  NinepListener lis(&srv);
+  std::string path = SockPath("coal");
+  ASSERT_TRUE(lis.ListenUnix(path).ok());
+  ASSERT_TRUE(lis.Start().ok());
+
+  // Seed a window, then speak raw 9P so the writes really pipeline.
+  std::string wid;
+  {
+    auto str = SocketTransport::ConnectUnix(path);
+    ASSERT_TRUE(str.ok());
+    NinepClient seeder(str.value()->AsTransport());
+    ASSERT_TRUE(seeder.Connect("seed").ok());
+    auto ctl = seeder.ReadFile("/mnt/help/new/ctl");
+    ASSERT_TRUE(ctl.ok());
+    wid = std::string(TrimSpace(ctl.value()));
+  }
+  auto fd = DialUnix(path);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(RawHandshake(fd.value()));
+  // Walk + open bodyapp for writing.
+  Fcall tw;
+  tw.type = MsgType::kTwalk;
+  tw.tag = 2;
+  tw.fid = 0;
+  tw.newfid = 1;
+  tw.wname = {"mnt", "help", wid, "bodyapp"};
+  auto rw = RawRpc(fd.value(), tw);
+  ASSERT_TRUE(rw.ok());
+  ASSERT_EQ(rw.value().wqid.size(), 4u) << rw.value().ename;
+  Fcall to;
+  to.type = MsgType::kTopen;
+  to.tag = 2;
+  to.fid = 1;
+  to.mode = kOwrite;
+  auto ro = RawRpc(fd.value(), to);
+  ASSERT_TRUE(ro.ok());
+  ASSERT_EQ(ro.value().type, MsgType::kRopen) << ro.value().ename;
+
+  constexpr int kWrites = 12;
+  std::string burst;
+  std::string mirror;
+  for (int i = 0; i < kWrites; i++) {
+    Fcall t;
+    t.type = MsgType::kTwrite;
+    t.tag = static_cast<uint16_t>(50 + i);
+    t.fid = 1;
+    t.offset = 0;  // bodyapp appends regardless
+    t.data = StrFormat("row %02d\n", i);
+    mirror += t.data;
+    burst += EncodeFcall(t);
+  }
+  ASSERT_TRUE(WriteFull(fd.value(), burst).ok());
+  for (int i = 0; i < kWrites; i++) {
+    auto r = DecodeFcall(RecvFrame(fd.value()));
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r.value().type, MsgType::kRwrite) << r.value().ename;
+    EXPECT_EQ(r.value().tag, 50 + i);  // writes stay strictly ordered
+  }
+  // One 64KB recv ingests the whole burst, so at least one batch formed.
+  EXPECT_GT(srv.metrics().bodyapp_coalesced(), co0);
+
+  uint32_t body = RawOpenRead(fd.value(), {"mnt", "help", wid, "body"}, 3);
+  ASSERT_NE(body, kNoFid);
+  Fcall tr9;
+  tr9.type = MsgType::kTread;
+  tr9.tag = 4;
+  tr9.fid = body;
+  tr9.offset = 0;
+  tr9.count = 4096;
+  auto rr = RawRpc(fd.value(), tr9);
+  ASSERT_TRUE(rr.ok());
+  ASSERT_EQ(rr.value().type, MsgType::kRread) << rr.value().ename;
+  EXPECT_EQ(rr.value().data, mirror);
+  close(fd.value());
+  lis.Stop();
+  ::unlink(path.c_str());
 }
 
 }  // namespace
