@@ -20,6 +20,14 @@
 //                  its own session and pre-opened body fid — and round-robin
 //                  range reads across them. Exits nonzero on any protocol
 //                  error.
+//   --shard        the PR 10 dispatch-shard pairs: positionals become
+//                  [clients] [ops-per-client] (default 4 x 1500). Each
+//                  client streams bodyapp appends over its own Unix-socket
+//                  connection, once with every client on its own window and
+//                  once with all clients on one window, each run sharded
+//                  and with set_disable_sharding — four runs whose speedup
+//                  map (sharded vs unsharded) the CI bench gate checks.
+//                  Appended to --sweep as well.
 //   --trace FILE   run with request tracing enabled and write the captured
 //                  ring as Chrome trace-event JSON to FILE when the runs
 //                  finish (open it in chrome://tracing or Perfetto; each
@@ -187,6 +195,10 @@ struct RunResult {
   uint64_t staged_body_delta = 0;
   uint64_t ooo_completions = 0;
   uint64_t writev_calls = 0;
+  // PR 10 dispatch-shard accounting (the lock.* stats rows).
+  uint64_t lock_window_acquires = 0;
+  uint64_t lock_epoch_exclusive = 0;
+  uint64_t lock_shard_wait_p99us = 0;
   double ops_per_sec() const { return static_cast<double>(client_ops) / secs; }
   double msgs_per_sec() const { return static_cast<double>(msgs) / secs; }
 };
@@ -440,6 +452,129 @@ RunResult RunPipelineOnce(const char* label, bool pipelined, bool zero_copy,
   return r;
 }
 
+// PR 10 shard pair runs: `clients` socket connections, each streaming `ops`
+// small appends through an open bodyapp fid — the pure mutation workload the
+// per-window dispatch shards exist for. multi_window gives every client its
+// own window, so sharded dispatch can run the writes in parallel under one
+// shared epoch lock; single-window aims every client at ONE window — the
+// contended shape where sharding must not regress. `sharded` toggles the
+// set_disable_sharding escape hatch, making each pair a differential oracle;
+// the speedups map in --json is what the CI bench-smoke gate reads.
+RunResult RunShardOnce(const char* label, int clients, int ops, bool sharded,
+                       bool multi_window) {
+  Help::Options opt;
+  opt.install_userland = false;
+  Help h(opt);
+  h.ninep().metrics().Reset();  // registry entries are process-global
+  h.ninep().set_disable_sharding(!sharded);
+  ListenerOptions lopt;
+  lopt.workers = clients < 8 ? clients : 8;
+  NinepListener lis(&h.ninep(), lopt);
+  std::string path = StrFormat("perf_shard.%d.sock", getpid());
+  RunResult r;
+  r.label = label;
+  r.threads = clients;
+  if (!lis.ListenUnix(path).ok() || !lis.Start().ok()) {
+    r.failures = 1;
+    return r;
+  }
+
+  // Setup outside the timed phase: the windows, one connection per client,
+  // and a pre-opened write fid on each client's target window.
+  std::vector<std::string> bases;
+  {
+    auto tr = SocketTransport::ConnectUnix(path);
+    if (!tr.ok()) {
+      r.failures = 1;
+      return r;
+    }
+    NinepClient seeder(tr.value()->AsTransport());
+    if (!seeder.Connect("seeder").ok()) {
+      r.failures = 1;
+      return r;
+    }
+    int nwin = multi_window ? clients : 1;
+    for (int w = 0; w < nwin; w++) {
+      auto ctl = seeder.ReadFile("/mnt/help/new/ctl");
+      if (!ctl.ok()) {
+        r.failures = 1;
+        return r;
+      }
+      bases.push_back("/mnt/help/" + std::string(TrimSpace(ctl.value())));
+    }
+  }
+  std::vector<std::unique_ptr<SocketTransport>> socks(
+      static_cast<size_t>(clients));
+  std::vector<std::unique_ptr<NinepClient>> conns(
+      static_cast<size_t>(clients));
+  std::vector<uint32_t> fids(static_cast<size_t>(clients), kNoFid);
+  for (int i = 0; i < clients; i++) {
+    auto tr = SocketTransport::ConnectUnix(path);
+    if (!tr.ok()) {
+      r.failures = 1;
+      return r;
+    }
+    socks[static_cast<size_t>(i)] = tr.take();
+    conns[static_cast<size_t>(i)] = std::make_unique<NinepClient>(
+        socks[static_cast<size_t>(i)]->AsTransport());
+    NinepClient& c = *conns[static_cast<size_t>(i)];
+    const std::string& base = bases[multi_window ? static_cast<size_t>(i) : 0];
+    auto fid = c.Connect(StrFormat("shard%d", i)).ok()
+                   ? c.WalkFid(base + "/bodyapp")
+                   : Result<uint32_t>(Status::Error("connect failed"));
+    if (!fid.ok() || !c.OpenFid(fid.value(), kOwrite).ok()) {
+      r.failures = 1;
+      return r;
+    }
+    fids[static_cast<size_t>(i)] = fid.value();
+  }
+
+  std::atomic<uint64_t> total_ok{0};
+  std::atomic<uint64_t> failures{0};
+  auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(clients));
+    for (int i = 0; i < clients; i++) {
+      pool.emplace_back([&, i] {
+        NinepClient& c = *conns[static_cast<size_t>(i)];
+        uint64_t ok = 0;
+        for (int op = 0; op < ops; op++) {
+          if (c.WriteFid(fids[static_cast<size_t>(i)], 0,
+                         "a line of appended body text\n")
+                  .ok()) {
+            ok++;
+          } else {
+            failures++;
+          }
+        }
+        total_ok += ok;
+      });
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  r.secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+               .count();
+
+  const NinepMetrics& m = h.ninep().metrics();
+  r.client_ops = total_ok.load();
+  r.failures += failures.load();
+  r.msgs = m.total_ops();
+  r.p50_us = m.OverallPercentileUs(50);
+  r.p99_us = m.OverallPercentileUs(99);
+  r.shared_reads = m.shared_reads();
+  r.read_retries = m.read_retries();
+  r.lock_window_acquires = m.lock_window_acquires();
+  r.lock_epoch_exclusive = m.lock_epoch_exclusive();
+  r.lock_shard_wait_p99us = m.lock_shard_wait_p99us();
+  conns.clear();
+  socks.clear();  // close every client socket before the listener stops
+  lis.Stop();
+  return r;
+}
+
 RunResult RunOnce(int threads, int ops, bool read_heavy, bool serialized) {
   Help::Options opt;
   opt.install_userland = false;  // just the file service, no coreutils needed
@@ -508,6 +643,11 @@ void PrintHuman(const RunResult& r, const char* workload, bool serialized) {
     std::printf("ooo completions    %llu, writev calls %llu\n",
                 static_cast<unsigned long long>(r.ooo_completions),
                 static_cast<unsigned long long>(r.writev_calls));
+    std::printf("lock acquires      %llu window, %llu epoch-exclusive, "
+                "shard wait p99 %llu us\n",
+                static_cast<unsigned long long>(r.lock_window_acquires),
+                static_cast<unsigned long long>(r.lock_epoch_exclusive),
+                static_cast<unsigned long long>(r.lock_shard_wait_p99us));
   }
 }
 
@@ -539,6 +679,12 @@ std::string JsonOf(const RunResult& r) {
         static_cast<unsigned long long>(r.staged_body_delta),
         static_cast<unsigned long long>(r.ooo_completions),
         static_cast<unsigned long long>(r.writev_calls));
+    json += StrFormat(
+        ",\"lock_window_acquires\":%llu,\"lock_epoch_exclusive\":%llu,"
+        "\"lock_shard_wait_p99us\":%llu",
+        static_cast<unsigned long long>(r.lock_window_acquires),
+        static_cast<unsigned long long>(r.lock_epoch_exclusive),
+        static_cast<unsigned long long>(r.lock_shard_wait_p99us));
   }
   return json + "}";
 }
@@ -552,6 +698,7 @@ int Main(int argc, char** argv) {
   bool sweep = false;
   bool socket = false;
   bool pipeline = false;
+  bool shard = false;
   std::string trace_path;
   int positional = 0;
   for (int i = 1; i < argc; i++) {
@@ -567,6 +714,8 @@ int Main(int argc, char** argv) {
       socket = true;
     } else if (std::strcmp(argv[i], "--pipeline") == 0) {
       pipeline = true;
+    } else if (std::strcmp(argv[i], "--shard") == 0) {
+      shard = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (argv[i][0] == '-') {
@@ -575,7 +724,9 @@ int Main(int argc, char** argv) {
                    "[--read-heavy] [--serialized] [--sweep] [--json]\n"
                    "       perf_ninep --socket [conns] [ops-per-conn] "
                    "[--json] [--trace FILE]\n"
-                   "       perf_ninep --pipeline [_] [ops] [--json]\n");
+                   "       perf_ninep --pipeline [_] [ops] [--json]\n"
+                   "       perf_ninep --shard [clients] [ops-per-client] "
+                   "[--json]\n");
       return 2;
     } else if (positional == 0) {
       threads = std::atoi(argv[i]);
@@ -607,11 +758,12 @@ int Main(int argc, char** argv) {
 
   const char* workload = socket     ? "socket"
                          : pipeline ? "pipeline"
+                         : shard    ? "shard"
                          : read_heavy ? "read-heavy"
                                       : "mixed";
   uint64_t failures = 0;
   std::vector<RunResult> results;
-  if (!pipeline) {
+  if (!pipeline && !shard) {
     std::vector<int> counts = sweep && !socket ? std::vector<int>{1, 2, 4, 8}
                                                : std::vector<int>{threads};
     for (int n : counts) {
@@ -654,6 +806,53 @@ int Main(int argc, char** argv) {
       results.push_back(r);
     }
   }
+  // The PR 10 dispatch-shard pairs: N clients appending over sockets, each
+  // config run sharded and with the set_disable_sharding escape hatch.
+  // `--shard` runs just these; a non-socket `--sweep` appends them too. The
+  // speedups land in the top-level JSON for the CI gate: multi_window must
+  // clear 1.3x, single_window must stay within 5% of the unsharded baseline.
+  double shard_multi_speedup = 0;
+  double shard_single_speedup = 0;
+  bool shard_ran = false;
+  if (shard || (sweep && !socket)) {
+    int sclients = shard && positional >= 1 ? threads : 4;
+    int sops = shard && positional >= 2 ? ops : 1500;
+    struct ShardCfg {
+      const char* label;
+      bool sharded;
+      bool multi_window;
+    };
+    const ShardCfg cfgs[] = {
+        {"shard_multiwin_sharded", true, true},
+        {"shard_multiwin_nosharding", false, true},
+        {"shard_singlewin_sharded", true, false},
+        {"shard_singlewin_nosharding", false, false},
+    };
+    std::vector<RunResult> pair;
+    for (const ShardCfg& cfg : cfgs) {
+      RunResult r = RunShardOnce(cfg.label, sclients, sops, cfg.sharded,
+                                 cfg.multi_window);
+      failures += r.failures;
+      if (!json) {
+        PrintHuman(r, "shard", false);
+        std::printf("\n");
+      }
+      results.push_back(r);
+      pair.push_back(r);
+    }
+    if (pair.size() == 4 && pair[1].ops_per_sec() > 0 &&
+        pair[3].ops_per_sec() > 0) {
+      shard_multi_speedup = pair[0].ops_per_sec() / pair[1].ops_per_sec();
+      shard_single_speedup = pair[2].ops_per_sec() / pair[3].ops_per_sec();
+      shard_ran = true;
+      if (!json) {
+        std::printf("shard speedups     multi-window %.2fx, single-window "
+                    "%.2fx (sharded vs disable_sharding, %u cores)\n",
+                    shard_multi_speedup, shard_single_speedup,
+                    std::thread::hardware_concurrency());
+      }
+    }
+  }
 
   if (!trace_path.empty()) {
     obs::Tracer::Global().Disable();
@@ -680,10 +879,22 @@ int Main(int argc, char** argv) {
       }
       runs += JsonOf(r);
     }
+    std::string speedups;
+    if (shard_ran) {
+      // cores rides along so the CI gate can tell a real regression from a
+      // runner with no parallelism: speedup thresholds only mean anything
+      // when the sharded writers can actually run on distinct CPUs.
+      speedups = StrFormat(
+          ",\"shard_speedups\":{\"multi_window\":%.3f,\"single_window\":%.3f,"
+          "\"cores\":%u}",
+          shard_multi_speedup, shard_single_speedup,
+          std::thread::hardware_concurrency());
+    }
     std::printf(
         "{\"bench\":\"perf_ninep\",\"workload\":\"%s\",\"serialized\":%s,"
-        "\"ops_per_thread\":%d,\"runs\":[%s]}\n",
-        workload, serialized ? "true" : "false", ops, runs.c_str());
+        "\"ops_per_thread\":%d,\"runs\":[%s]%s}\n",
+        workload, serialized ? "true" : "false", ops, runs.c_str(),
+        speedups.c_str());
   }
   return failures == 0 ? 0 : 1;
 }

@@ -52,9 +52,13 @@ class SerializedHandler : public FileHandler {
     return inner_->Length(n);
   }
   // The dispatch classification asks the outermost handler, so the wrapper
-  // must answer for what it wraps.
+  // must answer for what it wraps. Pure getters — no LockDispatch: they are
+  // called from classification before any lock is decided on.
   bool OpenNeedsExclusive() const override {
     return inner_->OpenNeedsExclusive();
+  }
+  WindowShardPtr window_shard() const override {
+    return inner_->window_shard();
   }
 
  private:
@@ -209,7 +213,16 @@ class WindowFileHandler : public FileHandler {
  public:
   enum class Kind { kTag, kBody, kBodyApp, kCtl };
 
-  WindowFileHandler(Help* h, int id, Kind kind) : h_(h), id_(id), kind_(kind) {}
+  WindowFileHandler(Help* h, int id, Kind kind, WindowShardPtr shard)
+      : h_(h), id_(id), kind_(kind), shard_(std::move(shard)) {}
+
+  // tag/body/bodyapp writes only touch this window's texts, so they may run
+  // under the shard. ctl writes reach global Help state (layout, the current
+  // window) and must stay structural — no shard, so classification falls
+  // through to the epoch-exclusive path.
+  WindowShardPtr window_shard() const override {
+    return kind_ == Kind::kCtl ? nullptr : shard_;
+  }
 
   Status Open(OpenFile& f, uint8_t mode) override {
     Window* w = Win();
@@ -361,6 +374,7 @@ class WindowFileHandler : public FileHandler {
   Help* h_;
   int id_;
   Kind kind_;
+  WindowShardPtr shard_;
 };
 
 // Extension: writing "<dir> <name[:addr]>" to /mnt/help/open opens a file
@@ -702,21 +716,42 @@ void InstallHelpFs(Help* h) {
 // --- Help member functions that form the file-server surface ----------------
 
 void Help::RegisterWindowFiles(Window* w) {
+  // Find or create the window's mutation shard. Windows sharing a body text
+  // (clones, same-file opens) must share a shard — an edit through one is
+  // visible through all, so they are one lock domain; the domain id is the
+  // id of the first window that minted the shard.
+  WindowShardPtr shard;
+  for (const auto& [id, st] : wins_) {
+    if (id != w->id() && st.shard != nullptr && st.window != nullptr &&
+        st.window->body().text == w->body().text) {
+      shard = st.shard;
+      break;
+    }
+  }
+  if (shard == nullptr) {
+    shard = std::make_shared<WindowShard>();
+    shard->domain = static_cast<uint64_t>(w->id());
+  }
+  wins_[w->id()].shard = shard;
   std::string dir = StrFormat("/mnt/help/%d", w->id());
   vfs_.MkdirAll(dir);
   using K = WindowFileHandler::Kind;
   vfs_.AttachHandler(
       dir + "/tag",
-      Serialized(this, std::make_shared<WindowFileHandler>(this, w->id(), K::kTag)));
+      Serialized(this, std::make_shared<WindowFileHandler>(this, w->id(), K::kTag,
+                                                           shard)));
   vfs_.AttachHandler(
       dir + "/body",
-      Serialized(this, std::make_shared<WindowFileHandler>(this, w->id(), K::kBody)));
+      Serialized(this, std::make_shared<WindowFileHandler>(this, w->id(), K::kBody,
+                                                           shard)));
   vfs_.AttachHandler(
       dir + "/bodyapp",
-      Serialized(this, std::make_shared<WindowFileHandler>(this, w->id(), K::kBodyApp)));
+      Serialized(this, std::make_shared<WindowFileHandler>(
+                           this, w->id(), K::kBodyApp, shard)));
   vfs_.AttachHandler(
       dir + "/ctl",
-      Serialized(this, std::make_shared<WindowFileHandler>(this, w->id(), K::kCtl)));
+      Serialized(this, std::make_shared<WindowFileHandler>(this, w->id(), K::kCtl,
+                                                           shard)));
 }
 
 void Help::UnregisterWindowFiles(Window* w) {

@@ -186,6 +186,11 @@ class Help {
   struct WinState {
     Window* window = nullptr;
     std::string filename;  // full path, empty for unnamed windows
+    // The window's mutation shard (DESIGN.md §17): held by the 9P dispatch
+    // for every window-scoped operation. Windows that share a body text
+    // (clones, same-file opens) share one shard, so an edit through any of
+    // them excludes reads through all of them.
+    WindowShardPtr shard;
   };
 
   // Gesture plumbing.

@@ -214,6 +214,39 @@ struct NinepListener::Conn {
   int workers_active = 0;
   int dispatching = 0;
   bool fence_inflight = false;
+  // Per-window ordering domains (PR 10): in-flight dispatches that read
+  // (shared) or write (exclusive) each nonzero domain. A window-confined
+  // write waits only for in-flight frames of its own domain instead of
+  // fencing the whole connection. Entries are erased when both counts drop
+  // to zero, so the map stays as small as the number of windows in flight.
+  struct DomainUse {
+    int readers = 0;
+    int writers = 0;
+  };
+  std::map<uint64_t, DomainUse> domains_inflight;
+
+  // Caller holds mu. Whether a frame with this verdict could begin
+  // dispatching right now alongside the connection's in-flight frames.
+  bool CanStartLocked(const NinepServer::FrameVerdict& fv) const {
+    if (fence_inflight) {
+      return false;
+    }
+    if (fv.cls == NinepServer::FrameClass::kReorderable) {
+      if (fv.domain == 0) {
+        return true;
+      }
+      auto it = domains_inflight.find(fv.domain);
+      return it == domains_inflight.end() || it->second.writers == 0;
+    }
+    if (fv.cls == NinepServer::FrameClass::kWrite && fv.domain != 0) {
+      auto it = domains_inflight.find(fv.domain);
+      return it == domains_inflight.end() ||
+             (it->second.readers == 0 && it->second.writers == 0);
+    }
+    // Fences — including domain-0 writes — wait for the whole connection's
+    // in-flight dispatches to drain.
+    return dispatching == 0;
+  }
   // Arrival-order bookkeeping for ninep.ooo_completions: each popped frame
   // gets the next seq; a frame whose completion leaves a SMALLER seq still
   // in flight finished before an earlier-arrived request did.
@@ -412,10 +445,14 @@ void NinepListener::EnqueueReady(const ConnPtr& c) {
 void NinepListener::LoopMain() {
   obs::Tracer::Global().SetThreadName("net.loop");
   std::vector<Poller::Event> events;
+  uint64_t next_reap_ms = 0;  // 0 or overdue: scan on the next pass
   while (!stop_.load()) {
     events.clear();
+    int reap_cadence = opt_.reap_tick_ms > 0
+                           ? std::min(opt_.reap_tick_ms, opt_.idle_timeout_ms)
+                           : opt_.idle_timeout_ms;
     int timeout = opt_.idle_timeout_ms > 0
-                      ? std::min(opt_.tick_ms, opt_.idle_timeout_ms)
+                      ? std::min(opt_.tick_ms, reap_cadence)
                       : opt_.tick_ms;
     poller_->Wait(&events, timeout);
     if (stop_.load()) {
@@ -462,9 +499,15 @@ void NinepListener::LoopMain() {
     for (const ConnPtr& c : pending) {
       FlushConn(c);
     }
-    // Idle reaping.
-    if (opt_.idle_timeout_ms > 0) {
+    // Idle reaping, on its own cadence: reap_tick_ms > 0 scans at that
+    // deadline-driven interval (prompt with a short tick, amortized with a
+    // long one on busy listeners whose events keep the loop spinning);
+    // reap_tick_ms == 0 keeps the historical scan-every-wakeup behavior.
+    if (opt_.idle_timeout_ms > 0 && NowMs() >= next_reap_ms) {
       uint64_t now = NowMs();
+      if (opt_.reap_tick_ms > 0) {
+        next_reap_ms = now + static_cast<uint64_t>(opt_.reap_tick_ms);
+      }
       std::vector<ConnPtr> idle;
       {
         std::lock_guard<std::mutex> lk(conns_mu_);
@@ -753,12 +796,16 @@ void NinepListener::MaybeSpawnWorkerLocked(const ConnPtr& c) {
       return;
     }
     // Beyond the first worker, only spawn when the front frame could
-    // actually start now — a fence waits for dispatching == 0 regardless,
-    // so an extra worker would wake just to go back to sleep.
+    // actually start concurrently — a whole-conn fence waits for
+    // dispatching == 0 regardless, so an extra worker would wake just to go
+    // back to sleep.
     if (c->workers_active > 0) {
-      uint32_t wfid = 0;
-      if (srv_->ClassifyFrame(c->sid, c->inbox.front().bytes, &wfid) !=
-          NinepServer::FrameClass::kReorderable) {
+      NinepServer::FrameVerdict fv =
+          srv_->ClassifyFrame(c->sid, c->inbox.front().bytes);
+      bool concurrent =
+          fv.cls == NinepServer::FrameClass::kReorderable ||
+          (fv.cls == NinepServer::FrameClass::kWrite && fv.domain != 0);
+      if (!concurrent || !c->CanStartLocked(fv)) {
         return;
       }
     }
@@ -801,6 +848,8 @@ void NinepListener::DrainConn(const ConnPtr& c) {
     std::vector<InFrame> batch;  // one frame, or a coalesced Twrite run
     std::vector<uint64_t> seqs;  // arrival seq of each frame in `batch`
     bool is_fence = false;
+    uint64_t batch_domain = 0;   // nonzero: this batch holds a domain slot
+    bool batch_is_write = false;  // which DomainUse count the slot is
     {
       std::lock_guard<std::mutex> lk(c->mu);
       if (c->closing) {
@@ -825,52 +874,60 @@ void NinepListener::DrainConn(const ConnPtr& c) {
         c->workers_active--;
         break;
       }
-      uint32_t wfid = 0;
-      NinepServer::FrameClass cls =
-          srv_->ClassifyFrame(c->sid, c->inbox.front().bytes, &wfid);
-      if (cls == NinepServer::FrameClass::kReorderable) {
-        if (c->fence_inflight) {
-          // The fence's worker loops back here when it completes.
-          c->workers_active--;
-          break;
-        }
+      NinepServer::FrameVerdict fv =
+          srv_->ClassifyFrame(c->sid, c->inbox.front().bytes);
+      if (!c->CanStartLocked(fv)) {
+        // Whichever dispatch is blocking us loops back here when it
+        // completes.
+        c->workers_active--;
+        break;
+      }
+      auto pop_front = [&] {
         batch.push_back(std::move(c->inbox.front()));
         c->inbox.pop_front();
         seqs.push_back(c->next_dispatch_seq++);
         c->inflight_seqs.insert(seqs.back());
         c->dispatching++;
+      };
+      // Coalesce the run of consecutive writes to the same fid; they
+      // dispatch under one lock acquisition in HandleWriteBatch.
+      auto coalesce_writes = [&](uint32_t wfid) {
+        while (batch.size() < kMaxWriteBatch && !c->inbox.empty()) {
+          NinepServer::FrameVerdict nv =
+              srv_->ClassifyFrame(c->sid, c->inbox.front().bytes);
+          if (nv.cls != NinepServer::FrameClass::kWrite ||
+              nv.write_fid != wfid) {
+            break;
+          }
+          pop_front();
+        }
+      };
+      if (fv.cls == NinepServer::FrameClass::kReorderable) {
+        pop_front();
+        if (fv.domain != 0) {
+          batch_domain = fv.domain;
+          c->domains_inflight[fv.domain].readers++;
+        }
         // Fan out: if the next frame can also start, wake another worker to
         // run it while we dispatch this one.
         MaybeSpawnWorkerLocked(c);
+      } else if (fv.cls == NinepServer::FrameClass::kWrite &&
+                 fv.domain != 0) {
+        // A window-confined write run is not a fence: the domain slot it
+        // holds orders it against same-window frames only, so writes to
+        // different windows — and reads of other windows — keep flowing.
+        batch_domain = fv.domain;
+        batch_is_write = true;
+        c->domains_inflight[fv.domain].writers++;
+        pop_front();
+        coalesce_writes(fv.write_fid);  // same fid ⇒ same domain
+        MaybeSpawnWorkerLocked(c);
       } else {
-        if (c->dispatching > 0) {
-          // The last in-flight dispatcher loops back and pops this fence.
-          c->workers_active--;
-          break;
-        }
         is_fence = true;
         c->fence_inflight = true;
-        batch.push_back(std::move(c->inbox.front()));
-        c->inbox.pop_front();
-        seqs.push_back(c->next_dispatch_seq++);
-        c->inflight_seqs.insert(seqs.back());
-        c->dispatching++;
-        if (cls == NinepServer::FrameClass::kWrite) {
-          // Coalesce the run of consecutive writes to the same fid; they
-          // dispatch under one lock acquisition in HandleWriteBatch.
-          while (batch.size() < kMaxWriteBatch && !c->inbox.empty()) {
-            uint32_t nfid = 0;
-            if (srv_->ClassifyFrame(c->sid, c->inbox.front().bytes, &nfid) !=
-                    NinepServer::FrameClass::kWrite ||
-                nfid != wfid) {
-              break;
-            }
-            batch.push_back(std::move(c->inbox.front()));
-            c->inbox.pop_front();
-            seqs.push_back(c->next_dispatch_seq++);
-            c->inflight_seqs.insert(seqs.back());
-            c->dispatching++;
-          }
+        pop_front();
+        if (fv.cls == NinepServer::FrameClass::kWrite) {
+          coalesce_writes(fv.write_fid);
         }
       }
     }
@@ -930,9 +987,10 @@ void NinepListener::DrainConn(const ConnPtr& c) {
         p.end_total = c->outbox_appended;
         c->pending.push_back(p);
         // Completing while an earlier-arrived request is still in flight is
-        // an out-of-order completion. (A fence batch never records one: it
-        // only popped once dispatching hit zero, so the set holds nothing
-        // older than itself.)
+        // an out-of-order completion. (A whole-conn fence batch never
+        // records one: it only popped once dispatching hit zero, so the set
+        // holds nothing older than itself. Domain-confined batches can —
+        // they run alongside other domains' frames.)
         c->inflight_seqs.erase(seqs[i]);
         if (!c->inflight_seqs.empty() &&
             *c->inflight_seqs.begin() < seqs[i]) {
@@ -942,6 +1000,17 @@ void NinepListener::DrainConn(const ConnPtr& c) {
       c->dispatching -= static_cast<int>(batch.size());
       if (is_fence) {
         c->fence_inflight = false;
+      }
+      if (batch_domain != 0) {
+        auto it = c->domains_inflight.find(batch_domain);
+        if (batch_is_write) {
+          it->second.writers--;
+        } else {
+          it->second.readers--;
+        }
+        if (it->second.readers == 0 && it->second.writers == 0) {
+          c->domains_inflight.erase(it);
+        }
       }
     }
     if (notify) {

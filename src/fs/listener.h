@@ -16,20 +16,27 @@
 //                  session teardown (CloseSession blocks on the exclusive
 //                  dispatch lock — not the loop's job).
 //
-// Per-connection ordering (PR 9, DESIGN.md §16): frames are *picked up* in
-// arrival order, but read-only requests (Tread on a read-only fid, Tstat,
-// fid-minting Twalk) may dispatch on several workers at once and complete
-// out of order between mutation barriers. A mutation (Twrite, ctl writes,
-// Tclunk, attach/open/...) is a fence: it waits for every in-flight dispatch
-// on the connection to finish and excludes new pickups while it runs, so a
-// read issued after a write always sees that write. The scheduler encodes
-// this with three per-conn fields (dispatching count, fence_inflight flag,
+// Per-connection ordering (PR 9, DESIGN.md §16; domains PR 10, §17): frames
+// are *picked up* in arrival order, but read-only requests (Tread on a
+// read-only fid, Tstat, fid-minting Twalk) may dispatch on several workers
+// at once and complete out of order between mutation barriers. A mutation
+// (ctl writes, Tclunk, attach/open/...) is a fence: it waits for every
+// in-flight dispatch on the connection to finish and excludes new pickups
+// while it runs, so a read issued after a write always sees that write.
+// Window-confined frames carry a nonzero *domain* (the window id from
+// ClassifyFrame): a Twrite to a window file is NOT a whole-conn fence — it
+// only waits for in-flight frames of its own domain, and blocks only
+// same-domain pickups, so one connection's writes to different windows (and
+// reads of other windows) overlap. The dispatch locks make this safe; the
+// domain accounting preserves per-window read-your-writes ordering on the
+// connection. The scheduler encodes all of this with per-conn fields
+// (dispatching count, fence_inflight flag, per-domain reader/writer counts,
 // workers_active fan-out count) and asks NinepServer::ClassifyFrame — a
-// bytes-level peek, no decode — which class the frame at the front of the
-// inbox is. Runs of consecutive Twrites to one fid are popped together and
-// dispatched through HandleWriteBatch under a single dispatch-lock
-// acquisition (ninep.bodyapp_coalesced counts the riders). Different
-// connections' requests run concurrently as before.
+// bytes-level peek, no decode — about the frame at the front of the inbox.
+// Runs of consecutive Twrites to one fid are popped together and dispatched
+// through HandleWriteBatch under a single lock acquisition
+// (ninep.bodyapp_coalesced counts the riders). Different connections'
+// requests run concurrently as before.
 //
 // Backpressure: each connection's outbound queue is bounded. When appending
 // a reply would exceed max_outbox_bytes the worker parks the connection
@@ -103,7 +110,12 @@ struct ListenerOptions {
   uint32_t max_frame = kMaxFrameSize;  // inbound frame cap (protocol limit)
   size_t max_outbox_bytes = 1 << 20;   // backpressure high-water per conn
   int idle_timeout_ms = 0;             // 0 = never reap idle connections
-  int tick_ms = 50;                    // loop wakeup granularity (reap scan)
+  int tick_ms = 50;                    // loop wakeup granularity
+  // Cadence of the idle-reap scan. 0 scans on every loop wakeup (bounded by
+  // tick_ms / idle_timeout_ms, the historical behavior); a short tick makes
+  // reaping prompt even when tick_ms is long, a long one amortizes the scan
+  // on busy listeners.
+  int reap_tick_ms = 0;
   PollerKind poller = PollerKind::kAuto;
   // Cap on workers dispatching ONE connection's frames concurrently. 0 means
   // "no per-conn cap" (bounded by `workers`); 1 restores the pre-PR 9

@@ -99,6 +99,9 @@ NinepMetrics::NinepMetrics() {
   bytes_staged_ = reg.GetCounter("ninep.bytes_staged");
   bodyapp_coalesced_ = reg.GetCounter("ninep.bodyapp_coalesced");
   net_writev_calls_ = reg.GetCounter("net.writev_calls");
+  lock_window_acquires_ = reg.GetCounter("ninep.lock.window_acquires");
+  lock_epoch_exclusive_ = reg.GetCounter("ninep.lock.epoch_exclusive");
+  shard_wait_ = reg.GetHistogram("ninep.lock.shard_wait_us");
 }
 
 void NinepMetrics::RecordOp(NinepOp op, uint64_t latency_us, bool error) {
@@ -192,6 +195,14 @@ std::string NinepMetrics::Render() const {
                 static_cast<unsigned long long>(bodyapp_coalesced()),
                 static_cast<unsigned long long>(net_writev_calls()));
   out += line;
+  // PR 10 sharded dispatch-lock counters, appended last for the same reason.
+  std::snprintf(line, sizeof(line),
+                "lock_window_acquires %llu\nlock_epoch_exclusive %llu\n"
+                "lock_shard_wait_p99us %llu\n",
+                static_cast<unsigned long long>(lock_window_acquires()),
+                static_cast<unsigned long long>(lock_epoch_exclusive()),
+                static_cast<unsigned long long>(lock_shard_wait_p99us()));
+  out += line;
   return out;
 }
 
@@ -219,6 +230,9 @@ void NinepMetrics::Reset() {
   bytes_staged_->Store(0);
   bodyapp_coalesced_->Store(0);
   net_writev_calls_->Store(0);
+  lock_window_acquires_->Store(0);
+  lock_epoch_exclusive_->Store(0);
+  shard_wait_->Reset();
   // in_flight_ and net_active_ are live gauges; leave them alone.
 }
 

@@ -88,6 +88,13 @@ class NinepMetrics {
   void AddBytesStaged(uint64_t n) { bytes_staged_->Add(n); }
   void RecordBodyappCoalesced(uint64_t n) { bodyapp_coalesced_->Add(n); }
   void RecordWritev() { net_writev_calls_->Add(); }
+  // PR 10 sharded dispatch: a dispatch that took a per-window shard (reader
+  // or writer side), an exclusive acquisition of the namespace epoch lock
+  // (structural ops and LockDispatch), and the time spent waiting for a
+  // window shard.
+  void RecordWindowAcquire() { lock_window_acquires_->Add(); }
+  void RecordEpochExclusive() { lock_epoch_exclusive_->Add(); }
+  void RecordShardWait(uint64_t wait_us) { shard_wait_->Record(wait_us); }
 
   uint64_t count(NinepOp op) const { return ops_[Idx(op)].count->value(); }
   uint64_t errors(NinepOp op) const { return ops_[Idx(op)].errors->value(); }
@@ -109,6 +116,9 @@ class NinepMetrics {
   uint64_t bytes_staged() const { return bytes_staged_->value(); }
   uint64_t bodyapp_coalesced() const { return bodyapp_coalesced_->value(); }
   uint64_t net_writev_calls() const { return net_writev_calls_->value(); }
+  uint64_t lock_window_acquires() const { return lock_window_acquires_->value(); }
+  uint64_t lock_epoch_exclusive() const { return lock_epoch_exclusive_->value(); }
+  uint64_t lock_shard_wait_p99us() const { return shard_wait_->Percentile(99); }
   uint64_t total_ops() const;
 
   // Approximate percentile (0 < p <= 100) of one op's latency, in
@@ -154,6 +164,9 @@ class NinepMetrics {
   obs::Counter* bytes_staged_;
   obs::Counter* bodyapp_coalesced_;
   obs::Counter* net_writev_calls_;
+  obs::Counter* lock_window_acquires_;
+  obs::Counter* lock_epoch_exclusive_;
+  obs::Histogram* shard_wait_;
 };
 
 }  // namespace help

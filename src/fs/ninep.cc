@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/base/strings.h"
+#include "src/fs/lockorder.h"
 
 namespace help {
 
@@ -360,22 +361,26 @@ bool Session::BeginTag(uint16_t tag) {
     return true;  // kNoTag is never tracked (Tversion convention)
   }
   std::lock_guard<std::mutex> lk(tag_mu_);
+  LockOrderScope lo(kLockLevelLeaf);
   return inflight_.insert(tag).second;
 }
 
 void Session::EndTag(uint16_t tag) {
   std::lock_guard<std::mutex> lk(tag_mu_);
+  LockOrderScope lo(kLockLevelLeaf);
   inflight_.erase(tag);
   flushed_.erase(tag);
 }
 
 bool Session::TagInFlight(uint16_t tag) const {
   std::lock_guard<std::mutex> lk(tag_mu_);
+  LockOrderScope lo(kLockLevelLeaf);
   return inflight_.count(tag) != 0;
 }
 
 bool Session::FlushTag(uint16_t oldtag) {
   std::lock_guard<std::mutex> lk(tag_mu_);
+  LockOrderScope lo(kLockLevelLeaf);
   if (inflight_.count(oldtag) == 0) {
     return false;  // already completed (or never sent): flush is a no-op
   }
@@ -385,81 +390,175 @@ bool Session::FlushTag(uint16_t oldtag) {
 
 bool Session::ConsumeFlushed(uint16_t tag) {
   std::lock_guard<std::mutex> lk(tag_mu_);
+  LockOrderScope lo(kLockLevelLeaf);
   return flushed_.erase(tag) != 0;
 }
 
 size_t Session::open_fids() const {
   std::lock_guard<std::mutex> lk(fid_mu_);
+  LockOrderScope lo(kLockLevelLeaf);
   return fids_.size();
 }
 
 Session::FidState* Session::FindFid(uint32_t fid) {
   std::lock_guard<std::mutex> lk(fid_mu_);
+  LockOrderScope lo(kLockLevelLeaf);
   auto it = fids_.find(fid);
   return it == fids_.end() ? nullptr : &it->second;
 }
 
 const Session::FidState* Session::FindFid(uint32_t fid) const {
   std::lock_guard<std::mutex> lk(fid_mu_);
+  LockOrderScope lo(kLockLevelLeaf);
   auto it = fids_.find(fid);
   return it == fids_.end() ? nullptr : &it->second;
 }
 
-Session::OpClass Session::Classify(const Fcall& t) const {
+namespace {
+// The window shard a node's handler reports; null for plain files,
+// directories, and non-window handlers. A pure getter — callable under
+// fid_mu_.
+WindowShardPtr ShardOf(const NodePtr& n) {
+  FileHandler* h = n == nullptr ? nullptr : n->handler();
+  return h == nullptr ? nullptr : h->window_shard();
+}
+}  // namespace
+
+void Session::CacheFidLocked(uint32_t fid, Verdict* v) const {
+  v->fid = fid;
+  auto it = fids_.find(fid);
+  if (it == fids_.end()) {
+    return;
+  }
+  v->present = true;
+  v->node = it->second.node;
+  v->open = it->second.open != nullptr;
+  v->read_only = it->second.read_only;
+  v->shard = it->second.shard;
+}
+
+Session::Verdict Session::Classify(const Fcall& t) const {
+  // Unlike FindFid, classification may race this session's in-flight
+  // dispatch, so every field a case needs is read inside one fid_mu_ hold
+  // (CacheFidLocked) — and cached in the verdict, so the server's under-lock
+  // re-validation (VerdictStale) is one lookup, not a reclassification.
+  Verdict v;
   switch (t.type) {
     case MsgType::kTversion:  // resets per-session state only; fid teardown
     case MsgType::kTattach:   // runs handler Clunks, which never mutate
     case MsgType::kTwalk:
-    case MsgType::kTstat:
     case MsgType::kTclunk:
-      return OpClass::kShared;
+      v.cls = OpClass::kReadOnly;
+      return v;
+
+    case MsgType::kTstat: {
+      std::lock_guard<std::mutex> lk(fid_mu_);
+      LockOrderScope lo(kLockLevelLeaf);
+      CacheFidLocked(t.fid, &v);
+      // Stat reads the node's qid version, mtime, and handler length —
+      // state a same-window writer mutates — so window-backed fids stat
+      // under the shard's reader side.
+      v.cls = v.shard != nullptr ? OpClass::kWindowRead : OpClass::kReadOnly;
+      return v;
+    }
 
     case MsgType::kTread: {
-      // Unlike FindFid, classification may race this session's in-flight
-      // dispatch, so every field it needs is read inside one fid_mu_ hold.
       std::lock_guard<std::mutex> lk(fid_mu_);
-      auto it = fids_.find(t.fid);
-      if (it == fids_.end()) {
-        return OpClass::kShared;  // will answer "unknown fid" — read-only
-      }
-      const FidState& st = it->second;
-      if (st.node->dir()) {
+      LockOrderScope lo(kLockLevelLeaf);
+      CacheFidLocked(t.fid, &v);
+      if (!v.present) {
+        v.cls = OpClass::kReadOnly;  // will answer "unknown fid" — read-only
+      } else if (v.node->dir()) {
         // Directory reads lazily build this fid's dirbuf snapshot — per-fid
         // state owned by this session's serialized dispatches; the tree
         // itself is only read.
-        return OpClass::kShared;
+        v.cls = OpClass::kReadOnly;
+      } else if (v.shard != nullptr) {
+        // Window file: read under the shard's reader side, which holds off
+        // same-window writers even when this fid was opened writable.
+        v.cls = OpClass::kWindowRead;
+      } else {
+        v.cls = v.read_only ? OpClass::kReadOnly : OpClass::kStructural;
       }
-      return st.read_only ? OpClass::kShared : OpClass::kExclusive;
+      return v;
     }
 
     case MsgType::kTopen: {
-      if ((t.mode & 3) != kOread || (t.mode & kOtrunc) != 0) {
-        return OpClass::kExclusive;
-      }
       std::lock_guard<std::mutex> lk(fid_mu_);
-      auto it = fids_.find(t.fid);
-      if (it == fids_.end()) {
-        return OpClass::kShared;  // will answer "unknown fid" — read-only
+      LockOrderScope lo(kLockLevelLeaf);
+      CacheFidLocked(t.fid, &v);
+      bool writes = (t.mode & 3) != kOread || (t.mode & kOtrunc) != 0;
+      if (!v.present || v.node->dir()) {
+        // Unknown fid or directory: the dispatch answers an error (or a
+        // read-only dir open); a writable mode still runs structurally, as
+        // it always did — the error path is rare and never contended.
+        v.cls = writes ? OpClass::kStructural : OpClass::kReadOnly;
+        return v;
       }
-      const FidState& st = it->second;
-      if (st.node->dir()) {
-        return OpClass::kShared;
-      }
-      FileHandler* h = st.node->handler();
+      FileHandler* h = v.node->handler();
       if (h != nullptr && h->OpenNeedsExclusive()) {
-        return OpClass::kExclusive;  // e.g. new/ctl: Open creates a window
+        v.cls = OpClass::kStructural;  // e.g. new/ctl: Open creates a window
+        return v;
       }
-      return OpClass::kShared;
+      if (v.shard != nullptr) {
+        // A truncating or writable open of a window file mutates only that
+        // window (kOtrunc runs the handler's truncate at Open time); a
+        // read-only open still answers the node's qid, which a same-window
+        // writer may be bumping.
+        v.cls = writes ? OpClass::kWindowWrite : OpClass::kWindowRead;
+        return v;
+      }
+      v.cls = writes ? OpClass::kStructural : OpClass::kReadOnly;
+      return v;
+    }
+
+    case MsgType::kTwrite: {
+      std::lock_guard<std::mutex> lk(fid_mu_);
+      LockOrderScope lo(kLockLevelLeaf);
+      CacheFidLocked(t.fid, &v);
+      // Writes to an open window file are confined to that window's shard;
+      // everything else (regular files, ctl files, error replies) may reach
+      // past one window and stays structural.
+      v.cls = v.present && v.open && v.shard != nullptr
+                  ? OpClass::kWindowWrite
+                  : OpClass::kStructural;
+      return v;
     }
 
     default:
-      // Twrite/Tcreate/Tremove, and anything unrecognized, mutate.
-      return OpClass::kExclusive;
+      // Tcreate/Tremove, and anything unrecognized, mutate the namespace.
+      v.cls = OpClass::kStructural;
+      return v;
   }
+}
+
+bool Session::VerdictStale(const Verdict& v) const {
+  if (v.fid == kNoFid) {
+    return false;  // classification depended on no fid state
+  }
+  std::lock_guard<std::mutex> lk(fid_mu_);
+  LockOrderScope lo(kLockLevelLeaf);
+  auto it = fids_.find(v.fid);
+  if (it == fids_.end()) {
+    return v.present;
+  }
+  const FidState& st = it->second;
+  return !v.present || st.node != v.node || (st.open != nullptr) != v.open ||
+         st.read_only != v.read_only;
+}
+
+uint64_t Session::FidDomain(uint32_t fid) const {
+  std::lock_guard<std::mutex> lk(fid_mu_);
+  LockOrderScope lo(kLockLevelLeaf);
+  auto it = fids_.find(fid);
+  return it == fids_.end() || it->second.shard == nullptr
+             ? 0
+             : it->second.shard->domain;
 }
 
 bool Session::ReorderableRead(uint32_t fid) const {
   std::lock_guard<std::mutex> lk(fid_mu_);
+  LockOrderScope lo(kLockLevelLeaf);
   auto it = fids_.find(fid);
   if (it == fids_.end()) {
     return true;  // "unknown fid" error reply; touches nothing
@@ -475,6 +574,7 @@ bool Session::ReorderableRead(uint32_t fid) const {
 
 bool Session::FidAbsent(uint32_t fid) const {
   std::lock_guard<std::mutex> lk(fid_mu_);
+  LockOrderScope lo(kLockLevelLeaf);
   return fids_.count(fid) == 0;
 }
 
@@ -513,6 +613,7 @@ Fcall Session::Dispatch(const Fcall& t, ReadSink* sink) {
       std::map<uint32_t, FidState> doomed;  // version resets the session
       {
         std::lock_guard<std::mutex> lk(fid_mu_);
+        LockOrderScope lo(kLockLevelLeaf);
         doomed.swap(fids_);
       }
       attached_ = false;
@@ -529,11 +630,13 @@ Fcall Session::Dispatch(const Fcall& t, ReadSink* sink) {
 
     case MsgType::kTattach: {
       std::lock_guard<std::mutex> lk(fid_mu_);
+      LockOrderScope lo(kLockLevelLeaf);
       if (fids_.count(t.fid) != 0) {
         return Error(t.tag, "fid in use");
       }
       FidState st;
       st.node = vfs_->root();
+      st.shard = ShardOf(st.node);
       fids_[t.fid] = st;
       attached_ = true;
       uname_ = t.uname;
@@ -550,6 +653,7 @@ Fcall Session::Dispatch(const Fcall& t, ReadSink* sink) {
       // The whole walk runs under fid_mu_: it only reads the tree (no Vfs or
       // handler calls that could re-enter the dispatch lock).
       std::lock_guard<std::mutex> lk(fid_mu_);
+      LockOrderScope lo(kLockLevelLeaf);
       auto it = fids_.find(t.fid);
       if (it == fids_.end()) {
         return Error(t.tag, "unknown fid");
@@ -583,6 +687,10 @@ Fcall Session::Dispatch(const Fcall& t, ReadSink* sink) {
       }
       FidState st;
       st.node = cur;
+      // Route the window id out of the walk: resolving the shard here, at
+      // fid-bind time, is what lets the dispatch layer know its lock target
+      // before taking any lock.
+      st.shard = ShardOf(cur);
       auto nit = fids_.find(t.newfid);
       if (nit != fids_.end()) {
         replaced = std::move(nit->second);  // newfid == fid: rebind
@@ -613,6 +721,7 @@ Fcall Session::Dispatch(const Fcall& t, ReadSink* sink) {
           return Error(t.tag, f.message());
         }
         std::lock_guard<std::mutex> lk(fid_mu_);
+        LockOrderScope lo(kLockLevelLeaf);
         st->open = f.take();
         st->read_only = (t.mode & 3) == kOread && (t.mode & kOtrunc) == 0;
       }
@@ -638,7 +747,9 @@ Fcall Session::Dispatch(const Fcall& t, ReadSink* sink) {
       }
       {
         std::lock_guard<std::mutex> lk(fid_mu_);
+        LockOrderScope lo(kLockLevelLeaf);
         st->node = created.value();
+        st->shard = ShardOf(st->node);
         st->read_only = false;
       }
       if (!dir) {
@@ -647,6 +758,7 @@ Fcall Session::Dispatch(const Fcall& t, ReadSink* sink) {
           return Error(t.tag, f.message());
         }
         std::lock_guard<std::mutex> lk(fid_mu_);
+        LockOrderScope lo(kLockLevelLeaf);
         st->open = f.take();
       }
       r.type = MsgType::kRcreate;
@@ -750,6 +862,7 @@ Fcall Session::Dispatch(const Fcall& t, ReadSink* sink) {
       FidState doomed;
       {
         std::lock_guard<std::mutex> lk(fid_mu_);
+        LockOrderScope lo(kLockLevelLeaf);
         auto it = fids_.find(t.fid);
         if (it == fids_.end()) {
           return Error(t.tag, "unknown fid");
@@ -767,6 +880,7 @@ Fcall Session::Dispatch(const Fcall& t, ReadSink* sink) {
       FidState doomed;  // remove always clunks
       {
         std::lock_guard<std::mutex> lk(fid_mu_);
+        LockOrderScope lo(kLockLevelLeaf);
         auto it = fids_.find(t.fid);
         if (it == fids_.end()) {
           return Error(t.tag, "unknown fid");

@@ -18,14 +18,17 @@
 //     session and fid 7 in another never collide. Per-session bookkeeping is
 //     guarded by the session's own fine-grained locks, so sessions never
 //     contend with each other on fid or tag state.
-//   * Dispatch classification: every T-message is classified kShared (cannot
-//     mutate the Vfs tree or any document — version/attach/walk/stat/clunk,
-//     reads of directories and read-only fids, opens that cannot create,
-//     truncate, or reach a mutating handler) or kExclusive (everything
-//     else). NinepServer runs kShared dispatches concurrently under a shared
-//     reader–writer lock and kExclusive ones alone; one session's dispatches
-//     are additionally serialized against each other, per the protocol's
-//     one-logical-client-per-connection assumption.
+//   * Dispatch classification: every T-message is classified read-only
+//     (cannot mutate anything), window-read / window-write (confined to one
+//     window's shard — see Session::OpClass), or structural (may mutate
+//     beyond one window). NinepServer maps the classes onto its two-level
+//     lock hierarchy (DESIGN.md §17): read-only and window-scoped dispatches
+//     share the namespace epoch lock and window writes serialize only on
+//     their window's shard, so mutations of different windows run
+//     concurrently; structural ops take the epoch exclusively and run alone.
+//     One session's dispatches are additionally serialized against each
+//     other, per the protocol's one-logical-client-per-connection
+//     assumption.
 //   * Tflush lets a client cancel an in-flight tagged request: a request
 //     still waiting for the dispatch path when its tag is flushed is answered
 //     with Rerror "interrupted" instead of running (the byte transport is
@@ -146,9 +149,35 @@ struct ReadSink {
 // a dispatch.
 class Session {
  public:
-  // Whether an operation may run under the shared (reader) dispatch lock or
-  // must take it exclusively. See DESIGN.md §11 for the full table.
-  enum class OpClass : uint8_t { kShared, kExclusive };
+  // How an operation fits the dispatch-lock hierarchy (DESIGN.md §17):
+  //   kReadOnly    cannot mutate anything — epoch lock shared, no shard.
+  //   kWindowRead  reads state a same-window writer may be mutating (window
+  //                file bytes, the node's qid/length) — epoch shared, window
+  //                shard shared.
+  //   kWindowWrite mutates exactly one window (a clone group counts as one) —
+  //                epoch shared, window shard exclusive.
+  //   kStructural  may mutate beyond one window (create/remove, ctl writes,
+  //                window lifecycle, regular-file writes) — epoch exclusive.
+  enum class OpClass : uint8_t {
+    kReadOnly,
+    kWindowRead,
+    kWindowWrite,
+    kStructural,
+  };
+
+  // A classification plus the parsed target it was derived from. The cached
+  // fid state lets the server re-validate the verdict under the locks with
+  // one map lookup (VerdictStale) instead of recomputing the full
+  // classification — and hands it the shard to lock before dispatch.
+  struct Verdict {
+    OpClass cls = OpClass::kStructural;
+    WindowShardPtr shard;    // lock target for the window classes
+    uint32_t fid = kNoFid;   // fid whose state the verdict depends on
+    NodePtr node;            // that fid's node at classification time
+    bool present = false;    // cached fid-table parse, compared by
+    bool open = false;       //   VerdictStale against the live entry
+    bool read_only = false;
+  };
 
   Session(Vfs* vfs, uint64_t id) : vfs_(vfs), id_(id) {}
 
@@ -160,16 +189,27 @@ class Session {
   // encode their complete reply packet into it (see ReadSink).
   Fcall Dispatch(const Fcall& t, ReadSink* sink = nullptr);
 
-  // Classifies `t` without dispatching it: version/attach/walk/stat/clunk
-  // are always read-only; Tread is shared iff the fid is a directory or was
-  // opened read-only (the per-fid read-only mark); Topen is shared iff it
-  // cannot create, truncate, or reach a handler whose Open mutates. All
-  // writes, creates, and removes are exclusive. Classification is advisory
-  // concurrency control, not correctness: it may race this session's own
-  // in-flight ops (fid tables only change under dispatch_mu()), and a
-  // misprediction costs one retry under the exclusive lock, never a torn
-  // read — the seqlock validation in the read handlers catches those.
-  OpClass Classify(const Fcall& t) const;
+  // Classifies `t` without dispatching it: version/attach/walk/clunk are
+  // always read-only; Tstat and Tread of a window-backed fid are window
+  // reads (shard shared); Twrite and truncating/writable Topen of a
+  // window-backed fid are window writes (shard exclusive); everything that
+  // can mutate beyond one window — other writes, creates, removes, opens
+  // that reach a mutating handler — is structural. Classification is
+  // advisory concurrency control, not correctness: it may race this
+  // session's own in-flight ops (fid tables only change under
+  // dispatch_mu()), and a misprediction is caught by VerdictStale under the
+  // locks and costs one retry on the structural path, never a torn read —
+  // the seqlock validation in the read handlers backstops even that.
+  Verdict Classify(const Fcall& t) const;
+
+  // One fid_mu_ lookup comparing the live fid entry against the state the
+  // verdict cached: true when the entry changed (fid bound/unbound, node
+  // rebound, opened, or its read-only mark flipped) and the verdict must not
+  // be trusted. Called by the server under the locks the verdict asked for;
+  // fid mutators hold the session lock exclusively, so the answer is stable
+  // for the rest of the dispatch. Verdicts that depend on no fid state
+  // (fid == kNoFid) are never stale.
+  bool VerdictStale(const Verdict& v) const;
 
   // --- Out-of-order dispatch classification (fid_mu_ only) -----------------
   // True when `t` may dispatch under this session's dispatch_mu() in shared
@@ -185,6 +225,10 @@ class Session {
   bool ReorderOk(const Fcall& t) const;
   bool ReorderableRead(uint32_t fid) const;
   bool FidAbsent(uint32_t fid) const;
+  // The window domain (shard id) `fid` resolves to, 0 when the fid is
+  // absent or not window-backed. The listener's scheduler uses this to fence
+  // only same-window frames instead of the whole connection.
+  uint64_t FidDomain(uint32_t fid) const;
 
   uint64_t id() const { return id_; }
   // Relaxed load: read by /mnt/help/net status handlers on other threads
@@ -218,6 +262,11 @@ class Session {
   struct FidState {
     NodePtr node;
     OpenFilePtr open;
+    // The window shard the node's handler reported when the fid was bound
+    // (attach/walk/create) — "the window-id routed out of Walk", so the
+    // dispatch layer knows its lock target before taking any lock. Null for
+    // non-window files.
+    WindowShardPtr shard;
     std::string dirbuf;     // snapshot of directory listing for reads
     bool dirbuf_valid = false;
     bool read_only = false;  // opened with kOread and no kOtrunc
@@ -228,6 +277,9 @@ class Session {
   // are serialized by dispatch_mu_ (std::map never relocates nodes anyway).
   FidState* FindFid(uint32_t fid);
   const FidState* FindFid(uint32_t fid) const;
+  // Copies `fid`'s classification-relevant state into `v`. Caller holds
+  // fid_mu_.
+  void CacheFidLocked(uint32_t fid, Verdict* v) const;
 
   Vfs* vfs_;
   uint64_t id_;

@@ -1,16 +1,20 @@
 // The multi-client 9P service front end. A NinepServer accepts any number of
 // transports — each client connection is a Session (see ninep.h) — and may be
 // driven from many threads at once: workers decode T-messages and encode
-// replies in parallel, and since PR 4 *dispatch itself* is reader–writer
-// concurrent: read-only operations (walk, stat, reads of read-only fids, …)
-// hold the dispatch lock in shared mode and run in parallel across sessions,
-// while mutating operations (write, create, remove, window create/delete)
-// take it exclusively and still see the single-threaded tree the Vfs and
-// Help's synthetic-file handlers were built around.
+// replies in parallel, and dispatch itself runs under a two-level lock
+// hierarchy (PR 4 added the reader–writer epoch lock, PR 10 the per-window
+// shards; DESIGN.md §17): read-only operations hold the namespace epoch lock
+// in shared mode and run in parallel across sessions; window-scoped
+// operations additionally take their window's shard (shared for reads,
+// exclusive for writes), so mutations of *different* windows run
+// concurrently; structural operations (create, remove, window lifecycle, ctl
+// writes) take the epoch exclusively and still see the single-threaded tree
+// the Vfs and Help's synthetic-file handlers were built around.
 //
-//   client thread:  bytes in ─ decode ─┐            ┌─ Tread ──┐ (shared,
-//   client thread:  bytes in ─ decode ─┼─ classify ─┼─ Tread ──┤  parallel)
-//   client thread:  bytes in ─ decode ─┘            └─ Twrite ─┘ (exclusive)
+//   client thread:  bytes in ─ decode ─┐            ┌─ Tread ────┐ (epoch shared,
+//   client thread:  bytes in ─ decode ─┼─ classify ─┼─ Twrite w1 ┤  parallel across
+//   client thread:  bytes in ─ decode ─┼────────────┼─ Twrite w2 ┤  windows)
+//   client thread:  bytes in ─ decode ─┘            └─ Tcreate ──┘ (epoch exclusive)
 //                                        encode + bytes out (parallel again)
 //
 // Read-path consistency is seqlock-style, the same discipline as the obs
@@ -27,14 +31,22 @@
 // lock-wait histogram — are recorded into a NinepMetrics (a view over the
 // process-wide obs::Registry) which /mnt/help/stats serves.
 //
-// Lock order (acquire strictly downward; leaves may be taken under anything
-// above them but never hold anything themselves):
-//   1. dispatch_mu_          the reader–writer dispatch lock (shared or
-//                            exclusive; never upgraded while held)
-//   2. Session::dispatch_mu_ per-session ordering of Dispatch (reader–writer
-//                            since PR 9: read-only requests hold it shared
-//                            and complete out of order, fences exclusively)
-//   3. Session::fid_mu_      per-session fid-table bookkeeping; held only
+// Lock order (acquire strictly downward — enforced in debug builds by
+// src/fs/lockorder.h when HELP_LOCK_ASSERT is on; leaves may be taken under
+// anything above them but never hold anything themselves):
+//   1. dispatch_mu_          the namespace *epoch* lock (shared or exclusive;
+//                            never upgraded while held). Shared by read-only
+//                            and window-scoped dispatches, exclusive for
+//                            structural ops and LockDispatch.
+//   2. WindowShard::mu       the per-window mutation lock (src/fs/vfs.h),
+//                            owned by the fileserver's window file handlers;
+//                            shared by window reads, exclusive by window
+//                            writes. Never taken by structural dispatches.
+//   3. Session::dispatch_mu_ per-session ordering of Dispatch (reader–writer
+//                            since PR 9: read-only requests — and since PR 10
+//                            window writes — hold it shared and complete out
+//                            of order, fences exclusively)
+//   leaf: Session::fid_mu_   per-session fid-table bookkeeping; held only
 //                            around map lookups/mutations, never across a
 //                            handler call
 //   leaf: state_mu_          the session table; held briefly, nothing else
@@ -46,7 +58,8 @@
 // invoked from a dispatch that already holds the lock) is detected with a
 // thread-local holder check and becomes a no-op, which is what replaced the
 // PR 1 recursive_mutex. The no-op inherits the outer mode, so classification
-// must route any op that can reach a mutating handler to the exclusive path.
+// must route any op that can reach a handler that mutates beyond its own
+// window to the structural (epoch-exclusive) path.
 #ifndef SRC_FS_SERVER_H_
 #define SRC_FS_SERVER_H_
 
@@ -105,17 +118,27 @@ class NinepServer {
   class DispatchGuard {
    public:
     DispatchGuard() = default;
-    DispatchGuard(DispatchGuard&& o) noexcept : srv_(o.srv_), mode_(o.mode_) {
+    DispatchGuard(DispatchGuard&& o) noexcept
+        : srv_(o.srv_),
+          mode_(o.mode_),
+          prev_srv_(o.prev_srv_),
+          prev_mode_(o.prev_mode_) {
       o.srv_ = nullptr;
       o.mode_ = LockMode::kNone;
+      o.prev_srv_ = nullptr;
+      o.prev_mode_ = LockMode::kNone;
     }
     DispatchGuard& operator=(DispatchGuard&& o) noexcept {
       if (this != &o) {
         Release();
         srv_ = o.srv_;
         mode_ = o.mode_;
+        prev_srv_ = o.prev_srv_;
+        prev_mode_ = o.prev_mode_;
         o.srv_ = nullptr;
         o.mode_ = LockMode::kNone;
+        o.prev_srv_ = nullptr;
+        o.prev_mode_ = LockMode::kNone;
       }
       return *this;
     }
@@ -125,11 +148,19 @@ class NinepServer {
 
    private:
     friend class NinepServer;
-    DispatchGuard(NinepServer* srv, LockMode mode) : srv_(srv), mode_(mode) {}
+    DispatchGuard(NinepServer* srv, LockMode mode, const NinepServer* prev_srv,
+                  LockMode prev_mode)
+        : srv_(srv), mode_(mode), prev_srv_(prev_srv), prev_mode_(prev_mode) {}
     void Release();
 
     NinepServer* srv_ = nullptr;       // nullptr: owns no lock
     LockMode mode_ = LockMode::kNone;  // the mode this guard owns
+    // The thread's dispatch-holder state to restore on release. Normally
+    // empty; non-null when this guard nested inside a different server's
+    // dispatch (a handler serializing against Help's own server while the
+    // request arrived through another NinepServer over the same Vfs).
+    const NinepServer* prev_srv_ = nullptr;
+    LockMode prev_mode_ = LockMode::kNone;
   };
 
   explicit NinepServer(Vfs* vfs);
@@ -175,13 +206,24 @@ class NinepServer {
   // Raw-frame dispatch classification for the listener's scheduler: peeks
   // the fixed-offset type/fid fields (no full decode) and asks the session.
   // kReorderable requests may run concurrently with each other and complete
-  // out of order; kWrite requests (Twrite only — *write_fid receives the
-  // fid) may coalesce into one HandleWriteBatch; everything else is a
-  // kFence: it must run alone, after every earlier request from the session
-  // completed. Undecodable or unknown frames classify as fences.
+  // out of order; kWrite requests (Twrite only — write_fid carries the fid)
+  // may coalesce into one HandleWriteBatch; everything else is a kFence: it
+  // must run alone, after every earlier request from the session completed.
+  // Undecodable or unknown frames classify as fences.
+  //
+  // `domain` is the window the frame is confined to (0 = none): for a
+  // kReorderable frame the window it *reads*, for a kWrite frame the window
+  // it *writes*. A kWrite with a nonzero domain need not fence the whole
+  // connection — the listener only orders it against in-flight frames of the
+  // same domain, which is what lets one connection's writes to different
+  // windows run in parallel. With sharding disabled, domains are always 0.
   enum class FrameClass : uint8_t { kReorderable, kWrite, kFence };
-  FrameClass ClassifyFrame(SessionId id, std::string_view frame,
-                           uint32_t* write_fid) const;
+  struct FrameVerdict {
+    FrameClass cls = FrameClass::kFence;
+    uint32_t write_fid = kNoFid;  // kWrite only: the target fid
+    uint64_t domain = 0;          // nonzero: confined to this window
+  };
+  FrameVerdict ClassifyFrame(SessionId id, std::string_view frame) const;
 
   // A Transport for NinepClient bound to one session of this server.
   NinepClient::Transport TransportFor(SessionId id);
@@ -219,6 +261,13 @@ class NinepServer {
   // fully serialized dispatch. The perf_ninep --serialized baseline.
   void set_force_exclusive(bool on) { force_exclusive_ = on; }
 
+  // Escape hatch and differential oracle: disable per-window sharding,
+  // restoring PR 4's two-mode classification (window writes become
+  // structural, window reads fall back to the plain shared/exclusive split)
+  // and whole-connection write fencing in the listener. The perf_ninep
+  // --shard baseline.
+  void set_disable_sharding(bool on) { disable_sharding_ = on; }
+
   // Bench hook: stage every Rread payload through an intermediate string
   // (the pre-PR 9 encode path) instead of gathering into the wire frame.
   // The perf_ninep zero-copy-vs-staged baseline.
@@ -239,21 +288,36 @@ class NinepServer {
   std::shared_ptr<Session> FindSession(SessionId id) const;
   SessionId EnsureDefaultSession();
   Fcall Process(SessionId id, const Fcall& t, ReadSink* sink = nullptr);
-  // One locked dispatch attempt chain: acquire in `mode`, run, and retry
-  // under the exclusive lock if a shared read raced an edit. The session
-  // lock is held shared for ReorderOk requests (out-of-order completion
-  // between fences), exclusive otherwise.
+  // One locked dispatch attempt chain: classify, acquire the epoch lock (and
+  // the window shard, for window-scoped verdicts), validate the verdict
+  // against the live fid table (VerdictStale — one lookup, not a
+  // reclassification), run, and retry on the structural path if the verdict
+  // went stale or a shared read raced an edit. The session lock is held
+  // shared for ReorderOk requests and sharded window writes (out-of-order
+  // completion between fences), exclusive otherwise.
   Fcall DispatchUnderLock(const std::shared_ptr<Session>& s, SessionId id,
                           const Fcall& t, ReadSink* sink = nullptr);
-  // Acquires the dispatch lock in `mode` (no-op guard on re-entry), timing
-  // the wait into ninep.lock.wait.
+  // Acquires the epoch lock in `mode` (no-op guard on re-entry), timing the
+  // wait into ninep.lock.wait and counting exclusive acquisitions.
   DispatchGuard Acquire(LockMode mode);
+  // Maps a verdict back to the PR 4 two-mode classification when sharding is
+  // disabled (the escape hatch / differential oracle).
+  static void Deshard(const Fcall& t, Session::Verdict* v);
+  // Runs a decoded write batch under locks already held by HandleWriteBatch
+  // (epoch + optional window shard + session lock).
+  void DispatchBatchLocked(const std::shared_ptr<Session>& s, bool session_ok,
+                           const std::vector<std::string_view>& packets,
+                           const std::vector<Fcall>& ts,
+                           const std::vector<bool>& bad,
+                           const std::vector<RequestObs*>& obs,
+                           std::vector<ReplyFrame>* replies);
 
   Vfs* vfs_;
   NinepMetrics metrics_;
   NetState net_{this};
   std::atomic<bool> force_exclusive_{false};
   std::atomic<bool> disable_zero_copy_{false};
+  std::atomic<bool> disable_sharding_{false};
 
   // state_mu_ guards the session table only; per-session bookkeeping lives
   // behind each Session's own locks (see ninep.h), so sessions never contend

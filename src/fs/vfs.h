@@ -11,11 +11,13 @@
 // Threading: the VFS carries no locks of its own — nodes, handlers, and the
 // clock are unsynchronized. Concurrent 9P clients are safe because
 // NinepServer (src/fs/server.h) guards every tree-touching dispatch with a
-// reader–writer dispatch lock: operations that cannot mutate the tree run
-// concurrently in shared mode (walks, stats, reads of read-only fids),
-// mutations run alone in exclusive mode. Anything else that shares a Vfs
-// with a live NinepServer must serialize through
-// NinepServer::LockDispatch(), which takes the exclusive side.
+// two-level lock hierarchy (DESIGN.md §17): a namespace epoch lock held
+// shared by window-scoped and read-only operations and exclusively by
+// structural mutations (create/remove, window lifecycle, ctl writes), plus
+// per-window shards (WindowShard below) that serialize mutations of one
+// window against each other and against that window's readers. Anything
+// else that shares a Vfs with a live NinepServer must serialize through
+// NinepServer::LockDispatch(), which takes the epoch lock's exclusive side.
 #ifndef SRC_FS_VFS_H_
 #define SRC_FS_VFS_H_
 
@@ -24,6 +26,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -89,6 +92,20 @@ struct GatherView {
   }
 };
 
+// The per-window mutation lock. Windows are the unit of sharding in the
+// dispatch-lock hierarchy (DESIGN.md §17): every file of one window — and of
+// every clone sharing its body Text — reports the same shard, so mutations of
+// *different* windows run concurrently while mutations of the *same* window
+// (or its clones) serialize. Readers of a window's files take the shard
+// shared; writers take it exclusive. `domain` is the owning window's id
+// (nonzero — window ids start at 1), used by the listener scheduler to fence
+// only same-window frames.
+struct WindowShard {
+  std::shared_mutex mu;
+  uint64_t domain = 0;
+};
+using WindowShardPtr = std::shared_ptr<WindowShard>;
+
 // Behaviour hook for synthetic files. One handler instance may serve many
 // nodes; per-open state lives in the OpenFile. Handlers receive the OpenFile
 // so that e.g. /mnt/help/new/ctl can create a window at Open time and answer
@@ -121,6 +138,14 @@ class FileHandler {
   // only computes a snapshot keep the default and stay on the shared path.
   // Wrappers must delegate to the handler they wrap.
   virtual bool OpenNeedsExclusive() const { return false; }
+  // The window shard this file's mutations are confined to, or nullptr when
+  // the file is not window-scoped (regular files, ctl files, stats — anything
+  // whose writes can touch state outside one window). The 9P dispatch
+  // classification resolves this once at fid-bind time (Walk/Attach/Create)
+  // so the lock target is known before any lock is taken. The returned
+  // pointer must be immutable for the handler's lifetime. Wrappers must
+  // delegate to the handler they wrap.
+  virtual WindowShardPtr window_shard() const { return nullptr; }
 };
 
 // Synthesizes a directory's children on demand — the Plan 9 /net and /proc
@@ -145,12 +170,20 @@ class Node : public std::enable_shared_from_this<Node> {
 
   const std::string& name() const { return name_; }
   bool dir() const { return qid_.dir; }
-  const Qid& qid() const { return qid_; }
-  uint64_t mtime() const { return mtime_; }
-  void set_mtime(uint64_t t) { mtime_ = t; }
+  // vers and mtime are stored in relaxed atomics: a shard-holding writer may
+  // Touch a window file's node while another session Twalks past it or
+  // Ropens it under the shared epoch lock, and those readers only need *a*
+  // consistent value, not ordering. qid() therefore returns by value.
+  Qid qid() const {
+    Qid q = qid_;
+    q.vers = vers_.load(std::memory_order_relaxed);
+    return q;
+  }
+  uint64_t mtime() const { return mtime_.load(std::memory_order_relaxed); }
+  void set_mtime(uint64_t t) { mtime_.store(t, std::memory_order_relaxed); }
   void Touch(uint64_t t) {
-    mtime_ = t;
-    qid_.vers++;
+    mtime_.store(t, std::memory_order_relaxed);
+    vers_.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Regular file payload (ignored when handler_ is set).
@@ -179,8 +212,9 @@ class Node : public std::enable_shared_from_this<Node> {
 
  private:
   std::string name_;
-  Qid qid_;
-  uint64_t mtime_ = 0;
+  Qid qid_;  // vers_ is authoritative for qid_.vers; qid_ holds path/dir
+  std::atomic<uint32_t> vers_{0};
+  std::atomic<uint64_t> mtime_{0};
   std::string data_;
   std::shared_ptr<FileHandler> handler_;
   std::shared_ptr<DirSynth> dir_synth_;

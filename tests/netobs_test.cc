@@ -165,6 +165,7 @@ TEST(StatsMetricsParity, EveryStatsEntrySurfacesInMetrics) {
   }
   m.RecordLockWait(1);
   m.RecordNetQueueWait(1);
+  m.RecordShardWait(1);
 
   auto metrics = h.vfs().ReadFile("/mnt/help/metrics");
   ASSERT_TRUE(metrics.ok());
@@ -176,6 +177,8 @@ TEST(StatsMetricsParity, EveryStatsEntrySurfacesInMetrics) {
       "net.bytes_in",    "net.bytes_out",           "net.queue_wait_us",
       "ninep.ooo_completions", "ninep.bytes_zero_copy", "ninep.bytes_staged",
       "ninep.bodyapp_coalesced", "net.writev_calls",
+      "ninep.lock.window_acquires", "ninep.lock.epoch_exclusive",
+      "ninep.lock.shard_wait_us",
   };
   for (size_t i = 0; i < kNinepOpCount; i++) {
     const char* op = NinepOpName(static_cast<NinepOp>(i));

@@ -323,8 +323,9 @@ TEST(ObsTracer, ChromeJsonIsWellFormed) {
 
 // The /mnt/help/stats byte format, pinned exactly: header line, one
 // "op count errs p50us p99us" row per op with traffic (enum order), the
-// four PR 1 scalar totals, then the PR 4 read-path concurrency lines.
-// NinepMetrics is a registry view now; its Render() must not drift.
+// four PR 1 scalar totals, the PR 4 read-path concurrency lines, then the
+// PR 10 dispatch-sharding lines. NinepMetrics is a registry view now; its
+// Render() must not drift.
 TEST(NinepMetricsCompat, StatsByteFormatPinnedExactly) {
   Registry::Global().Reset();
   NinepMetrics m;
@@ -357,7 +358,10 @@ TEST(NinepMetricsCompat, StatsByteFormatPinnedExactly) {
             "bytes_zero_copy 0\n"
             "bytes_staged 0\n"
             "bodyapp_coalesced 0\n"
-            "net_writev_calls 0\n");
+            "net_writev_calls 0\n"
+            "lock_window_acquires 0\n"
+            "lock_epoch_exclusive 0\n"
+            "lock_shard_wait_p99us 0\n");
   // And the same numbers are visible through the registry's own file format.
   std::string metrics = Registry::Global().RenderText();
   EXPECT_NE(metrics.find("ninep.walk.count 2\n"), std::string::npos);
@@ -373,7 +377,9 @@ TEST(NinepMetricsCompat, StatsByteFormatPinnedExactly) {
             "net_backpressure_stalls 0\nnet_frame_errors 0\n"
             "net_bytes_in 0\nnet_bytes_out 0\n"
             "ooo_completions 0\nbytes_zero_copy 0\nbytes_staged 0\n"
-            "bodyapp_coalesced 0\nnet_writev_calls 0\n");
+            "bodyapp_coalesced 0\nnet_writev_calls 0\n"
+            "lock_window_acquires 0\nlock_epoch_exclusive 0\n"
+            "lock_shard_wait_p99us 0\n");
 }
 
 TEST(ObsTracer, RenderTextLinesCarryAllStamps) {

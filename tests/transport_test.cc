@@ -353,6 +353,45 @@ TEST(NinepListenerTest, IdleReapClunksFidsAndFreesTheSession) {
   EXPECT_FALSE(client.ReadFid(fid.value(), 0, 16).ok());
 }
 
+// reap_tick_ms decouples the reap scan from the loop tick: with a 10s loop
+// tick — which without the option would also cap the scan's promptness via
+// min(tick_ms, idle_timeout_ms) — a 10ms reap tick still collects an idle
+// connection right after the timeout elapses.
+TEST(NinepListenerTest, ShortReapTickReapsPromptlyDespiteLongLoopTick) {
+  Help::Options opt;
+  opt.install_userland = false;
+  Help h(opt);
+  NinepServer& srv = h.ninep();
+  uint64_t reaped0 = srv.metrics().net_reaped();
+
+  NinepListener::Options lopt;
+  lopt.idle_timeout_ms = 100;
+  lopt.tick_ms = 10000;
+  lopt.reap_tick_ms = 10;
+  NinepListener lis(&srv, lopt);
+  std::string path = SockPath("reaptick");
+  ASSERT_TRUE(lis.ListenUnix(path).ok());
+  ASSERT_TRUE(lis.Start().ok());
+
+  auto tr = SocketTransport::ConnectUnix(path);
+  ASSERT_TRUE(tr.ok());
+  NinepClient client(tr.value()->AsTransport());
+  ASSERT_TRUE(client.Connect("idler").ok());
+  EXPECT_EQ(srv.session_count(), 1u);
+
+  auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(
+      WaitFor([&] { return srv.metrics().net_reaped() == reaped0 + 1; }));
+  auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  // Prompt means a few reap ticks past the idle timeout — nowhere near the
+  // 10s loop tick. Generous bound for loaded CI machines.
+  EXPECT_LT(elapsed_ms, 2000);
+  ASSERT_TRUE(WaitFor([&] { return srv.session_count() == 0; }));
+  EXPECT_EQ(lis.active_conns(), 0u);
+}
+
 TEST(NinepListenerTest, DisconnectWithRequestsMidDispatchIsClean) {
   Help::Options opt;
   opt.install_userland = false;
